@@ -1,0 +1,68 @@
+"""Ablation benchmarks for design choices called out in DESIGN.md.
+
+* Bus-usage probability: the shared-bus conflict rule is what stops
+  vertical compaction from collapsing everything; sweeping the usage
+  probability quantifies its cost.
+* Fault-model source: MA versus reduced-MT pattern sets pushed through the
+  full compaction + optimization pipeline.
+* Scheduler: Algorithm 1's resource-aware packing versus naive
+  serialization of the SI groups.
+"""
+
+import pytest
+
+from repro.compaction.horizontal import build_si_test_groups
+from repro.compaction.vertical import greedy_compact
+from repro.core.optimizer import optimize_tam
+from repro.core.scheduling import TamEvaluator, schedule_si_tests
+from repro.sitest.faults import generate_ma_patterns, generate_reduced_mt_patterns
+from repro.sitest.generator import GeneratorConfig, generate_random_patterns
+from repro.sitest.topology import random_topology
+
+
+@pytest.mark.parametrize("bus_probability", [0.0, 0.5, 1.0])
+def bench_bus_probability_vs_compaction(benchmark, d695, bus_probability):
+    config = GeneratorConfig(bus_probability=bus_probability)
+    patterns = generate_random_patterns(d695, 3_000, seed=21, config=config)
+    result = benchmark(greedy_compact, patterns)
+    print(
+        f"\nbus p={bus_probability}: {result.original_count} -> "
+        f"{result.compacted_count} (ratio {result.ratio:.1f}x)"
+    )
+    assert result.compacted_count < result.original_count
+
+
+@pytest.mark.parametrize("model", ["ma", "reduced_mt_k1"])
+def bench_fault_model_through_pipeline(benchmark, d695, model):
+    topology = random_topology(d695, fanouts_per_core=2, locality=3, seed=5)
+    if model == "ma":
+        patterns = list(generate_ma_patterns(topology))
+    else:
+        import itertools
+
+        stream = generate_reduced_mt_patterns(topology, locality=1)
+        patterns = list(itertools.islice(stream, 20_000))
+
+    def pipeline():
+        grouping = build_si_test_groups(d695, patterns, parts=4, seed=5)
+        return optimize_tam(d695, 32, groups=grouping.groups)
+
+    result = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    print(
+        f"\n{model}: {len(patterns)} patterns -> "
+        f"T_total={result.t_total} (T_si={result.evaluation.t_si})"
+    )
+    assert result.evaluation.t_si > 0
+
+
+def bench_scheduler_vs_serial(benchmark, d695):
+    patterns = generate_random_patterns(d695, 4_000, seed=9)
+    grouping = build_si_test_groups(d695, patterns, parts=8, seed=9)
+    result = optimize_tam(d695, 48, groups=grouping.groups)
+    evaluator = TamEvaluator(d695, grouping.groups)
+    entries = evaluator.calculate_si_test_times(result.architecture)
+
+    _, t_parallel = benchmark(schedule_si_tests, entries)
+    t_serial = sum(entry.time_si for entry in entries)
+    print(f"\nAlgorithm 1: {t_parallel} cc; naive serial: {t_serial} cc")
+    assert t_parallel <= t_serial

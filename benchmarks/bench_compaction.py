@@ -1,0 +1,58 @@
+"""Benchmark for the Section 3 compaction claims.
+
+The paper states that the greedy clique-cover heuristic "achieves similar
+compaction ratios as approximation algorithms for the clique covering
+problem with significantly less computation time".  This bench times both
+:func:`greedy_compact` (the paper's heuristic) and :func:`color_compact`
+(Welsh–Powell coloring of the conflict graph, the classical approximation)
+on the same pattern set and compares counts.
+"""
+
+import pytest
+
+from repro.compaction.vertical import color_compact, greedy_compact
+from repro.sitest.generator import generate_random_patterns
+
+PATTERN_COUNT = 2_000
+
+
+@pytest.fixture(scope="module")
+def patterns(request):
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("d695")
+    return generate_random_patterns(soc, PATTERN_COUNT, seed=7)
+
+
+def bench_greedy_compaction(benchmark, patterns):
+    result = benchmark(greedy_compact, patterns)
+    print(
+        f"\ngreedy: {result.original_count} -> {result.compacted_count} "
+        f"(ratio {result.ratio:.1f}x)"
+    )
+    assert result.compacted_count < PATTERN_COUNT / 5
+
+
+def bench_coloring_compaction(benchmark, patterns):
+    result = benchmark(color_compact, patterns)
+    print(
+        f"\ncoloring: {result.original_count} -> {result.compacted_count} "
+        f"(ratio {result.ratio:.1f}x)"
+    )
+    assert result.compacted_count < PATTERN_COUNT / 5
+
+
+def bench_compaction_quality_parity(benchmark, patterns):
+    """Greedy must land within 1.5x of the approximation's pattern count
+    (the paper claims parity) — measured on the same input."""
+
+    def both():
+        return greedy_compact(patterns).compacted_count, color_compact(
+            patterns
+        ).compacted_count
+
+    greedy_count, colored_count = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    print(f"\ngreedy={greedy_count} coloring={colored_count}")
+    assert greedy_count <= colored_count * 1.5

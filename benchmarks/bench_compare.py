@@ -1,0 +1,51 @@
+"""Benchmark for the consolidated optimizer comparison and the what-if
+marginal analysis."""
+
+import pytest
+
+from repro.compaction.horizontal import build_si_test_groups
+from repro.core.optimizer import optimize_tam
+from repro.core.whatif import format_whatif_report, what_if
+from repro.experiments.compare import compare_optimizers, format_comparison
+from repro.sitest.generator import generate_random_patterns
+
+
+@pytest.fixture(scope="module")
+def instance(d695):
+    patterns = generate_random_patterns(d695, 3_000, seed=2)
+    grouping = build_si_test_groups(d695, patterns, parts=4, seed=2)
+    return d695, grouping
+
+
+def bench_optimizer_faceoff(benchmark, instance):
+    soc, grouping = instance
+    comparison = benchmark.pedantic(
+        compare_optimizers,
+        args=(soc, 24, grouping.groups),
+        kwargs={"annealing_steps": 3_000},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_comparison(comparison))
+    by_name = {c.name: c for c in comparison.contenders}
+    # Algorithm 2 must beat the SI-oblivious flow and match or beat cold SA.
+    assert by_name["Algorithm 2"].t_total <= (
+        by_name["TR-Architect + post-hoc SI"].t_total
+    )
+    assert by_name["Algorithm 2"].t_total <= (
+        by_name["simulated annealing"].t_total * 1.05
+    )
+
+
+def bench_whatif_analysis(benchmark, instance):
+    soc, grouping = instance
+    result = optimize_tam(soc, 24, groups=grouping.groups)
+
+    report = benchmark(
+        what_if, soc, result.architecture, grouping.groups
+    )
+    print("\n" + format_whatif_report(report))
+    # The optimizer used every wire, so removals cost and additions are
+    # worth at most a modest amount.
+    assert all(delta.delta >= 0 for delta in report.remove_wire)
+    assert report.marginal_pin_value < result.t_total * 0.25

@@ -1,0 +1,81 @@
+"""Benchmarks for the exact oracle, the Pareto sweep and the scaling study.
+
+* Exact-vs-heuristic: on small SOCs the enumeration optimizer certifies
+  Algorithm 2's optimality gap (the validation the TAM literature did
+  with ILP models).
+* Pareto sweep: the full `(W_max, T_soc)` trade-off curve of a shipped
+  benchmark with the knee marked.
+* Scaling: pipeline runtime and bound gap versus synthesized SOC size.
+"""
+
+import pytest
+
+from repro.compaction.groups import SITestGroup
+from repro.core.exact import exact_optimize
+from repro.core.optimizer import optimize_tam
+from repro.experiments.pareto import format_curve, sweep_widths
+from repro.experiments.scaling import (
+    format_scaling_report,
+    run_scaling_study,
+)
+from repro.soc.synth import DEFAULT_MIX, synthesize_soc
+
+
+@pytest.mark.parametrize("w_max", [4, 8])
+def bench_exact_vs_heuristic(benchmark, w_max):
+    soc = synthesize_soc("oracle", 6, mix=DEFAULT_MIX, seed=9)
+    groups = (
+        SITestGroup(group_id=0, cores=frozenset(soc.core_ids), patterns=40),
+        SITestGroup(group_id=1, cores=frozenset(list(soc.core_ids)[:3]),
+                    patterns=15),
+    )
+
+    def run():
+        exact = exact_optimize(soc, w_max, groups)
+        heuristic = optimize_tam(soc, w_max, groups)
+        return exact, heuristic
+
+    exact, heuristic = benchmark.pedantic(run, rounds=1, iterations=1)
+    gap = (heuristic.t_total - exact.result.t_total) / exact.result.t_total
+    print(
+        f"\nW={w_max}: exact {exact.result.t_total} cc over "
+        f"{exact.architectures_evaluated} architectures; Algorithm 2 "
+        f"{heuristic.t_total} cc (gap {gap:.1%})"
+    )
+    assert heuristic.t_total >= exact.result.t_total
+    assert gap <= 0.15
+
+
+def bench_pareto_sweep_d695(benchmark, d695):
+    from repro.sitest.generator import generate_random_patterns
+    from repro.compaction.horizontal import build_si_test_groups
+
+    patterns = generate_random_patterns(d695, 2_000, seed=12)
+    grouping = build_si_test_groups(d695, patterns, parts=4, seed=12)
+
+    curve = benchmark.pedantic(
+        sweep_widths,
+        args=(d695, (8, 16, 24, 32, 40, 48, 56, 64)),
+        kwargs={"groups": grouping.groups},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_curve(curve))
+    totals = [point.t_total for point in curve.points]
+    assert totals[0] > totals[-1]
+    # The knee must sit strictly inside the sweep for a saturating curve.
+    knee = curve.knee()
+    assert curve.points[0].w_max <= knee.w_max <= curve.points[-1].w_max
+
+
+def bench_scaling_study(benchmark):
+    points = benchmark.pedantic(
+        run_scaling_study,
+        args=((8, 16, 24),),
+        kwargs={"w_max": 24, "pattern_count": 1_000, "parts": 4, "seed": 5},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_scaling_report(points))
+    assert all(point.t_total > 0 for point in points)
+    assert all(0 <= point.bound_gap < 1 for point in points)

@@ -1,0 +1,62 @@
+"""Benchmark regenerating the paper's **Section 2 motivation** arithmetic.
+
+A 32-bit functional bus with ten cores, each sending data to two others:
+``N = 2 * 10 * 32 = 640`` victim interconnects.  The MA model needs
+``6N = 3840`` vector pairs; the reduced MT model with ``k = 3`` needs about
+``N * 2^(2k+2) = 163,840``.  With serial ExTest over ~2,000 core I/Os, MA
+testing alone costs millions of clock cycles — comparable to the ~2M-cycle
+InTest budget of a representative SOC, which is the paper's motivation for
+SI-aware architecture optimization.
+"""
+
+from repro.sitest.faults import (
+    generate_ma_patterns,
+    ma_pattern_count,
+    reduced_mt_pattern_count,
+)
+from repro.sitest.topology import random_topology
+from repro.soc.model import Soc
+from tests.conftest import make_core
+
+
+def _bus_soc():
+    # Ten cores; 64 outputs each so that every core can drive data to two
+    # partners over the 32-bit bus (the Section 2 sizing).
+    return Soc(
+        name="motivation",
+        cores=tuple(
+            make_core(core_id, inputs=64, outputs=64, patterns=0)
+            for core_id in range(1, 11)
+        ),
+    )
+
+
+def bench_motivation_counts(benchmark):
+    victims = 2 * 10 * 32
+
+    def counts():
+        return (
+            ma_pattern_count(victims),
+            reduced_mt_pattern_count(victims, locality=3),
+        )
+
+    ma, mt = benchmark(counts)
+    print(f"\nMA pairs: {ma}; reduced-MT pairs (k=3): {mt}")
+    assert ma == 3_840
+    assert mt == 163_840
+
+    # Serial ExTest cost estimate: one shift per I/O cell per vector pair.
+    total_ios = sum(core.terminal_count for core in _bus_soc())
+    serial_ma_cycles = ma * total_ios
+    print(f"serial ExTest MA cost ~= {serial_ma_cycles:,} cycles")
+    assert serial_ma_cycles > 2_000_000  # exceeds the PNX8550 InTest budget
+
+
+def bench_ma_generation_throughput(benchmark):
+    soc = _bus_soc()
+    topology = random_topology(soc, fanouts_per_core=2, locality=3, seed=2)
+
+    patterns = benchmark(lambda: list(generate_ma_patterns(topology)))
+    assert len(patterns) == 6 * topology.net_count
+    print(f"\ngenerated {len(patterns)} MA patterns "
+          f"for {topology.net_count} nets")

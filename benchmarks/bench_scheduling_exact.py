@@ -1,0 +1,64 @@
+"""Benchmarks certifying Algorithm 1 against the exact scheduler and
+timing the shift-vector emission backend.
+"""
+
+import pytest
+
+from repro.compaction.horizontal import build_si_test_groups
+from repro.core.exact_schedule import exact_si_schedule
+from repro.core.optimizer import optimize_tam
+from repro.core.scheduling import TamEvaluator, schedule_si_tests
+from repro.sitest.generator import generate_random_patterns
+from repro.sitest.vectors import expand_group
+
+
+@pytest.fixture(scope="module")
+def scheduling_instance(d695):
+    patterns = generate_random_patterns(d695, 3_000, seed=41)
+    grouping = build_si_test_groups(d695, patterns, parts=8, seed=41)
+    result = optimize_tam(d695, 32, groups=grouping.groups)
+    evaluator = TamEvaluator(d695, grouping.groups)
+    entries = evaluator.calculate_si_test_times(result.architecture)
+    return d695, grouping, result, entries, patterns
+
+
+def bench_algorithm1_vs_exact_schedule(benchmark, scheduling_instance):
+    _, _, _, entries, _ = scheduling_instance
+
+    def run():
+        _, greedy = schedule_si_tests(entries)
+        exact = exact_si_schedule(entries)
+        return greedy, exact
+
+    greedy, exact = benchmark.pedantic(run, rounds=1, iterations=1)
+    gap = (greedy - exact.t_si) / exact.t_si if exact.t_si else 0.0
+    print(
+        f"\nAlgorithm 1: {greedy} cc; exact: {exact.t_si} cc "
+        f"({exact.permutations_tried} permutations, gap {gap:.1%})"
+    )
+    assert greedy >= exact.t_si
+    assert gap <= 0.25
+
+
+def bench_vector_emission(benchmark, scheduling_instance):
+    soc, grouping, result, _, _ = scheduling_instance
+    group = max(grouping.groups, key=lambda g: g.patterns)
+    compacted = grouping.compactions[
+        grouping.groups.index(group)
+    ].compacted
+
+    vectors = benchmark(
+        expand_group, soc, result.architecture, group, list(compacted)
+    )
+    total = sum(rv.shift_cycles for rv in vectors.rails)
+    print(
+        f"\ngroup {group.group_id}: {group.patterns} patterns expanded to "
+        f"{total} shift cycles across {len(vectors.rails)} rails"
+    )
+    # Emitted cycles must equal the evaluator's shift prediction exactly.
+    evaluator = TamEvaluator(soc, (group,), capture_cycles=0)
+    for rail_vectors in vectors.rails:
+        stats = evaluator.rail_stats(
+            result.architecture.rails[rail_vectors.rail_index]
+        )
+        assert rail_vectors.shift_cycles == stats.time_si

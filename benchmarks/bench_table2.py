@@ -1,0 +1,44 @@
+"""Benchmark regenerating the paper's **Table 2**: overall test time
+comparison for SOC p34392.
+
+Columns: ``T_[8]`` (SI-oblivious TR-Architect), ``T_g1..T_g8`` (proposed
+TAM_Optimization with the SI tests split into 1/2/4/8 groups), ``T_min``,
+``ΔT_[8]`` and ``ΔT_g`` — for each ``W_max`` and each ``N_r``.
+
+Shape expectations from the paper: the proposed flow wins by more as
+``W_max`` and ``N_r`` grow; at ``W_max = 8`` it can tie or slightly lose;
+``ΔT_g`` (the benefit of 2-D over 1-D compaction) is up to ~14%.
+"""
+
+import pytest
+
+from benchmarks.conftest import TABLE_PATTERN_COUNTS, TABLE_WIDTHS
+from repro.experiments.reporting import render_table, save_result
+from repro.experiments.table_runner import run_table_experiment
+
+
+@pytest.mark.parametrize("pattern_count", TABLE_PATTERN_COUNTS)
+def bench_table2_p34392(benchmark, p34392, pattern_count, results_dir):
+    result = benchmark.pedantic(
+        run_table_experiment,
+        args=(p34392, pattern_count),
+        kwargs={"widths": TABLE_WIDTHS, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(result)
+    save_result(result, results_dir / f"table2_nr{pattern_count}.json")
+    (results_dir / f"table2_nr{pattern_count}.txt").write_text(table + "\n")
+    print()
+    print(table)
+
+    # Shape checks mirroring the paper's observations.
+    widest = result.rows[-1]
+    assert widest.delta_baseline_pct > 0, (
+        "SI-aware optimization must beat the SI-oblivious baseline at wide "
+        "TAMs"
+    )
+    times = [row.t_min for row in result.rows]
+    assert times == sorted(times, reverse=True), (
+        "T_min must be non-increasing in W_max"
+    )

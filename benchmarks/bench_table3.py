@@ -1,0 +1,39 @@
+"""Benchmark regenerating the paper's **Table 3**: overall test time
+comparison for SOC p93791.
+
+Same layout as Table 2; p93791 is the larger SOC (32 modules, no dominant
+core), where the paper reports the biggest gains — ``ΔT_[8]`` above 70% at
+wide TAMs with ``N_r = 100,000`` and ``ΔT_g`` around 8–13%.
+"""
+
+import pytest
+
+from benchmarks.conftest import TABLE_PATTERN_COUNTS, TABLE_WIDTHS
+from repro.experiments.reporting import render_table, save_result
+from repro.experiments.table_runner import run_table_experiment
+
+
+@pytest.mark.parametrize("pattern_count", TABLE_PATTERN_COUNTS)
+def bench_table3_p93791(benchmark, p93791, pattern_count, results_dir):
+    result = benchmark.pedantic(
+        run_table_experiment,
+        args=(p93791, pattern_count),
+        kwargs={"widths": TABLE_WIDTHS, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(result)
+    save_result(result, results_dir / f"table3_nr{pattern_count}.json")
+    (results_dir / f"table3_nr{pattern_count}.txt").write_text(table + "\n")
+    print()
+    print(table)
+
+    widest = result.rows[-1]
+    assert widest.delta_baseline_pct > 0
+    times = [row.t_min for row in result.rows]
+    assert times == sorted(times, reverse=True)
+
+    # The gap between oblivious and SI-aware grows with N_r relative to the
+    # total (checked across parametrizations in EXPERIMENTS.md); within one
+    # run, wider TAMs must benefit at least as much as the narrowest.
+    assert widest.delta_baseline_pct >= result.rows[0].delta_baseline_pct - 5.0

@@ -1,0 +1,50 @@
+"""Shared fixtures and configuration for the benchmark suite.
+
+Scale control: set ``REPRO_BENCH_FULL=1`` to run the table benchmarks at the
+paper's full pattern counts (``N_r`` up to 100,000 — several minutes per
+table).  The default scale keeps the whole suite in the low minutes while
+exercising exactly the same code paths; ``tools/run_experiments.py`` runs
+the full-scale sweep reported in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.soc.benchmarks import load_benchmark
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: ``N_r`` values for the table benchmarks (paper: 10,000 and 100,000).
+TABLE_PATTERN_COUNTS = (10_000, 100_000) if FULL_SCALE else (2_000, 10_000)
+
+#: ``W_max`` sweep (paper: 8..64 step 8; quick mode thins the sweep).
+TABLE_WIDTHS = (
+    (8, 16, 24, 32, 40, 48, 56, 64) if FULL_SCALE else (8, 16, 32, 64)
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def d695():
+    return load_benchmark("d695")
+
+
+@pytest.fixture(scope="session")
+def p34392():
+    return load_benchmark("p34392")
+
+
+@pytest.fixture(scope="session")
+def p93791():
+    return load_benchmark("p93791")

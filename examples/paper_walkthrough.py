@@ -1,0 +1,85 @@
+"""Executable walkthrough of the paper, section by section.
+
+Runs the artifacts of every section on the d695 benchmark, printing the
+quantities the paper discusses where they appear.  Useful as a guided
+tour of the library and as living documentation of the reproduction.
+
+Run with::
+
+    python examples/paper_walkthrough.py
+"""
+
+from repro import (
+    build_si_test_groups,
+    evaluate_architecture,
+    generate_random_patterns,
+    load_benchmark,
+    optimize_tam,
+    render_schedule,
+    tr_architect,
+)
+from repro.core.bounds import bound_report
+from repro.sitest.faults import ma_pattern_count, reduced_mt_pattern_count
+from repro.sitest.patterns import format_pattern_table
+from repro.sitest.shorts import modified_counting_sequence_length
+
+
+def section(title: str) -> None:
+    print(f"\n{'=' * 64}\n{title}\n{'=' * 64}")
+
+
+def main() -> None:
+    soc = load_benchmark("d695")
+    w_max = 32
+
+    section("§1-2  Motivation: SI tests are not cheap")
+    victims = 2 * 10 * 32  # the paper's bus sizing example
+    print(f"N = 2 x 10 x 32 = {victims} victim interconnects")
+    print(f"  shorts/opens (modified counting): "
+          f"{modified_counting_sequence_length(victims)} patterns")
+    print(f"  MA fault model:                  "
+          f"{ma_pattern_count(victims)} vector pairs")
+    print(f"  reduced MT (k=3):                "
+          f"{reduced_mt_pattern_count(victims, 3)} vector pairs")
+
+    section("§3  Two-dimensional SI test set compaction")
+    patterns = generate_random_patterns(soc, 10_000, seed=1)
+    print(f"random SI test set (Section 5 protocol): {len(patterns)} "
+          "patterns")
+    sample = {core.core_id: 4 for core in list(soc)[:3]}
+    print("\nTable 1 format (3 cores x 4 WOCs shown):")
+    print(format_pattern_table(patterns[:4], sample, bus_width=4))
+    for parts in (1, 4):
+        grouping = build_si_test_groups(soc, patterns, parts=parts, seed=1)
+        kind = "vertical only" if parts == 1 else f"2-D with {parts} groups"
+        print(
+            f"\n{kind}: {grouping.total_compacted_patterns} compacted "
+            f"patterns ({grouping.cut_patterns} originals in the "
+            "residual group)"
+        )
+
+    section("§4.1  SI test scheduling on a given TAM (Algorithm 1)")
+    grouping = build_si_test_groups(soc, patterns, parts=4, seed=1)
+    baseline = tr_architect(soc, w_max)
+    priced = evaluate_architecture(soc, baseline.architecture,
+                                   grouping.groups)
+    print("TR-Architect's InTest-only architecture, with the SI tests "
+          "scheduled on it after the fact:")
+    print(render_schedule(soc, baseline.architecture, priced))
+
+    section("§4.2  SI-aware TAM optimization (Algorithm 2)")
+    aware = optimize_tam(soc, w_max, groups=grouping.groups)
+    print(render_schedule(soc, aware.architecture, aware.evaluation))
+    gain = (priced.t_total - aware.t_total) / priced.t_total
+    print(f"\nSI-oblivious T_soc: {priced.t_total} cc")
+    print(f"SI-aware T_soc:     {aware.t_total} cc  ({gain:.1%} faster)")
+
+    section("§5  How close to optimal?")
+    report = bound_report(soc, w_max, grouping.groups)
+    print(f"lower bound: {report.t_total_bound} cc "
+          f"(achieved {aware.t_total} cc, "
+          f"gap {report.gap(aware.t_total):.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: optimize an SOC test architecture for SI faults.
+
+Runs the full pipeline of the paper on the d695 benchmark:
+
+1. generate a random SI test set (Section 5 protocol),
+2. two-dimensional compaction into SI test groups (Section 3),
+3. SI-aware TAM optimization (Section 4),
+4. compare against the SI-oblivious TR-Architect baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    build_si_test_groups,
+    generate_random_patterns,
+    load_benchmark,
+    optimize_tam,
+    render_schedule,
+    si_oblivious_total,
+)
+
+W_MAX = 32
+PATTERN_COUNT = 5_000
+
+
+def main() -> None:
+    soc = load_benchmark("d695")
+    print(soc.describe())
+    print()
+
+    # 1. Random SI test set: one victim + 2-6 aggressors per pattern,
+    #    a 32-bit shared bus used with probability 0.5.
+    patterns = generate_random_patterns(soc, PATTERN_COUNT, seed=42)
+    print(f"generated {len(patterns)} SI test patterns")
+
+    # 2. Two-dimensional compaction: partition the cores into 4 groups and
+    #    merge compatible patterns inside each group.
+    grouping = build_si_test_groups(soc, patterns, parts=4, seed=42)
+    print(
+        f"compacted to {grouping.total_compacted_patterns} patterns in "
+        f"{len(grouping.groups)} SI test groups "
+        f"({grouping.cut_patterns} originals span several groups)"
+    )
+
+    # 3. SI-aware TAM optimization (Algorithm 2).
+    result = optimize_tam(soc, W_MAX, groups=grouping.groups)
+    print(f"\nSI-aware architecture (W_max = {W_MAX}):")
+    for index, rail in enumerate(result.architecture.rails):
+        print(f"  TAM{index}: width {rail.width:>2}, cores {list(rail.cores)}")
+    print(render_schedule(soc, result.architecture, result.evaluation))
+
+    # 4. Baseline: TR-Architect optimizes for InTest only, then pays for
+    #    the SI tests on whatever architecture it produced.
+    oblivious = si_oblivious_total(soc, W_MAX, grouping.groups)
+    gain = (oblivious.t_total - result.t_total) / oblivious.t_total * 100
+    print(f"\nSI-oblivious total: {oblivious.t_total} cc")
+    print(f"SI-aware total:     {result.t_total} cc  ({gain:.1f}% faster)")
+
+
+if __name__ == "__main__":
+    main()

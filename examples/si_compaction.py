@@ -1,0 +1,94 @@
+"""Deep dive into SI test generation and two-dimensional compaction.
+
+Walks through the paper's Sections 2 and 3 on a small SOC:
+
+* builds an arbitrary interconnect topology (Fig. 1),
+* derives MA-model and reduced-MT-model test sets and sizes them
+  (the Section 2 motivation arithmetic),
+* renders patterns in the Table 1 format,
+* shows vertical compaction (greedy clique cover, with the shared-bus
+  conflict rule) and horizontal compaction (hypergraph partitioning,
+  Fig. 2) with their statistics.
+
+Run with::
+
+    python examples/si_compaction.py
+"""
+
+import itertools
+
+from repro import (
+    build_si_test_groups,
+    generate_ma_patterns,
+    generate_random_patterns,
+    generate_reduced_mt_patterns,
+    greedy_compact,
+    load_benchmark,
+    random_topology,
+)
+from repro.sitest.faults import ma_pattern_count, reduced_mt_pattern_count
+from repro.sitest.patterns import format_pattern_table
+
+
+def main() -> None:
+    soc = load_benchmark("t5")
+    print(soc.describe())
+
+    # --- Fig. 1: an arbitrary interconnect topology ----------------------
+    topology = random_topology(soc, fanouts_per_core=2, locality=3, seed=7)
+    print(
+        f"\ntopology: {topology.net_count} nets, 32-bit shared bus, "
+        f"coupling reach k=3"
+    )
+    net = topology.nets[5]
+    aggressors = [a.net_id for a in topology.aggressors_of(net.net_id)]
+    print(
+        f"  e.g. net {net.net_id}: driven by core {net.driver[0]} "
+        f"terminal {net.driver[1]}, received by cores {list(net.receivers)}, "
+        f"aggressors {aggressors}"
+    )
+
+    # --- Section 2: fault model sizing ------------------------------------
+    n = topology.net_count
+    print(f"\nMA model:          {ma_pattern_count(n):>8} vector pairs (6N)")
+    for k in (1, 2, 3):
+        print(
+            f"reduced MT (k={k}):  "
+            f"{reduced_mt_pattern_count(n, k):>8} vector pairs"
+        )
+
+    # --- Table 1: pattern format ------------------------------------------
+    ma_patterns = list(itertools.islice(generate_ma_patterns(topology), 4))
+    mt_patterns = list(
+        itertools.islice(generate_reduced_mt_patterns(topology, 1), 2)
+    )
+    core_outputs = {core.core_id: min(core.woc_count, 6) for core in soc}
+    print("\nSI test patterns (Table 1 format, first 6 WOCs per core):")
+    print(format_pattern_table(ma_patterns + mt_patterns, core_outputs))
+
+    # --- Vertical compaction ----------------------------------------------
+    patterns = generate_random_patterns(soc, 2_000, seed=7)
+    compaction = greedy_compact(patterns)
+    print(
+        f"\nvertical compaction: {compaction.original_count} -> "
+        f"{compaction.compacted_count} patterns "
+        f"(ratio {compaction.ratio:.1f}x)"
+    )
+    biggest = max(compaction.members, key=len)
+    print(f"  largest merged pattern absorbed {len(biggest)} originals")
+
+    # --- Horizontal compaction (Fig. 2) ------------------------------------
+    for parts in (1, 2, 4):
+        grouping = build_si_test_groups(soc, patterns, parts=parts, seed=7)
+        shapes = ", ".join(
+            f"{'residual' if g.is_residual else len(g.cores)}:{g.patterns}p"
+            for g in grouping.groups
+        )
+        print(
+            f"horizontal i={parts}: {grouping.total_compacted_patterns} "
+            f"compacted patterns ({shapes})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""TAM optimization study: SI-aware versus SI-oblivious across pin budgets.
+
+Reproduces a slice of the paper's Table 3 on p93791: for each ``W_max`` it
+reports the SI-oblivious baseline ``T_[8]``, the proposed flow at several
+grouping counts, and the derived ``ΔT`` percentages — then renders the
+winning architecture's schedule (Fig. 3 style).
+
+Run with::
+
+    python examples/tam_optimization.py
+"""
+
+from repro import (
+    build_si_test_groups,
+    generate_random_patterns,
+    load_benchmark,
+    optimize_tam,
+    render_schedule,
+    si_oblivious_total,
+)
+
+PATTERN_COUNT = 5_000
+WIDTHS = (16, 32, 64)
+GROUP_COUNTS = (1, 4)
+
+
+def main() -> None:
+    soc = load_benchmark("p93791")
+    patterns = generate_random_patterns(soc, PATTERN_COUNT, seed=2)
+    groupings = {
+        parts: build_si_test_groups(soc, patterns, parts=parts, seed=2)
+        for parts in GROUP_COUNTS
+    }
+    for parts, grouping in groupings.items():
+        print(
+            f"grouping i={parts}: "
+            f"{grouping.total_compacted_patterns} compacted patterns"
+        )
+
+    header = (
+        f"{'Wmax':>5} {'T_[8]':>10} "
+        + " ".join(f"T_g{p:<2}{'':>6}" for p in GROUP_COUNTS)
+        + f" {'dT_[8]%':>8}"
+    )
+    print("\n" + header)
+    print("-" * len(header))
+
+    best_result = None
+    for w_max in WIDTHS:
+        baseline = min(
+            si_oblivious_total(soc, w_max, groupings[p].groups).t_total
+            for p in GROUP_COUNTS
+        )
+        grouped = {}
+        results = {}
+        for parts in GROUP_COUNTS:
+            results[parts] = optimize_tam(
+                soc, w_max, groups=groupings[parts].groups
+            )
+            grouped[parts] = results[parts].t_total
+        t_min = min(grouped.values())
+        delta = (baseline - t_min) / baseline * 100
+        cells = " ".join(f"{grouped[p]:>10}" for p in GROUP_COUNTS)
+        print(f"{w_max:>5} {baseline:>10} {cells} {delta:>7.2f}%")
+        best_result = results[min(grouped, key=grouped.get)]
+
+    assert best_result is not None
+    print(f"\nwinning architecture at W_max={WIDTHS[-1]}:")
+    print(render_schedule(soc, best_result.architecture,
+                          best_result.evaluation))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Offline environments without the `wheel` package cannot take the PEP 660
+editable-install path; with this shim (and no [build-system] table in
+pyproject.toml) pip falls back to `setup.py develop`, which needs only
+setuptools.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

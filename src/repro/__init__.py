@@ -1,0 +1,131 @@
+"""repro — SOC test architecture optimization for signal-integrity faults.
+
+A from-scratch reproduction of Xu, Zhang and Chakrabarty, "SOC Test
+Architecture Optimization for Signal Integrity Faults on Core-External
+Interconnects", DAC 2007.
+
+Typical use::
+
+    from repro import (
+        load_benchmark, generate_random_patterns, build_si_test_groups,
+        optimize_tam,
+    )
+
+    soc = load_benchmark("p93791")
+    patterns = generate_random_patterns(soc, 10_000, seed=1)
+    grouping = build_si_test_groups(soc, patterns, parts=4)
+    result = optimize_tam(soc, w_max=32, groups=grouping.groups)
+    print(result.t_total)
+"""
+
+from repro.compaction import (
+    CompactionResult,
+    GroupingResult,
+    SITestGroup,
+    build_si_test_groups,
+    color_compact,
+    greedy_compact,
+)
+from repro.core import (
+    AnnealingConfig,
+    exact_optimize,
+    BoundReport,
+    Evaluation,
+    OptimizationResult,
+    PowerAwareEvaluator,
+    PowerModel,
+    TamEvaluator,
+    anneal_tam,
+    bound_report,
+    evaluate_architecture,
+    optimize_tam,
+    schedule_si_tests,
+)
+from repro.sitest import (
+    GeneratorConfig,
+    SIPattern,
+    generate_ma_patterns,
+    generate_random_patterns,
+    generate_reduced_mt_patterns,
+    random_topology,
+)
+from repro.sitest import fault_universe, simulate
+from repro.soc import (
+    Core,
+    CoreTest,
+    Soc,
+    available_benchmarks,
+    load_benchmark,
+    synthesize_soc,
+)
+from repro.tam import (
+    TestRail,
+    load_architecture,
+    save_architecture,
+    TestRailArchitecture,
+    optimize_testbus,
+    render_schedule,
+    render_schedule_svg,
+    si_oblivious_total,
+    tr_architect,
+    write_schedule_svg,
+)
+from repro.wrapper import (
+    CellLibrary,
+    core_test_time,
+    design_wrapper,
+    soc_wrapper_overhead,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnealingConfig",
+    "BoundReport",
+    "CellLibrary",
+    "CompactionResult",
+    "PowerAwareEvaluator",
+    "PowerModel",
+    "anneal_tam",
+    "bound_report",
+    "fault_universe",
+    "optimize_testbus",
+    "render_schedule_svg",
+    "simulate",
+    "soc_wrapper_overhead",
+    "synthesize_soc",
+    "write_schedule_svg",
+    "Core",
+    "CoreTest",
+    "Evaluation",
+    "GeneratorConfig",
+    "GroupingResult",
+    "OptimizationResult",
+    "SIPattern",
+    "SITestGroup",
+    "Soc",
+    "TamEvaluator",
+    "TestRail",
+    "TestRailArchitecture",
+    "available_benchmarks",
+    "build_si_test_groups",
+    "color_compact",
+    "core_test_time",
+    "design_wrapper",
+    "evaluate_architecture",
+    "exact_optimize",
+    "load_architecture",
+    "save_architecture",
+    "generate_ma_patterns",
+    "generate_random_patterns",
+    "generate_reduced_mt_patterns",
+    "greedy_compact",
+    "load_benchmark",
+    "optimize_tam",
+    "random_topology",
+    "render_schedule",
+    "schedule_si_tests",
+    "si_oblivious_total",
+    "tr_architect",
+    "__version__",
+]

@@ -1,0 +1,540 @@
+"""Command-line interface: ``repro-soc`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``list`` — shipped benchmark SOCs.
+* ``describe SOC`` — core table of a benchmark.
+* ``compact SOC`` — run two-dimensional SI compaction and print statistics.
+* ``optimize SOC`` — optimize the test architecture and print the schedule.
+* ``table SOC`` — regenerate a Table 2/3 style experiment.
+* ``bounds SOC`` — lower bounds and the optimality gap of the heuristic.
+* ``overhead SOC`` — DFT area cost of SI-capable wrappers.
+* ``svg SOC`` — export the optimized schedule as an SVG figure.
+* ``synth NAME`` — generate a synthetic ITC'02-style SOC.
+* ``evaluate SOC`` — price a saved architecture against a test set.
+* ``pareto SOC`` — pin-budget trade-off curve with knee detection.
+* ``scaling`` — optimizer scaling study on synthesized SOCs.
+* ``volume SOC`` — test-data-volume study of 2-D compaction.
+* ``coverage SOC`` — MA fault coverage of a random pattern set.
+* ``compare SOC`` — head-to-head optimizer comparison.
+* ``multisite SOC`` — multi-site throughput study.
+* ``sensitivity SOC`` — generator-knob sensitivity study.
+* ``stability SOC`` — seed-stability of the table metrics.
+
+See ``docs/cli.md`` for worked examples of every command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.compaction.horizontal import build_si_test_groups
+from repro.core.optimizer import optimize_tam
+from repro.experiments.reporting import render_table, save_result
+from repro.experiments.table_runner import (
+    DEFAULT_GROUP_COUNTS,
+    DEFAULT_WIDTHS,
+    run_table_experiment,
+)
+from repro.sitest.generator import generate_random_patterns
+from repro.soc.benchmarks import available_benchmarks, load_benchmark
+from repro.soc.itc02 import parse_file
+from repro.soc.model import Soc
+from repro.tam.gantt import render_schedule
+
+
+def _load_soc(name: str) -> Soc:
+    """Load a shipped benchmark by name, or an ITC'02 file by path."""
+    if name in available_benchmarks():
+        return load_benchmark(name)
+    return parse_file(name)
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for name in available_benchmarks():
+        soc = load_benchmark(name)
+        print(
+            f"{name:<10} {len(soc):>3} cores  "
+            f"{soc.total_terminals:>6} terminals  "
+            f"{soc.total_scan_cells:>7} scan cells"
+        )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    print(_load_soc(args.soc).describe())
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    soc = _load_soc(args.soc)
+    patterns = generate_random_patterns(soc, args.patterns, seed=args.seed)
+    grouping = build_si_test_groups(soc, patterns, parts=args.parts,
+                                    seed=args.seed)
+    print(
+        f"{len(patterns)} patterns -> "
+        f"{grouping.total_compacted_patterns} compacted in "
+        f"{len(grouping.groups)} groups "
+        f"({grouping.cut_patterns} originals in the residual group)"
+    )
+    for group, compaction in zip(grouping.groups, grouping.compactions):
+        kind = "residual" if group.is_residual else f"part over {len(group.cores)} cores"
+        print(
+            f"  group {group.group_id}: {kind}, "
+            f"{compaction.original_count} -> {group.patterns} patterns "
+            f"(ratio {compaction.ratio:.1f}x)"
+        )
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    soc = _load_soc(args.soc)
+    groups = ()
+    if args.patterns:
+        patterns = generate_random_patterns(soc, args.patterns, seed=args.seed)
+        grouping = build_si_test_groups(soc, patterns, parts=args.parts,
+                                        seed=args.seed)
+        groups = grouping.groups
+    result = optimize_tam(soc, args.wmax, groups=groups)
+    evaluation = result.evaluation
+    print(
+        f"T_total = {evaluation.t_total} cc "
+        f"(T_in = {evaluation.t_in}, T_si = {evaluation.t_si})"
+    )
+    for index, rail in enumerate(result.architecture.rails):
+        cores = ", ".join(str(core_id) for core_id in rail.cores)
+        print(f"  TAM{index}: width {rail.width:>2}, cores [{cores}]")
+    print()
+    print(render_schedule(soc, result.architecture, evaluation))
+    if args.utilization:
+        from repro.tam.report import format_utilization_report
+
+        print()
+        print(format_utilization_report(soc, result.architecture, evaluation))
+    if args.save_arch:
+        from repro.tam.serialize import save_architecture
+
+        save_architecture(result.architecture, args.save_arch)
+        print(f"\narchitecture written to {args.save_arch}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core.optimizer import evaluate_architecture
+    from repro.tam.serialize import load_architecture
+
+    soc = _load_soc(args.soc)
+    architecture = load_architecture(args.arch)
+    groups = _si_groups_for(args, soc)
+    evaluation = evaluate_architecture(soc, architecture, groups)
+    print(
+        f"T_total = {evaluation.t_total} cc "
+        f"(T_in = {evaluation.t_in}, T_si = {evaluation.t_si})"
+    )
+    print(render_schedule(soc, architecture, evaluation))
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.experiments.pareto import format_curve, sweep_widths
+
+    soc = _load_soc(args.soc)
+    groups = _si_groups_for(args, soc)
+    curve = sweep_widths(soc, tuple(args.widths), groups=groups)
+    print(format_curve(curve))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.experiments.scaling import (
+        format_scaling_report,
+        run_scaling_study,
+    )
+
+    points = run_scaling_study(
+        tuple(args.cores),
+        w_max=args.wmax,
+        pattern_count=args.patterns,
+        parts=args.parts,
+        seed=args.seed,
+    )
+    print(format_scaling_report(points))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    soc = _load_soc(args.soc)
+    result = run_table_experiment(
+        soc,
+        args.patterns,
+        widths=tuple(args.widths),
+        group_counts=tuple(args.parts),
+        seed=args.seed,
+        verbose=args.verbose,
+    )
+    print(render_table(result))
+    print(f"(elapsed: {result.elapsed_seconds:.1f}s)")
+    if args.json:
+        save_result(result, args.json)
+        print(f"JSON written to {args.json}")
+    return 0
+
+
+def _si_groups_for(args: argparse.Namespace, soc: Soc):
+    if not args.patterns:
+        return ()
+    patterns = generate_random_patterns(soc, args.patterns, seed=args.seed)
+    return build_si_test_groups(
+        soc, patterns, parts=args.parts, seed=args.seed
+    ).groups
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.core.bounds import bound_report
+
+    soc = _load_soc(args.soc)
+    groups = _si_groups_for(args, soc)
+    report = bound_report(soc, args.wmax, groups)
+    result = optimize_tam(soc, args.wmax, groups=groups)
+    print(f"core floor:        {report.core_floor} cc")
+    print(f"bandwidth bound:   {report.bandwidth_bound} cc")
+    print(f"SI floor:          {report.si_floor} cc")
+    print(f"T_total bound:     {report.t_total_bound} cc")
+    print(f"achieved T_total:  {result.t_total} cc")
+    print(f"optimality gap:    {report.gap(result.t_total):.1%}")
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    from repro.wrapper.cells import format_overhead_report
+
+    print(format_overhead_report(_load_soc(args.soc)))
+    return 0
+
+
+def _cmd_svg(args: argparse.Namespace) -> int:
+    from repro.tam.svg import write_schedule_svg
+
+    soc = _load_soc(args.soc)
+    groups = _si_groups_for(args, soc)
+    result = optimize_tam(soc, args.wmax, groups=groups)
+    write_schedule_svg(soc, result.architecture, result.evaluation, args.out)
+    print(f"wrote {args.out} (T_total = {result.t_total} cc)")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.soc.itc02 import dump_file
+    from repro.soc.synth import synthesize_soc
+
+    soc = synthesize_soc(args.name, args.cores, seed=args.seed)
+    dump_file(soc, args.out)
+    print(f"wrote {args.out}")
+    print(soc.describe())
+    return 0
+
+
+def _cmd_volume(args: argparse.Namespace) -> int:
+    from repro.experiments.compaction_study import (
+        format_volume_report,
+        measure_compaction,
+    )
+
+    soc = _load_soc(args.soc)
+    patterns = generate_random_patterns(soc, args.patterns, seed=args.seed)
+    volumes = measure_compaction(
+        soc, patterns, tuple(args.parts), seed=args.seed
+    )
+    print(format_volume_report(volumes))
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.sitest.simulator import coverage_curve, simulate
+    from repro.sitest.topology import random_topology
+
+    soc = _load_soc(args.soc)
+    topology = random_topology(soc, fanouts_per_core=args.fanouts,
+                               locality=args.locality, seed=args.seed)
+    patterns = generate_random_patterns(soc, args.patterns, seed=args.seed)
+    report = simulate(topology, patterns)
+    print(
+        f"{len(patterns)} random patterns: {report.coverage:.1%} MA "
+        f"coverage ({len(report.detected)}/{report.total_faults} faults)"
+    )
+    checkpoints = tuple(
+        max(1, args.patterns * step // 4) for step in range(1, 5)
+    )
+    for count, coverage in coverage_curve(topology, patterns, checkpoints):
+        print(f"  after {count:>8} patterns: {coverage:>6.1%}")
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.core.whatif import format_whatif_report, what_if
+
+    soc = _load_soc(args.soc)
+    groups = _si_groups_for(args, soc)
+    result = optimize_tam(soc, args.wmax, groups=groups)
+    print(format_whatif_report(what_if(soc, result.architecture, groups)))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.compare import (
+        compare_optimizers,
+        format_comparison,
+    )
+
+    soc = _load_soc(args.soc)
+    groups = _si_groups_for(args, soc)
+    comparison = compare_optimizers(
+        soc, args.wmax, groups, annealing_steps=args.sa_steps
+    )
+    print(format_comparison(comparison))
+    return 0
+
+
+def _cmd_multisite(args: argparse.Namespace) -> int:
+    from repro.experiments.multisite import (
+        format_multisite_report,
+        run_multisite_study,
+    )
+
+    soc = _load_soc(args.soc)
+    groups = _si_groups_for(args, soc)
+    study = run_multisite_study(soc, args.channels, groups=groups)
+    print(format_multisite_report(study))
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.experiments.sensitivity import (
+        format_sensitivity_report,
+        run_sensitivity_study,
+    )
+
+    soc = _load_soc(args.soc)
+    points = run_sensitivity_study(
+        soc, args.patterns, args.wmax, parts=args.parts, seed=args.seed
+    )
+    print(format_sensitivity_report(points))
+    return 0
+
+
+def _cmd_stability(args: argparse.Namespace) -> int:
+    from repro.experiments.stability import run_stability_study
+
+    soc = _load_soc(args.soc)
+    report = run_stability_study(
+        soc, args.patterns, args.wmax, seeds=tuple(args.seeds)
+    )
+    print(report.format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-soc",
+        description="SOC test architecture optimization for SI faults "
+        "(DAC 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list shipped benchmark SOCs").set_defaults(
+        func=_cmd_list
+    )
+
+    describe = sub.add_parser("describe", help="print a benchmark's core table")
+    describe.add_argument("soc", help="benchmark name or .soc file path")
+    describe.set_defaults(func=_cmd_describe)
+
+    compact = sub.add_parser("compact", help="run two-dimensional SI compaction")
+    compact.add_argument("soc")
+    compact.add_argument("--patterns", type=int, default=10_000,
+                         help="initial SI pattern count N_r")
+    compact.add_argument("--parts", type=int, default=4,
+                         help="number of core groups")
+    compact.add_argument("--seed", type=int, default=1)
+    compact.set_defaults(func=_cmd_compact)
+
+    optimize = sub.add_parser("optimize", help="optimize a test architecture")
+    optimize.add_argument("soc")
+    optimize.add_argument("--wmax", type=int, required=True,
+                          help="SOC TAM width budget W_max")
+    optimize.add_argument("--patterns", type=int, default=0,
+                          help="SI pattern count (0 = InTest only)")
+    optimize.add_argument("--parts", type=int, default=4)
+    optimize.add_argument("--seed", type=int, default=1)
+    optimize.add_argument("--utilization", action="store_true",
+                          help="also print the per-rail utilization report")
+    optimize.add_argument("--save-arch",
+                          help="write the architecture to this JSON file")
+    optimize.set_defaults(func=_cmd_optimize)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="price a saved architecture against a test set"
+    )
+    evaluate.add_argument("soc")
+    evaluate.add_argument("--arch", required=True,
+                          help="architecture JSON from 'optimize --save-arch'")
+    evaluate.add_argument("--patterns", type=int, default=0)
+    evaluate.add_argument("--parts", type=int, default=4)
+    evaluate.add_argument("--seed", type=int, default=1)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    pareto = sub.add_parser(
+        "pareto", help="sweep W_max and report the trade-off curve"
+    )
+    pareto.add_argument("soc")
+    pareto.add_argument("--widths", type=int, nargs="+",
+                        default=[8, 16, 24, 32, 40, 48, 56, 64])
+    pareto.add_argument("--patterns", type=int, default=0)
+    pareto.add_argument("--parts", type=int, default=4)
+    pareto.add_argument("--seed", type=int, default=1)
+    pareto.set_defaults(func=_cmd_pareto)
+
+    scaling = sub.add_parser(
+        "scaling", help="optimizer scaling study on synthetic SOCs"
+    )
+    scaling.add_argument("--cores", type=int, nargs="+",
+                         default=[8, 16, 24, 32])
+    scaling.add_argument("--wmax", type=int, default=32)
+    scaling.add_argument("--patterns", type=int, default=2_000)
+    scaling.add_argument("--parts", type=int, default=4)
+    scaling.add_argument("--seed", type=int, default=0)
+    scaling.set_defaults(func=_cmd_scaling)
+
+    table = sub.add_parser("table", help="regenerate a Table 2/3 experiment")
+    table.add_argument("soc")
+    table.add_argument("--patterns", type=int, default=10_000)
+    table.add_argument("--widths", type=int, nargs="+",
+                       default=list(DEFAULT_WIDTHS))
+    table.add_argument("--parts", type=int, nargs="+",
+                       default=list(DEFAULT_GROUP_COUNTS))
+    table.add_argument("--seed", type=int, default=1)
+    table.add_argument("--json", help="also write a JSON summary here")
+    table.add_argument("--verbose", action="store_true")
+    table.set_defaults(func=_cmd_table)
+
+    bounds = sub.add_parser("bounds",
+                            help="lower bounds and the optimality gap")
+    bounds.add_argument("soc")
+    bounds.add_argument("--wmax", type=int, required=True)
+    bounds.add_argument("--patterns", type=int, default=0)
+    bounds.add_argument("--parts", type=int, default=4)
+    bounds.add_argument("--seed", type=int, default=1)
+    bounds.set_defaults(func=_cmd_bounds)
+
+    overhead = sub.add_parser("overhead",
+                              help="DFT area cost of SI-capable wrappers")
+    overhead.add_argument("soc")
+    overhead.set_defaults(func=_cmd_overhead)
+
+    svg = sub.add_parser("svg", help="export the schedule as an SVG figure")
+    svg.add_argument("soc")
+    svg.add_argument("--wmax", type=int, required=True)
+    svg.add_argument("--patterns", type=int, default=0)
+    svg.add_argument("--parts", type=int, default=4)
+    svg.add_argument("--seed", type=int, default=1)
+    svg.add_argument("--out", default="schedule.svg")
+    svg.set_defaults(func=_cmd_svg)
+
+    synth = sub.add_parser("synth",
+                           help="generate a synthetic ITC'02-style SOC")
+    synth.add_argument("name")
+    synth.add_argument("--cores", type=int, default=16)
+    synth.add_argument("--seed", type=int, default=0)
+    synth.add_argument("--out", default="synth.soc")
+    synth.set_defaults(func=_cmd_synth)
+
+    volume = sub.add_parser(
+        "volume", help="test-data-volume study of 2-D compaction"
+    )
+    volume.add_argument("soc")
+    volume.add_argument("--patterns", type=int, default=5_000)
+    volume.add_argument("--parts", type=int, nargs="+", default=[1, 2, 4, 8])
+    volume.add_argument("--seed", type=int, default=1)
+    volume.set_defaults(func=_cmd_volume)
+
+    coverage = sub.add_parser(
+        "coverage", help="MA fault coverage of a random pattern set"
+    )
+    coverage.add_argument("soc")
+    coverage.add_argument("--patterns", type=int, default=5_000)
+    coverage.add_argument("--fanouts", type=int, default=2)
+    coverage.add_argument("--locality", type=int, default=2)
+    coverage.add_argument("--seed", type=int, default=1)
+    coverage.set_defaults(func=_cmd_coverage)
+
+    whatif = sub.add_parser(
+        "whatif", help="marginal pin/move analysis of the optimized design"
+    )
+    whatif.add_argument("soc")
+    whatif.add_argument("--wmax", type=int, required=True)
+    whatif.add_argument("--patterns", type=int, default=0)
+    whatif.add_argument("--parts", type=int, default=4)
+    whatif.add_argument("--seed", type=int, default=1)
+    whatif.set_defaults(func=_cmd_whatif)
+
+    compare = sub.add_parser(
+        "compare", help="head-to-head optimizer comparison"
+    )
+    compare.add_argument("soc")
+    compare.add_argument("--wmax", type=int, required=True)
+    compare.add_argument("--patterns", type=int, default=0)
+    compare.add_argument("--parts", type=int, default=4)
+    compare.add_argument("--seed", type=int, default=1)
+    compare.add_argument("--sa-steps", type=int, default=4_000)
+    compare.set_defaults(func=_cmd_compare)
+
+    multisite = sub.add_parser(
+        "multisite", help="multi-site throughput study"
+    )
+    multisite.add_argument("soc")
+    multisite.add_argument("--channels", type=int, default=64,
+                           help="total tester channel budget")
+    multisite.add_argument("--patterns", type=int, default=0)
+    multisite.add_argument("--parts", type=int, default=4)
+    multisite.add_argument("--seed", type=int, default=1)
+    multisite.set_defaults(func=_cmd_multisite)
+
+    sensitivity = sub.add_parser(
+        "sensitivity", help="generator-knob sensitivity study"
+    )
+    sensitivity.add_argument("soc")
+    sensitivity.add_argument("--wmax", type=int, default=32)
+    sensitivity.add_argument("--patterns", type=int, default=2_000)
+    sensitivity.add_argument("--parts", type=int, default=4)
+    sensitivity.add_argument("--seed", type=int, default=1)
+    sensitivity.set_defaults(func=_cmd_sensitivity)
+
+    stability = sub.add_parser(
+        "stability", help="seed-stability of the table metrics"
+    )
+    stability.add_argument("soc")
+    stability.add_argument("--wmax", type=int, default=24)
+    stability.add_argument("--patterns", type=int, default=2_000)
+    stability.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    stability.set_defaults(func=_cmd_stability)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (e.g. `head`):
+        # not an error.  Detach stdout so the interpreter's shutdown
+        # flush does not raise again.
+        import os
+
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

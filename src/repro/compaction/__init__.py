@@ -1,0 +1,18 @@
+"""Two-dimensional SI test set compaction."""
+
+from repro.compaction.groups import SITestGroup
+from repro.compaction.horizontal import GroupingResult, build_si_test_groups
+from repro.compaction.vertical import (
+    CompactionResult,
+    color_compact,
+    greedy_compact,
+)
+
+__all__ = [
+    "CompactionResult",
+    "GroupingResult",
+    "SITestGroup",
+    "build_si_test_groups",
+    "color_compact",
+    "greedy_compact",
+]

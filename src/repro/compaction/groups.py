@@ -1,0 +1,43 @@
+"""SI test groups: the unit handed to the test-architecture optimizer.
+
+After two-dimensional compaction the SI test set is a small collection of
+groups.  Each group ``s`` carries the set of cores whose wrapper output
+cells its patterns shift (``C(s)`` in the paper's Fig. 4 data structure) and
+its compacted pattern count (``pattern(s)``).  Patterns whose care cores
+span several parts of the horizontal partition end up in the *residual*
+group, which involves every core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SITestGroup:
+    """One group of compacted SI test patterns.
+
+    Attributes:
+        group_id: Stable index of the group within its grouping.
+        cores: ``C(s)`` — ids of the cores whose WOCs the group's patterns
+            are shifted through.
+        patterns: ``pattern(s)`` — compacted pattern count.
+        original_patterns: Pattern count before vertical compaction.
+        is_residual: True for the group of patterns spanning multiple parts.
+    """
+
+    group_id: int
+    cores: frozenset[int]
+    patterns: int
+    original_patterns: int = 0
+    is_residual: bool = False
+
+    def __post_init__(self) -> None:
+        if self.patterns < 0:
+            raise ValueError("pattern count must be non-negative")
+        if self.patterns and not self.cores:
+            raise ValueError("a non-empty SI test group must involve cores")
+
+    @property
+    def is_empty(self) -> bool:
+        return self.patterns == 0

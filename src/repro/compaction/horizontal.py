@@ -1,0 +1,162 @@
+"""Horizontal SI test compaction: pattern-length reduction via core grouping.
+
+Following Section 3 of the paper, cores are partitioned into ``parts``
+groups by hypergraph partitioning (Fig. 2): vertices are cores weighted by
+their wrapper-output-cell counts, hyperedges are the distinct care-core sets
+of the SI patterns weighted by how many patterns share that care set.
+Patterns whose care cores all fall into one part only need to shift that
+part's WOCs; the rest form a *residual* group whose patterns keep the full
+length (all cores).  Vertical compaction then runs inside every group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compaction.groups import SITestGroup
+from repro.compaction.vertical import CompactionResult, greedy_compact
+from repro.hypergraph.hypergraph import build_hypergraph
+from repro.hypergraph.multilevel import partition
+from repro.sitest.patterns import SIPattern
+from repro.soc.model import Soc
+
+
+@dataclass(frozen=True)
+class GroupingResult:
+    """Outcome of two-dimensional compaction.
+
+    Attributes:
+        groups: The SI test groups (part groups first, residual last); empty
+            groups are dropped.
+        part_of_core: Part index per core id (cores without output cells
+            are absent).
+        cut_patterns: Number of original patterns that landed in the
+            residual group.
+        compactions: Per-group vertical compaction details, parallel to
+            ``groups``.
+    """
+
+    groups: tuple[SITestGroup, ...]
+    part_of_core: dict[int, int]
+    cut_patterns: int
+    compactions: tuple[CompactionResult, ...]
+
+    @property
+    def total_compacted_patterns(self) -> int:
+        return sum(group.patterns for group in self.groups)
+
+
+def build_si_test_groups(
+    soc: Soc,
+    patterns: list[SIPattern],
+    parts: int,
+    epsilon: float = 0.10,
+    seed: int = 0,
+) -> GroupingResult:
+    """Run two-dimensional compaction: partition cores, split the pattern
+    set, and vertically compact each group.
+
+    Args:
+        soc: The SOC the patterns belong to.
+        patterns: Uncompacted SI patterns.
+        parts: Number of core groups (``i`` in the paper's ``T_g_i``);
+            ``parts=1`` degenerates to one-dimensional (vertical only)
+            compaction over all cores.
+        epsilon: Partitioner balance tolerance.
+        seed: Partitioner seed.
+
+    Raises:
+        ValueError: If ``parts`` is not positive or exceeds the number of
+            cores with output cells.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    host_ids = [core.core_id for core in soc if core.woc_count > 0]
+    if parts > len(host_ids):
+        raise ValueError(
+            f"cannot form {parts} core groups from {len(host_ids)} cores "
+            "with output cells"
+        )
+
+    if parts == 1:
+        part_of_core = {core_id: 0 for core_id in host_ids}
+    else:
+        part_of_core = _partition_cores(soc, patterns, host_ids, parts,
+                                        epsilon, seed)
+
+    # Route each pattern to its part, or to the residual bucket.
+    buckets: list[list[SIPattern]] = [[] for _ in range(parts)]
+    residual: list[SIPattern] = []
+    for pattern in patterns:
+        pattern_parts = {part_of_core[core_id] for core_id in pattern.care_cores}
+        if len(pattern_parts) == 1:
+            buckets[next(iter(pattern_parts))].append(pattern)
+        else:
+            residual.append(pattern)
+
+    groups: list[SITestGroup] = []
+    compactions: list[CompactionResult] = []
+    for part in range(parts):
+        bucket = buckets[part]
+        if not bucket:
+            continue
+        compaction = greedy_compact(bucket)
+        cores = frozenset(
+            core_id for core_id, assigned in part_of_core.items()
+            if assigned == part
+        )
+        groups.append(
+            SITestGroup(
+                group_id=len(groups),
+                cores=cores,
+                patterns=compaction.compacted_count,
+                original_patterns=len(bucket),
+            )
+        )
+        compactions.append(compaction)
+
+    if residual:
+        compaction = greedy_compact(residual)
+        groups.append(
+            SITestGroup(
+                group_id=len(groups),
+                cores=frozenset(host_ids),
+                patterns=compaction.compacted_count,
+                original_patterns=len(residual),
+                is_residual=True,
+            )
+        )
+        compactions.append(compaction)
+
+    return GroupingResult(
+        groups=tuple(groups),
+        part_of_core=part_of_core,
+        cut_patterns=len(residual),
+        compactions=tuple(compactions),
+    )
+
+
+def _partition_cores(
+    soc: Soc,
+    patterns: list[SIPattern],
+    host_ids: list[int],
+    parts: int,
+    epsilon: float,
+    seed: int,
+) -> dict[int, int]:
+    """Partition the cores with output cells into ``parts`` balanced groups
+    minimizing the weight of cut care-core sets (Fig. 2)."""
+    index_of = {core_id: index for index, core_id in enumerate(host_ids)}
+    vertex_weights = [soc.core_by_id(core_id).woc_count for core_id in host_ids]
+
+    weighted_edges: dict[frozenset[int], int] = {}
+    for pattern in patterns:
+        care = frozenset(index_of[core_id] for core_id in pattern.care_cores)
+        if len(care) >= 2:
+            weighted_edges[care] = weighted_edges.get(care, 0) + 1
+
+    graph = build_hypergraph(vertex_weights, weighted_edges)
+    result = partition(graph, parts, epsilon=epsilon, seed=seed)
+    return {
+        core_id: result.assignment[index_of[core_id]] for core_id in host_ids
+    }

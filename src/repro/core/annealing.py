@@ -1,0 +1,179 @@
+"""Simulated-annealing TAM optimizer (comparison heuristic).
+
+Algorithm 2 is a deterministic merge-based heuristic; this module provides
+a randomized point of comparison for the ablation benches.  The state is a
+complete TestRail architecture; neighbourhood moves are:
+
+* move a core to another rail,
+* move one wire from a rail (width >= 2) to another,
+* split a multi-core rail's cores off onto a wire taken from it,
+* merge two rails (widths added).
+
+All moves conserve the pin budget, so every visited state is feasible.
+Cost is the same ``T_soc`` as Algorithm 2's, scored through the shared
+memoized :class:`~repro.core.scheduling.TamEvaluator` — the annealer and
+the merge heuristic literally optimize the same objective.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.compaction.groups import SITestGroup
+from repro.core.optimizer import OptimizationResult
+from repro.core.scheduling import TamEvaluator
+from repro.soc.model import Soc
+from repro.tam.testrail import TestRail, TestRailArchitecture
+
+
+@dataclass(frozen=True)
+class AnnealingConfig:
+    """Cooling schedule knobs.
+
+    Attributes:
+        initial_temperature: Starting temperature as a *fraction* of the
+            initial cost (self-scaling across SOCs).
+        cooling_rate: Geometric cooling factor per step.
+        steps: Total proposed moves.
+        seed: RNG seed (runs are deterministic per seed).
+    """
+
+    initial_temperature: float = 0.05
+    cooling_rate: float = 0.999
+    steps: int = 4_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.initial_temperature <= 0:
+            raise ValueError("initial_temperature must be positive")
+        if not 0 < self.cooling_rate < 1:
+            raise ValueError("cooling_rate must lie in (0, 1)")
+        if self.steps < 0:
+            raise ValueError("steps must be non-negative")
+
+
+def _propose(
+    rng: random.Random, architecture: TestRailArchitecture
+) -> TestRailArchitecture | None:
+    """One random neighbour, or ``None`` when the move is inapplicable."""
+    rails = architecture.rails
+    move = rng.randrange(4)
+    if move == 0 and len(rails) >= 2:
+        # Move a core between rails.
+        source = rng.randrange(len(rails))
+        if len(rails[source].cores) < 2:
+            return None
+        destination = rng.randrange(len(rails) - 1)
+        if destination >= source:
+            destination += 1
+        core_id = rng.choice(rails[source].cores)
+        return architecture.with_core_moved(core_id, source, destination)
+    if move == 1 and len(rails) >= 2:
+        # Move one wire between rails.
+        source = rng.randrange(len(rails))
+        if rails[source].width < 2:
+            return None
+        destination = rng.randrange(len(rails) - 1)
+        if destination >= source:
+            destination += 1
+        shrunk = TestRail(cores=rails[source].cores,
+                          width=rails[source].width - 1)
+        return architecture.with_rail(source, shrunk).with_rail(
+            destination, rails[destination].widened(1)
+        )
+    if move == 2:
+        # Split: peel a random core off onto one of the rail's wires.
+        source = rng.randrange(len(rails))
+        rail = rails[source]
+        if len(rail.cores) < 2 or rail.width < 2:
+            return None
+        core_id = rng.choice(rail.cores)
+        remaining = TestRail(
+            cores=tuple(c for c in rail.cores if c != core_id),
+            width=rail.width - 1,
+        )
+        new_rails = list(rails)
+        new_rails[source] = remaining
+        new_rails.append(TestRail(cores=(core_id,), width=1))
+        return TestRailArchitecture(rails=tuple(new_rails))
+    if move == 3 and len(rails) >= 2:
+        # Merge two rails, widths added.
+        first = rng.randrange(len(rails))
+        second = rng.randrange(len(rails) - 1)
+        if second >= first:
+            second += 1
+        return architecture.merged(
+            first, second, rails[first].width + rails[second].width
+        )
+    return None
+
+
+def anneal_tam(
+    soc: Soc,
+    w_max: int,
+    groups: tuple[SITestGroup, ...] = (),
+    config: AnnealingConfig = AnnealingConfig(),
+    capture_cycles: int = 1,
+    initial: TestRailArchitecture | None = None,
+) -> OptimizationResult:
+    """Optimize a TestRail architecture by simulated annealing.
+
+    Args:
+        soc: The SOC under optimization.
+        w_max: Pin budget; the initial state uses all of it and every move
+            conserves it.
+        groups: SI test groups (``()`` for InTest only).
+        config: Cooling schedule.
+        capture_cycles: Launch/capture cycles per SI pattern.
+        initial: Optional warm start (e.g. Algorithm 2's result).
+
+    Raises:
+        ValueError: On a non-positive budget or an empty SOC.
+    """
+    if w_max <= 0:
+        raise ValueError(f"W_max must be positive, got {w_max}")
+    if not len(soc):
+        raise ValueError(f"SOC {soc.name} has no cores")
+
+    evaluator = TamEvaluator(soc, groups, capture_cycles=capture_cycles)
+    rng = random.Random(config.seed)
+
+    if initial is None:
+        # Everything on one rail with the full budget: trivially feasible.
+        architecture = TestRailArchitecture(
+            rails=(TestRail.of(soc.core_ids, w_max),)
+        )
+    else:
+        if initial.total_width != w_max:
+            raise ValueError(
+                f"warm start uses {initial.total_width} wires, budget is "
+                f"{w_max}"
+            )
+        architecture = initial
+
+    current_cost = evaluator.t_total(architecture)
+    best_architecture = architecture
+    best_cost = current_cost
+    temperature = max(1.0, current_cost * config.initial_temperature)
+
+    for _ in range(config.steps):
+        candidate = _propose(rng, architecture)
+        temperature *= config.cooling_rate
+        if candidate is None:
+            continue
+        cost = evaluator.t_total(candidate)
+        delta = cost - current_cost
+        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+            architecture = candidate
+            current_cost = cost
+            if cost < best_cost:
+                best_cost = cost
+                best_architecture = candidate
+
+    return OptimizationResult(
+        architecture=best_architecture,
+        evaluation=evaluator.evaluate(best_architecture),
+        w_max=w_max,
+    )

@@ -1,0 +1,132 @@
+"""Exact TAM optimization for small instances (validation oracle).
+
+Enumerates every TestRail architecture: all set partitions of the cores
+into rails (Bell number in the core count) crossed with all compositions
+of the pin budget over the rails.  Feasible only for a handful of cores —
+exactly its purpose: on tiny SOCs the exact optimum certifies how far the
+Algorithm 2 heuristic (and the annealer) land from optimal, the way the
+ILP models of Iyengar & Chakrabarty certified TAM heuristics historically.
+
+Width enumeration is pruned per rail to the Pareto-useful widths of the
+rail's cost (InTest times are staircase functions of width), which cuts
+the composition space sharply without losing optimality, because every
+cost component in the model is non-increasing in rail width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.compaction.groups import SITestGroup
+from repro.core.optimizer import OptimizationResult
+from repro.core.scheduling import TamEvaluator
+from repro.soc.model import Soc
+from repro.tam.testrail import TestRail, TestRailArchitecture
+
+#: Guard: Bell(10) = 115,975 partitions; anything above is unreasonable.
+MAX_EXACT_CORES = 10
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """Outcome of the exhaustive search.
+
+    Attributes:
+        result: Best architecture found, with its evaluation.
+        architectures_evaluated: Search-space size actually scored.
+    """
+
+    result: OptimizationResult
+    architectures_evaluated: int
+
+
+def _set_partitions(items: list[int]) -> Iterator[list[list[int]]]:
+    """Yield all set partitions of ``items`` (restricted growth strings)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _set_partitions(rest):
+        # Put `first` into each existing block...
+        for index in range(len(partition)):
+            yield (
+                partition[:index]
+                + [[first] + partition[index]]
+                + partition[index + 1:]
+            )
+        # ...or into a new block of its own.
+        yield [[first]] + partition
+
+
+def _compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """All ways to write ``total`` as an ordered sum of ``parts`` positive
+    integers."""
+    if parts == 1:
+        yield (total,)
+        return
+    for head in range(1, total - parts + 2):
+        for tail in _compositions(total - head, parts - 1):
+            yield (head,) + tail
+
+
+def exact_optimize(
+    soc: Soc,
+    w_max: int,
+    groups: tuple[SITestGroup, ...] = (),
+    capture_cycles: int = 1,
+) -> ExactResult:
+    """Find the provably optimal TestRail architecture by enumeration.
+
+    Args:
+        soc: The SOC; at most :data:`MAX_EXACT_CORES` cores.
+        w_max: Pin budget (all architectures use exactly this many wires,
+            which is never suboptimal since time is non-increasing in
+            width).
+        groups: SI test groups.
+        capture_cycles: Launch/capture cycles per SI pattern.
+
+    Raises:
+        ValueError: If the instance is too large or inputs invalid.
+    """
+    if w_max <= 0:
+        raise ValueError(f"W_max must be positive, got {w_max}")
+    if not len(soc):
+        raise ValueError(f"SOC {soc.name} has no cores")
+    if len(soc) > MAX_EXACT_CORES:
+        raise ValueError(
+            f"exact search supports at most {MAX_EXACT_CORES} cores; "
+            f"{soc.name} has {len(soc)}"
+        )
+
+    evaluator = TamEvaluator(soc, groups, capture_cycles=capture_cycles)
+    best_total = None
+    best_architecture = None
+    evaluated = 0
+
+    for blocks in _set_partitions(list(soc.core_ids)):
+        rail_count = len(blocks)
+        if rail_count > w_max:
+            continue  # each rail needs at least one wire
+        for widths in _compositions(w_max, rail_count):
+            architecture = TestRailArchitecture(
+                rails=tuple(
+                    TestRail.of(block, width)
+                    for block, width in zip(blocks, widths)
+                )
+            )
+            total = evaluator.t_total(architecture)
+            evaluated += 1
+            if best_total is None or total < best_total:
+                best_total = total
+                best_architecture = architecture
+
+    assert best_architecture is not None
+    return ExactResult(
+        result=OptimizationResult(
+            architecture=best_architecture,
+            evaluation=evaluator.evaluate(best_architecture),
+            w_max=w_max,
+        ),
+        architectures_evaluated=evaluated,
+    )

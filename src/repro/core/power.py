@@ -1,0 +1,157 @@
+"""Power-constrained SI test scheduling (extension).
+
+Concurrent tests dissipate power simultaneously; exceeding the package's
+test power budget damages yield.  This extension — in the tradition of
+power-constrained SOC test scheduling [Chou/Saluja/Agrawal; Iyengar &
+Chakrabarty] — augments ``ScheduleSITest`` so that, in addition to the
+rail-disjointness condition of Algorithm 1, the sum of the power ratings
+of the tests running at any instant stays within a budget.
+
+A group's power rating defaults to the sum of its cores' ratings: every
+involved core's wrapper chain toggles during the group's shift phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compaction.groups import SITestGroup
+from repro.core.scheduling import SIScheduleEntry, TamEvaluator
+from repro.soc.model import Soc
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Test power ratings and the SOC budget.
+
+    Attributes:
+        budget: Maximum total power of concurrently running tests
+            (same arbitrary unit as the ratings).
+        core_power: Rating per core id; cores absent from the mapping are
+            rated ``default_power``.
+        default_power: Fallback rating.
+    """
+
+    budget: float
+    core_power: dict[int, float] = field(default_factory=dict)
+    default_power: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError("power budget must be positive")
+        if self.default_power < 0:
+            raise ValueError("default power must be non-negative")
+        for core_id, rating in self.core_power.items():
+            if rating < 0:
+                raise ValueError(f"core {core_id}: negative power rating")
+
+    def rating_of(self, core_id: int) -> float:
+        return self.core_power.get(core_id, self.default_power)
+
+    def group_power(self, group: SITestGroup) -> float:
+        """Power drawn while a group's tests shift: all its cores toggle."""
+        return sum(self.rating_of(core_id) for core_id in group.cores)
+
+
+def schedule_si_tests_power(
+    entries: list[SIScheduleEntry],
+    powers: dict[int, float],
+    budget: float,
+) -> tuple[tuple[SIScheduleEntry, ...], int]:
+    """Algorithm 1 with an additional power constraint.
+
+    An unscheduled test may start when (a) its rails are idle and (b) the
+    power of the running tests plus its own stays within ``budget``.
+    Tests whose own rating exceeds the budget are rejected outright (they
+    could never be applied).
+
+    Args:
+        entries: Unscheduled entries from ``CalculateSITestTime``.
+        powers: Power rating per ``group_id``.
+        budget: Concurrency power budget.
+
+    Raises:
+        ValueError: If any single test exceeds the budget by itself.
+    """
+    for entry in entries:
+        if powers.get(entry.group_id, 0.0) > budget:
+            raise ValueError(
+                f"SI group {entry.group_id} alone exceeds the power budget "
+                f"({powers[entry.group_id]} > {budget})"
+            )
+
+    unscheduled = sorted(entries, key=lambda e: (-e.time_si, e.group_id))
+    running: list[SIScheduleEntry] = []
+    scheduled: list[SIScheduleEntry] = []
+    current_time = 0
+    t_si = 0
+
+    while unscheduled:
+        busy: set[int] = set()
+        load = 0.0
+        for entry in running:
+            if entry.end > current_time:
+                busy.update(entry.rails)
+                load += powers.get(entry.group_id, 0.0)
+        chosen = None
+        for entry in unscheduled:
+            if not busy.isdisjoint(entry.rails):
+                continue
+            if load + powers.get(entry.group_id, 0.0) > budget:
+                continue
+            chosen = entry
+            break
+        if chosen is not None:
+            placed = SIScheduleEntry(
+                group_id=chosen.group_id,
+                time_si=chosen.time_si,
+                rails=chosen.rails,
+                bottleneck_rail=chosen.bottleneck_rail,
+                begin=current_time,
+                end=current_time + chosen.time_si,
+            )
+            unscheduled.remove(chosen)
+            running.append(placed)
+            scheduled.append(placed)
+            t_si = max(t_si, placed.end)
+        else:
+            future_ends = [e.end for e in running if e.end > current_time]
+            if not future_ends:
+                raise RuntimeError(
+                    "power-constrained scheduler stalled with idle rails"
+                )
+            current_time = min(future_ends)
+
+    scheduled.sort(key=lambda e: (e.begin, e.group_id))
+    return tuple(scheduled), t_si
+
+
+class PowerAwareEvaluator(TamEvaluator):
+    """TestRail cost model under a test power budget.
+
+    Identical to :class:`TamEvaluator` except that the SI phase is packed
+    by the power-constrained scheduler.  Use with
+    :func:`repro.core.optimizer.optimize_tam` via its ``evaluator``
+    parameter to co-optimize the architecture for the budget.
+    """
+
+    def __init__(
+        self,
+        soc: Soc,
+        groups: tuple[SITestGroup, ...],
+        power_model: PowerModel,
+        capture_cycles: int = 1,
+    ) -> None:
+        super().__init__(soc, groups, capture_cycles=capture_cycles)
+        self.power_model = power_model
+        self._group_power = {
+            group.group_id: power_model.group_power(group)
+            for group in self.groups
+        }
+
+    def schedule(
+        self, entries: list[SIScheduleEntry]
+    ) -> tuple[tuple[SIScheduleEntry, ...], int]:
+        return schedule_si_tests_power(
+            entries, self._group_power, self.power_model.budget
+        )

@@ -1,0 +1,117 @@
+"""What-if analysis of a finished architecture.
+
+Designers reading an optimization result ask two questions: "what would
+one more pin buy me?" and "which rail is the money rail?".  This module
+answers both by differentiating the cost model around the final
+architecture:
+
+* marginal wire value — ΔT_soc from granting each rail one extra wire
+  (beyond the budget), identifying where a future pin should go;
+* wire removal cost — ΔT_soc from taking one wire away from each rail
+  (where the design has slack);
+* core move gains — the best single-core move still available (zero for
+  a converged ``coreReshuffle``, by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compaction.groups import SITestGroup
+from repro.core.scheduling import TamEvaluator
+from repro.soc.model import Soc
+from repro.tam.testrail import TestRail, TestRailArchitecture
+
+
+@dataclass(frozen=True)
+class WireDelta:
+    """Effect of changing one rail's width by one wire."""
+
+    rail_index: int
+    delta: int  # T_soc(after) - T_soc(before); negative = improvement
+
+
+@dataclass(frozen=True)
+class WhatIfReport:
+    """Marginal analysis around one architecture."""
+
+    t_total: int
+    add_wire: tuple[WireDelta, ...]
+    remove_wire: tuple[WireDelta, ...]
+    best_core_move_delta: int
+
+    @property
+    def best_new_pin_rail(self) -> int:
+        """Rail that benefits most from one extra pin."""
+        return min(self.add_wire, key=lambda d: d.delta).rail_index
+
+    @property
+    def marginal_pin_value(self) -> int:
+        """Cycles saved by the best single extra pin (>= 0)."""
+        return max(0, -min(d.delta for d in self.add_wire))
+
+
+def what_if(
+    soc: Soc,
+    architecture: TestRailArchitecture,
+    groups: tuple[SITestGroup, ...] = (),
+    capture_cycles: int = 1,
+) -> WhatIfReport:
+    """Differentiate ``T_soc`` around ``architecture``."""
+    evaluator = TamEvaluator(soc, groups, capture_cycles=capture_cycles)
+    base = evaluator.t_total(architecture)
+
+    add = []
+    remove = []
+    for index, rail in enumerate(architecture.rails):
+        wider = architecture.with_rail(index, rail.widened(1))
+        add.append(WireDelta(rail_index=index,
+                             delta=evaluator.t_total(wider) - base))
+        if rail.width > 1:
+            narrower = architecture.with_rail(
+                index, TestRail(cores=rail.cores, width=rail.width - 1)
+            )
+            remove.append(
+                WireDelta(rail_index=index,
+                          delta=evaluator.t_total(narrower) - base)
+            )
+
+    best_move = 0
+    for source in range(len(architecture.rails)):
+        rail = architecture.rails[source]
+        if len(rail.cores) < 2:
+            continue
+        for core_id in rail.cores:
+            for destination in range(len(architecture.rails)):
+                if destination == source:
+                    continue
+                moved = architecture.with_core_moved(
+                    core_id, source, destination
+                )
+                best_move = min(
+                    best_move, evaluator.t_total(moved) - base
+                )
+
+    return WhatIfReport(
+        t_total=base,
+        add_wire=tuple(add),
+        remove_wire=tuple(remove),
+        best_core_move_delta=best_move,
+    )
+
+
+def format_whatif_report(report: WhatIfReport) -> str:
+    """Text rendering of the marginal analysis."""
+    lines = [f"T_soc = {report.t_total} cc"]
+    lines.append("one extra pin:")
+    for delta in sorted(report.add_wire, key=lambda d: d.delta):
+        lines.append(f"  rail {delta.rail_index}: {delta.delta:+d} cc")
+    if report.remove_wire:
+        lines.append("one pin removed:")
+        for delta in sorted(report.remove_wire, key=lambda d: d.delta):
+            lines.append(f"  rail {delta.rail_index}: {delta.delta:+d} cc")
+    lines.append(
+        f"best remaining single-core move: "
+        f"{report.best_core_move_delta:+d} cc"
+    )
+    return "\n".join(lines)

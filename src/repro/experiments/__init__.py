@@ -1,0 +1,83 @@
+"""Experiment harness reproducing the paper's tables."""
+
+from repro.experiments.compare import (
+    Comparison,
+    Contender,
+    compare_optimizers,
+    format_comparison,
+)
+from repro.experiments.compaction_study import (
+    CompactionVolume,
+    format_volume_report,
+    measure_compaction,
+)
+from repro.experiments.multisite import (
+    MultisiteStudy,
+    SitePoint,
+    format_multisite_report,
+    run_multisite_study,
+)
+from repro.experiments.pareto import (
+    ParetoCurve,
+    ParetoPoint,
+    format_curve,
+    sweep_widths,
+)
+from repro.experiments.reporting import render_table, result_to_dict, save_result
+from repro.experiments.sensitivity import (
+    SensitivityPoint,
+    format_sensitivity_report,
+    run_sensitivity_study,
+)
+from repro.experiments.stability import (
+    StabilityReport,
+    StabilityRow,
+    run_stability_study,
+)
+from repro.experiments.scaling import (
+    ScalingPoint,
+    format_scaling_report,
+    run_scaling_study,
+)
+from repro.experiments.table_runner import (
+    DEFAULT_GROUP_COUNTS,
+    DEFAULT_WIDTHS,
+    TableResult,
+    TableRow,
+    run_table_experiment,
+)
+
+__all__ = [
+    "DEFAULT_GROUP_COUNTS",
+    "DEFAULT_WIDTHS",
+    "CompactionVolume",
+    "Comparison",
+    "Contender",
+    "compare_optimizers",
+    "format_comparison",
+    "MultisiteStudy",
+    "SitePoint",
+    "format_multisite_report",
+    "run_multisite_study",
+    "ParetoCurve",
+    "format_volume_report",
+    "measure_compaction",
+    "ParetoPoint",
+    "ScalingPoint",
+    "SensitivityPoint",
+    "StabilityReport",
+    "format_sensitivity_report",
+    "run_sensitivity_study",
+    "StabilityRow",
+    "run_stability_study",
+    "TableResult",
+    "format_curve",
+    "format_scaling_report",
+    "run_scaling_study",
+    "sweep_widths",
+    "TableRow",
+    "render_table",
+    "result_to_dict",
+    "run_table_experiment",
+    "save_result",
+]

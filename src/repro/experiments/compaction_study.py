@@ -1,0 +1,122 @@
+"""Test-data-volume analysis of the two-dimensional compaction (§3 claim:
+"the proposed two-dimensional SI test set compaction strategy is able to
+reduce test data volume significantly").
+
+Volume is measured in *shift bits*: a pattern confined to a core group
+costs the sum of that group's WOCs per application; a residual pattern
+costs the WOCs of every core.  The study reports, per group count:
+
+* pattern counts before/after vertical compaction,
+* total data volume before/after (and relative to the uncompacted set),
+* the vertical (count) and horizontal (length) shares of the reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compaction.horizontal import build_si_test_groups
+from repro.sitest.patterns import SIPattern
+from repro.soc.model import Soc
+
+
+@dataclass(frozen=True)
+class CompactionVolume:
+    """Volume figures for one grouping choice.
+
+    Attributes:
+        parts: Group count ``i``.
+        patterns_before: Uncompacted pattern count.
+        patterns_after: Total compacted pattern count.
+        volume_before: Shift bits of the uncompacted set (all patterns at
+            full length).
+        volume_after: Shift bits of the compacted, grouped set.
+        residual_patterns: Compacted patterns stuck at full length.
+    """
+
+    parts: int
+    patterns_before: int
+    patterns_after: int
+    volume_before: int
+    volume_after: int
+    residual_patterns: int
+
+    @property
+    def count_reduction(self) -> float:
+        if self.patterns_before == 0:
+            return 1.0
+        return self.patterns_after / self.patterns_before
+
+    @property
+    def volume_reduction(self) -> float:
+        if self.volume_before == 0:
+            return 1.0
+        return self.volume_after / self.volume_before
+
+
+def measure_compaction(
+    soc: Soc,
+    patterns: list[SIPattern],
+    group_counts: tuple[int, ...] = (1, 2, 4, 8),
+    seed: int = 0,
+) -> tuple[CompactionVolume, ...]:
+    """Measure data volume across grouping choices.
+
+    Raises:
+        ValueError: If ``group_counts`` is empty.
+    """
+    if not group_counts:
+        raise ValueError("need at least one group count")
+    woc_of = {core.core_id: core.woc_count for core in soc}
+    full_length = sum(woc_of.values())
+    volume_before = len(patterns) * full_length
+
+    results = []
+    for parts in group_counts:
+        grouping = build_si_test_groups(soc, patterns, parts=parts,
+                                        seed=seed)
+        volume_after = 0
+        residual = 0
+        for group in grouping.groups:
+            length = sum(woc_of.get(core_id, 0) for core_id in group.cores)
+            volume_after += group.patterns * length
+            if group.is_residual:
+                residual += group.patterns
+        results.append(
+            CompactionVolume(
+                parts=parts,
+                patterns_before=len(patterns),
+                patterns_after=grouping.total_compacted_patterns,
+                volume_before=volume_before,
+                volume_after=volume_after,
+                residual_patterns=residual,
+            )
+        )
+    return tuple(results)
+
+
+def format_volume_report(volumes: tuple[CompactionVolume, ...]) -> str:
+    """Text table of the volume study."""
+    lines = [
+        f"{'i':>3} {'patterns':>14} {'volume (bits)':>22} "
+        f"{'count x':>8} {'volume x':>9} {'residual':>9}"
+    ]
+    for volume in volumes:
+        count_factor = (
+            volume.patterns_before / volume.patterns_after
+            if volume.patterns_after
+            else float("inf")
+        )
+        volume_factor = (
+            volume.volume_before / volume.volume_after
+            if volume.volume_after
+            else float("inf")
+        )
+        lines.append(
+            f"{volume.parts:>3} "
+            f"{volume.patterns_before:>6} -> {volume.patterns_after:<5} "
+            f"{volume.volume_before:>10} -> {volume.volume_after:<9} "
+            f"{count_factor:>7.1f}x {volume_factor:>8.1f}x "
+            f"{volume.residual_patterns:>9}"
+        )
+    return "\n".join(lines)

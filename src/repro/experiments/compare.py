@@ -1,0 +1,155 @@
+"""Head-to-head optimizer comparison on one instance.
+
+Runs every optimizer the library implements on the same (SOC, ``W_max``,
+SI groups) instance and tabulates total times, runtimes, and the gap to
+the lower bound — the one-stop answer to "which optimizer should I use?".
+
+Contenders: TR-Architect (InTest-only, then pay for SI), Algorithm 2,
+Algorithm 2 with exact SI scheduling, simulated annealing (cold and warm
+started), the Test Bus architecture, and — when the instance is small
+enough — the exact enumeration optimizer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.compaction.groups import SITestGroup
+from repro.core.annealing import AnnealingConfig, anneal_tam
+from repro.core.bounds import bound_report
+from repro.core.exact import MAX_EXACT_CORES, exact_optimize
+from repro.core.optimizer import optimize_tam
+from repro.core.scheduling import TamEvaluator
+from repro.soc.model import Soc
+from repro.tam.testbus import optimize_testbus
+from repro.tam.tr_architect import si_oblivious_total
+
+
+@dataclass(frozen=True)
+class Contender:
+    """One optimizer's showing on the instance."""
+
+    name: str
+    t_total: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """All contenders plus the lower bound."""
+
+    soc_name: str
+    w_max: int
+    bound: int
+    contenders: tuple[Contender, ...]
+
+    def best(self) -> Contender:
+        if not self.contenders:
+            raise ValueError("no contenders")
+        return min(self.contenders, key=lambda c: c.t_total)
+
+
+def compare_optimizers(
+    soc: Soc,
+    w_max: int,
+    groups: tuple[SITestGroup, ...] = (),
+    annealing_steps: int = 4_000,
+    include_exact: bool | None = None,
+) -> Comparison:
+    """Run every applicable optimizer on the instance.
+
+    Args:
+        soc: The SOC.
+        w_max: Pin budget.
+        groups: SI test groups.
+        annealing_steps: Budget for the SA contenders.
+        include_exact: Force the enumeration optimizer on/off; by default
+            it runs only when the SOC is small enough.
+    """
+    if include_exact is None:
+        include_exact = len(soc) <= MAX_EXACT_CORES and w_max <= 12
+
+    contenders = []
+
+    def timed(name, runner):
+        started = time.perf_counter()
+        total = runner()
+        contenders.append(
+            Contender(name=name, t_total=total,
+                      seconds=time.perf_counter() - started)
+        )
+
+    timed(
+        "TR-Architect + post-hoc SI",
+        lambda: si_oblivious_total(soc, w_max, groups).t_total,
+    )
+    started = time.perf_counter()
+    algorithm2 = optimize_tam(soc, w_max, groups)
+    contenders.append(
+        Contender(
+            name="Algorithm 2",
+            t_total=algorithm2.t_total,
+            seconds=time.perf_counter() - started,
+        )
+    )
+    if len(groups) <= 7:
+        timed(
+            "Algorithm 2 + exact SI schedule",
+            lambda: optimize_tam(
+                soc, w_max, groups,
+                evaluator=TamEvaluator(soc, groups, exact_schedule=True),
+            ).t_total,
+        )
+    timed(
+        "simulated annealing",
+        lambda: anneal_tam(
+            soc, w_max, groups,
+            config=AnnealingConfig(steps=annealing_steps, seed=1),
+        ).t_total,
+    )
+    timed(
+        "SA warm-started from Alg. 2",
+        lambda: anneal_tam(
+            soc, w_max, groups,
+            config=AnnealingConfig(steps=annealing_steps, seed=1),
+            initial=algorithm2.architecture,
+        ).t_total,
+    )
+    timed(
+        "Test Bus architecture",
+        lambda: optimize_testbus(soc, w_max, groups).t_total,
+    )
+    if include_exact:
+        timed(
+            "exact enumeration",
+            lambda: exact_optimize(soc, w_max, groups).result.t_total,
+        )
+
+    return Comparison(
+        soc_name=soc.name,
+        w_max=w_max,
+        bound=bound_report(soc, w_max, groups).t_total_bound,
+        contenders=tuple(contenders),
+    )
+
+
+def format_comparison(comparison: Comparison) -> str:
+    """Text table sorted by achieved time."""
+    best = comparison.best()
+    lines = [
+        f"{comparison.soc_name} at W_max={comparison.w_max} "
+        f"(lower bound {comparison.bound} cc)",
+        f"{'optimizer':<32} {'T_soc (cc)':>11} {'gap':>7} {'runtime':>9}",
+    ]
+    ordered = sorted(comparison.contenders, key=lambda c: c.t_total)
+    for contender in ordered:
+        gap = (contender.t_total - comparison.bound) / max(
+            comparison.bound, 1
+        )
+        marker = "  <- best" if contender == best else ""
+        lines.append(
+            f"{contender.name:<32} {contender.t_total:>11} {gap:>6.1%} "
+            f"{contender.seconds:>8.2f}s{marker}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Multi-site test economics: how many dies to test in parallel.
+
+A tester has a fixed channel budget ``C``.  Testing ``s`` dies ("sites")
+concurrently gives each die ``W = C / s`` TAM wires: more sites mean more
+dies per insertion but a longer test per die (narrower TAM).  Throughput
+is ``s / T_soc(W)`` dies per cycle — maximized where the SOC's
+width/time curve flattens, which is exactly why the Pareto knee matters
+commercially.
+
+The study reuses the full SI-aware optimizer per site width, so the SI
+test burden (which scales differently with width than InTest) is part of
+the economics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compaction.groups import SITestGroup
+from repro.core.optimizer import optimize_tam
+from repro.soc.model import Soc
+
+
+@dataclass(frozen=True)
+class SitePoint:
+    """Economics of one site count."""
+
+    sites: int
+    width_per_site: int
+    t_soc: int
+
+    @property
+    def throughput(self) -> float:
+        """Dies per kilocycle of tester time."""
+        if self.t_soc == 0:
+            return float("inf")
+        return self.sites / self.t_soc * 1_000.0
+
+
+@dataclass(frozen=True)
+class MultisiteStudy:
+    """Swept site counts for one SOC and channel budget."""
+
+    soc_name: str
+    channels: int
+    points: tuple[SitePoint, ...]
+
+    def best(self) -> SitePoint:
+        """The throughput-optimal site count."""
+        if not self.points:
+            raise ValueError("empty study")
+        return max(self.points, key=lambda point: point.throughput)
+
+
+def run_multisite_study(
+    soc: Soc,
+    channels: int,
+    groups: tuple[SITestGroup, ...] = (),
+    site_counts: tuple[int, ...] | None = None,
+) -> MultisiteStudy:
+    """Sweep site counts that divide the channel budget.
+
+    Args:
+        soc: The SOC under test.
+        channels: Total tester channel budget ``C``.
+        groups: SI test groups (same per die).
+        site_counts: Counts to sweep; defaults to every divisor of
+            ``channels`` that leaves at least one wire per site.
+
+    Raises:
+        ValueError: On a non-positive channel budget or a site count that
+            does not divide it.
+    """
+    if channels <= 0:
+        raise ValueError("channel budget must be positive")
+    if site_counts is None:
+        site_counts = tuple(
+            sites for sites in range(1, channels + 1)
+            if channels % sites == 0
+        )
+    points = []
+    for sites in site_counts:
+        if sites <= 0 or channels % sites != 0:
+            raise ValueError(
+                f"site count {sites} does not divide {channels} channels"
+            )
+        width = channels // sites
+        result = optimize_tam(soc, width, groups=groups)
+        points.append(
+            SitePoint(sites=sites, width_per_site=width,
+                      t_soc=result.t_total)
+        )
+    return MultisiteStudy(
+        soc_name=soc.name, channels=channels, points=tuple(points)
+    )
+
+
+def format_multisite_report(study: MultisiteStudy) -> str:
+    """Text table with the throughput-optimal row marked."""
+    best = study.best()
+    lines = [
+        f"{study.soc_name}: {study.channels} tester channels",
+        f"{'sites':>6} {'W/site':>7} {'T_soc (cc)':>11} "
+        f"{'dies/kcc':>9}",
+    ]
+    for point in study.points:
+        marker = "  <- best" if point == best else ""
+        lines.append(
+            f"{point.sites:>6} {point.width_per_site:>7} "
+            f"{point.t_soc:>11} {point.throughput:>9.4f}{marker}"
+        )
+    return "\n".join(lines)

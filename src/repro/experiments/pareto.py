@@ -1,0 +1,121 @@
+"""Pin-budget / test-time Pareto analysis.
+
+``W_max`` is a routing-area budget the system integrator must choose;
+this module sweeps it, producing the `(W, T_soc)` trade-off curve, and
+finds its *knee* — the budget past which extra wires stop paying — via
+the maximum-distance-to-chord criterion.  The DFT area model from
+:mod:`repro.wrapper.cells` can be folded in to express both axes in
+comparable silicon terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compaction.groups import SITestGroup
+from repro.core.optimizer import optimize_tam
+from repro.soc.model import Soc
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One point of the trade-off curve."""
+
+    w_max: int
+    t_total: int
+    t_in: int
+    t_si: int
+
+
+@dataclass(frozen=True)
+class ParetoCurve:
+    """The swept trade-off curve.
+
+    Attributes:
+        soc_name: SOC the sweep belongs to.
+        points: One point per swept budget, in increasing budget order.
+    """
+
+    soc_name: str
+    points: tuple[ParetoPoint, ...]
+
+    def knee(self) -> ParetoPoint:
+        """The knee point: maximum normalized distance to the chord from
+        the first to the last point.
+
+        Raises:
+            ValueError: On a curve with fewer than two points.
+        """
+        if len(self.points) < 2:
+            raise ValueError("need at least two points to find a knee")
+        first, last = self.points[0], self.points[-1]
+        span_w = last.w_max - first.w_max or 1
+        span_t = first.t_total - last.t_total or 1
+        best = self.points[0]
+        best_distance = float("-inf")
+        for point in self.points:
+            # Normalize both axes to [0, 1] and measure the vertical
+            # distance below the descending chord.
+            x = (point.w_max - first.w_max) / span_w
+            y = (first.t_total - point.t_total) / span_t
+            distance = y - x
+            if distance > best_distance:
+                best_distance = distance
+                best = point
+        return best
+
+    def dominated_points(self) -> tuple[ParetoPoint, ...]:
+        """Swept points strictly dominated by a cheaper budget (wider but
+        not faster) — they exist because the optimizer is a heuristic."""
+        dominated = []
+        best_so_far = None
+        for point in self.points:
+            if best_so_far is not None and point.t_total >= best_so_far:
+                dominated.append(point)
+            else:
+                best_so_far = point.t_total
+        return tuple(dominated)
+
+
+def sweep_widths(
+    soc: Soc,
+    widths: tuple[int, ...],
+    groups: tuple[SITestGroup, ...] = (),
+    capture_cycles: int = 1,
+) -> ParetoCurve:
+    """Optimize the SOC at each budget and collect the trade-off curve.
+
+    Raises:
+        ValueError: If ``widths`` is empty or not strictly increasing.
+    """
+    if not widths:
+        raise ValueError("need at least one width")
+    if list(widths) != sorted(set(widths)):
+        raise ValueError("widths must be strictly increasing")
+    points = []
+    for w_max in widths:
+        result = optimize_tam(
+            soc, w_max, groups=groups, capture_cycles=capture_cycles
+        )
+        points.append(
+            ParetoPoint(
+                w_max=w_max,
+                t_total=result.t_total,
+                t_in=result.evaluation.t_in,
+                t_si=result.evaluation.t_si,
+            )
+        )
+    return ParetoCurve(soc_name=soc.name, points=tuple(points))
+
+
+def format_curve(curve: ParetoCurve) -> str:
+    """Text rendering of the curve with the knee marked."""
+    knee = curve.knee() if len(curve.points) >= 2 else None
+    lines = [f"{'Wmax':>5} {'T_total':>10} {'T_in':>10} {'T_si':>9}"]
+    for point in curve.points:
+        marker = "  <- knee" if knee is not None and point == knee else ""
+        lines.append(
+            f"{point.w_max:>5} {point.t_total:>10} {point.t_in:>10} "
+            f"{point.t_si:>9}{marker}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Rendering of experiment results in the paper's table layout."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.table_runner import TableResult
+
+
+def render_table(result: TableResult) -> str:
+    """Render a :class:`TableResult` like the paper's Table 2/3."""
+    group_headers = [f"T_g{parts} (cc)" for parts in result.group_counts]
+    headers = (
+        ["Wmax", "T_[8] (cc)"]
+        + group_headers
+        + ["T_min (cc)", "dT_[8] (%)", "dT_g (%)"]
+    )
+    rows = []
+    for row in result.rows:
+        rows.append(
+            [
+                str(row.w_max),
+                str(row.t_baseline),
+                *(str(row.t_grouped[parts]) for parts in result.group_counts),
+                str(row.t_min),
+                f"{row.delta_baseline_pct:.2f}",
+                f"{row.delta_grouping_pct:.2f}",
+            ]
+        )
+
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rows))
+        if rows
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+    lines = [
+        f"SOC {result.soc_name}, N_r = {result.pattern_count:,} "
+        f"(seed {result.seed})"
+    ]
+    lines.append(
+        " | ".join(header.rjust(width) for header, width in zip(headers, widths))
+    )
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def result_to_dict(result: TableResult) -> dict:
+    """JSON-serializable summary of a table experiment."""
+    return {
+        "soc": result.soc_name,
+        "pattern_count": result.pattern_count,
+        "seed": result.seed,
+        "group_counts": list(result.group_counts),
+        "elapsed_seconds": result.elapsed_seconds,
+        "compaction": {
+            str(parts): {
+                "groups": [
+                    {
+                        "cores": sorted(group.cores),
+                        "patterns": group.patterns,
+                        "original_patterns": group.original_patterns,
+                        "is_residual": group.is_residual,
+                    }
+                    for group in grouping.groups
+                ],
+                "cut_patterns": grouping.cut_patterns,
+            }
+            for parts, grouping in result.groupings.items()
+        },
+        "rows": [
+            {
+                "w_max": row.w_max,
+                "t_baseline": row.t_baseline,
+                "t_grouped": {str(k): v for k, v in row.t_grouped.items()},
+                "t_min": row.t_min,
+                "delta_baseline_pct": round(row.delta_baseline_pct, 2),
+                "delta_grouping_pct": round(row.delta_grouping_pct, 2),
+            }
+            for row in result.rows
+        ],
+    }
+
+
+def save_result(result: TableResult, path: str | Path) -> None:
+    """Write the JSON summary of a table experiment to disk."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2) + "\n")

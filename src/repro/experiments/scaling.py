@@ -1,0 +1,94 @@
+"""Scaling study: optimizer quality and runtime versus SOC size.
+
+Sweeps synthesized SOCs of growing core counts through the full pipeline
+(pattern generation → compaction → Algorithm 2) and records wall-clock
+runtime, achieved time and the lower-bound gap.  Answers the adoption
+question the shipped benchmarks cannot: how does the tool behave on SOCs
+bigger (or differently mixed) than the ITC'02 set?
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.compaction.horizontal import build_si_test_groups
+from repro.core.bounds import bound_report
+from repro.core.optimizer import optimize_tam
+from repro.sitest.generator import generate_random_patterns
+from repro.soc.synth import DEFAULT_MIX, synthesize_soc
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One SOC size in the sweep."""
+
+    core_count: int
+    w_max: int
+    t_total: int
+    bound_gap: float
+    optimize_seconds: float
+    compaction_seconds: float
+
+
+def run_scaling_study(
+    core_counts: tuple[int, ...],
+    w_max: int = 32,
+    pattern_count: int = 2_000,
+    parts: int = 4,
+    seed: int = 0,
+) -> tuple[ScalingPoint, ...]:
+    """Run the pipeline at each SOC size and collect the scaling points.
+
+    Raises:
+        ValueError: On an empty size list or non-positive parameters.
+    """
+    if not core_counts:
+        raise ValueError("need at least one core count")
+    if pattern_count < 0 or w_max <= 0 or parts <= 0:
+        raise ValueError("invalid sweep parameters")
+
+    points = []
+    for core_count in core_counts:
+        soc = synthesize_soc(
+            f"scale{core_count}", core_count, mix=DEFAULT_MIX, seed=seed
+        )
+        patterns = generate_random_patterns(soc, pattern_count, seed=seed)
+
+        started = time.perf_counter()
+        grouping = build_si_test_groups(
+            soc, patterns, parts=min(parts, core_count), seed=seed
+        )
+        compaction_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        result = optimize_tam(soc, w_max, groups=grouping.groups)
+        optimize_seconds = time.perf_counter() - started
+
+        report = bound_report(soc, w_max, grouping.groups)
+        points.append(
+            ScalingPoint(
+                core_count=core_count,
+                w_max=w_max,
+                t_total=result.t_total,
+                bound_gap=report.gap(result.t_total),
+                optimize_seconds=optimize_seconds,
+                compaction_seconds=compaction_seconds,
+            )
+        )
+    return tuple(points)
+
+
+def format_scaling_report(points: tuple[ScalingPoint, ...]) -> str:
+    """Text rendering of a scaling sweep."""
+    lines = [
+        f"{'cores':>6} {'Wmax':>5} {'T_total':>10} {'bound gap':>10} "
+        f"{'compact s':>10} {'optimize s':>11}"
+    ]
+    for point in points:
+        lines.append(
+            f"{point.core_count:>6} {point.w_max:>5} {point.t_total:>10} "
+            f"{point.bound_gap:>9.1%} {point.compaction_seconds:>10.2f} "
+            f"{point.optimize_seconds:>11.2f}"
+        )
+    return "\n".join(lines)

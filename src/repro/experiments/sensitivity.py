@@ -1,0 +1,100 @@
+"""Sensitivity of the headline results to the pattern-generation knobs.
+
+The paper fixes the generation protocol (``N_a`` in 2..6, at most two
+external aggressors, 50% bus usage).  This harness perturbs one knob at a
+time and measures the effect on the compacted pattern count and on the
+optimized ``T_soc`` — quantifying how much of the result depends on the
+protocol rather than on the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.compaction.horizontal import build_si_test_groups
+from repro.core.optimizer import optimize_tam
+from repro.sitest.generator import GeneratorConfig, generate_random_patterns
+from repro.soc.model import Soc
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Effect of one generator configuration."""
+
+    label: str
+    config: GeneratorConfig
+    compacted_patterns: int
+    t_total: int
+
+
+def _default_variants() -> tuple[tuple[str, GeneratorConfig], ...]:
+    base = GeneratorConfig()
+    return (
+        ("paper defaults", base),
+        ("no bus", replace(base, bus_probability=0.0)),
+        ("bus always", replace(base, bus_probability=1.0)),
+        ("few aggressors (2-3)", replace(base, max_aggressors=3)),
+        ("many aggressors (4-10)",
+         replace(base, min_aggressors=4, max_aggressors=10)),
+        ("local only (0 external)",
+         replace(base, max_external_aggressors=0)),
+        ("spread (4 external)",
+         replace(base, max_external_aggressors=4)),
+    )
+
+
+def run_sensitivity_study(
+    soc: Soc,
+    pattern_count: int,
+    w_max: int,
+    parts: int = 4,
+    seed: int = 1,
+    variants: tuple[tuple[str, GeneratorConfig], ...] | None = None,
+) -> tuple[SensitivityPoint, ...]:
+    """Run the pipeline once per generator variant.
+
+    Raises:
+        ValueError: On non-positive parameters.
+    """
+    if pattern_count < 0 or w_max <= 0 or parts <= 0:
+        raise ValueError("invalid study parameters")
+    if variants is None:
+        variants = _default_variants()
+
+    points = []
+    for label, config in variants:
+        patterns = generate_random_patterns(
+            soc, pattern_count, seed=seed, config=config
+        )
+        grouping = build_si_test_groups(soc, patterns, parts=parts,
+                                        seed=seed)
+        result = optimize_tam(soc, w_max, groups=grouping.groups)
+        points.append(
+            SensitivityPoint(
+                label=label,
+                config=config,
+                compacted_patterns=grouping.total_compacted_patterns,
+                t_total=result.t_total,
+            )
+        )
+    return tuple(points)
+
+
+def format_sensitivity_report(
+    points: tuple[SensitivityPoint, ...]
+) -> str:
+    """Text table; the first row is the reference configuration."""
+    if not points:
+        return "(no variants)"
+    reference = points[0].t_total or 1
+    lines = [
+        f"{'variant':<26} {'compacted':>10} {'T_soc (cc)':>11} "
+        f"{'vs ref':>8}"
+    ]
+    for point in points:
+        delta = (point.t_total - reference) / reference * 100
+        lines.append(
+            f"{point.label:<26} {point.compacted_patterns:>10} "
+            f"{point.t_total:>11} {delta:>+7.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Seed-sensitivity analysis of the table experiments.
+
+The paper reports single-seed results; this harness reruns a table row at
+several pattern-set seeds and reports the spread of the headline deltas,
+so a reader can tell signal from pattern-generation noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.table_runner import run_table_experiment
+from repro.sitest.generator import GeneratorConfig
+from repro.soc.model import Soc
+
+
+@dataclass(frozen=True)
+class StabilityRow:
+    """Spread of one metric over the seed sweep."""
+
+    metric: str
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(
+            sum((value - mean) ** 2 for value in self.values)
+            / (len(self.values) - 1)
+        )
+
+    @property
+    def spread(self) -> float:
+        return max(self.values) - min(self.values)
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Seed-sweep outcome for one (SOC, N_r, W_max) cell."""
+
+    soc_name: str
+    pattern_count: int
+    w_max: int
+    seeds: tuple[int, ...]
+    delta_baseline: StabilityRow
+    delta_grouping: StabilityRow
+    t_min: StabilityRow
+
+    def format(self) -> str:
+        lines = [
+            f"{self.soc_name}, N_r={self.pattern_count}, "
+            f"W_max={self.w_max}, seeds={list(self.seeds)}"
+        ]
+        for row in (self.t_min, self.delta_baseline, self.delta_grouping):
+            lines.append(
+                f"  {row.metric:<12} mean={row.mean:>12.2f} "
+                f"std={row.std:>10.2f} spread={row.spread:>10.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_stability_study(
+    soc: Soc,
+    pattern_count: int,
+    w_max: int,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    group_counts: tuple[int, ...] = (1, 4),
+    generator_config: GeneratorConfig = GeneratorConfig(),
+) -> StabilityReport:
+    """Rerun one table cell across ``seeds`` and collect the spreads.
+
+    Raises:
+        ValueError: If no seeds are given.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    delta_baseline = []
+    delta_grouping = []
+    t_min = []
+    for seed in seeds:
+        result = run_table_experiment(
+            soc,
+            pattern_count,
+            widths=(w_max,),
+            group_counts=group_counts,
+            seed=seed,
+            generator_config=generator_config,
+        )
+        row = result.rows[0]
+        delta_baseline.append(row.delta_baseline_pct)
+        delta_grouping.append(row.delta_grouping_pct)
+        t_min.append(float(row.t_min))
+    return StabilityReport(
+        soc_name=soc.name,
+        pattern_count=pattern_count,
+        w_max=w_max,
+        seeds=tuple(seeds),
+        delta_baseline=StabilityRow("dT_[8] (%)", tuple(delta_baseline)),
+        delta_grouping=StabilityRow("dT_g (%)", tuple(delta_grouping)),
+        t_min=StabilityRow("T_min (cc)", tuple(t_min)),
+    )

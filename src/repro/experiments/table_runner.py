@@ -1,0 +1,151 @@
+"""Harness regenerating the paper's Table 2 and Table 3.
+
+For one SOC the experiment sweeps the TAM width ``W_max`` and, per width,
+reports:
+
+* ``T_[8]`` — the SI-oblivious flow: TR-Architect optimizes for InTest
+  only, then the SI tests are scheduled on the resulting architecture.
+  The paper does not state which grouping prices the baseline's SI tests;
+  we give the baseline the *best* grouping (minimum over the same group
+  counts), which makes the reported gains conservative.
+* ``T_g_i`` — the proposed ``TAM_Optimization`` with the SI tests grouped
+  into ``i`` parts (two-dimensional compaction), for each group count.
+* ``T_min = min_i T_g_i`` and the derived percentages
+  ``ΔT_[8] = (T_[8] - T_min) / T_[8]`` and
+  ``ΔT_g = (T_g_1 - T_min) / T_g_1``.
+
+Groupings depend only on (SOC, pattern seed, ``N_r``, group count), so they
+are computed once per experiment and shared across the width sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.compaction.horizontal import GroupingResult, build_si_test_groups
+from repro.core.optimizer import evaluate_architecture, optimize_tam
+from repro.sitest.generator import GeneratorConfig, generate_random_patterns
+from repro.soc.model import Soc
+from repro.tam.tr_architect import tr_architect
+
+DEFAULT_GROUP_COUNTS = (1, 2, 4, 8)
+DEFAULT_WIDTHS = (8, 16, 24, 32, 40, 48, 56, 64)
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row of a Table 2/3 style experiment (one ``W_max``)."""
+
+    w_max: int
+    t_baseline: int
+    t_grouped: dict[int, int]
+
+    @property
+    def t_min(self) -> int:
+        return min(self.t_grouped.values())
+
+    @property
+    def best_grouping(self) -> int:
+        return min(self.t_grouped, key=self.t_grouped.get)
+
+    @property
+    def delta_baseline_pct(self) -> float:
+        """``ΔT_[8]`` — gain of the proposed flow over the SI-oblivious one."""
+        if self.t_baseline == 0:
+            return 0.0
+        return (self.t_baseline - self.t_min) / self.t_baseline * 100.0
+
+    @property
+    def delta_grouping_pct(self) -> float:
+        """``ΔT_g`` — gain of 2-D compaction over 1-D (count-only)."""
+        t_g1 = self.t_grouped.get(1)
+        if not t_g1:
+            return 0.0
+        return (t_g1 - self.t_min) / t_g1 * 100.0
+
+
+@dataclass
+class TableResult:
+    """A complete table: one experiment over the width sweep."""
+
+    soc_name: str
+    pattern_count: int
+    seed: int
+    group_counts: tuple[int, ...]
+    rows: list[TableRow] = field(default_factory=list)
+    groupings: dict[int, GroupingResult] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+
+def run_table_experiment(
+    soc: Soc,
+    pattern_count: int,
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+    group_counts: tuple[int, ...] = DEFAULT_GROUP_COUNTS,
+    seed: int = 1,
+    generator_config: GeneratorConfig = GeneratorConfig(),
+    verbose: bool = False,
+) -> TableResult:
+    """Run the full Table 2/3 experiment for one SOC and one ``N_r``.
+
+    Args:
+        soc: The benchmark SOC.
+        pattern_count: ``N_r`` — initial SI pattern count before compaction.
+        widths: The ``W_max`` sweep.
+        group_counts: Group counts ``i`` for the ``T_g_i`` columns.
+        seed: Seed for the random SI pattern set.
+        generator_config: Pattern generator knobs (paper defaults).
+        verbose: Print progress lines while running.
+    """
+    start = time.perf_counter()
+    patterns = generate_random_patterns(
+        soc, pattern_count, seed=seed, config=generator_config
+    )
+
+    result = TableResult(
+        soc_name=soc.name,
+        pattern_count=pattern_count,
+        seed=seed,
+        group_counts=tuple(group_counts),
+    )
+    for parts in group_counts:
+        grouping = build_si_test_groups(soc, patterns, parts=parts, seed=seed)
+        result.groupings[parts] = grouping
+        if verbose:
+            sizes = [group.patterns for group in grouping.groups]
+            print(
+                f"[{soc.name} N_r={pattern_count}] grouping i={parts}: "
+                f"patterns {sizes} (residual holds {grouping.cut_patterns} "
+                "originals)"
+            )
+
+    for w_max in widths:
+        baseline = tr_architect(soc, w_max)
+        t_baseline = min(
+            evaluate_architecture(
+                soc, baseline.architecture, result.groupings[parts].groups
+            ).t_total
+            for parts in group_counts
+        )
+        t_grouped = {}
+        for parts in group_counts:
+            optimized = optimize_tam(
+                soc, w_max, groups=result.groupings[parts].groups
+            )
+            t_grouped[parts] = optimized.t_total
+        row = TableRow(w_max=w_max, t_baseline=t_baseline, t_grouped=t_grouped)
+        result.rows.append(row)
+        if verbose:
+            grouped = " ".join(
+                f"T_g{parts}={t_grouped[parts]}" for parts in group_counts
+            )
+            print(
+                f"[{soc.name} N_r={pattern_count}] W={w_max}: "
+                f"T_[8]={t_baseline} {grouped} "
+                f"dT8={row.delta_baseline_pct:.2f}% "
+                f"dTg={row.delta_grouping_pct:.2f}%"
+            )
+
+    result.elapsed_seconds = time.perf_counter() - start
+    return result

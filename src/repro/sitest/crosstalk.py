@@ -1,0 +1,274 @@
+"""Physical crosstalk estimation: from wire geometry to aggressor sets.
+
+The reduced MT model prunes aggressors with an *empirical* locality factor
+``k``.  This module provides the physical grounding: given a simple
+parallel-wire placement of the interconnects (length, pitch, layer), it
+estimates coupling capacitances and victim noise with the standard
+back-of-envelope models used for early SI screening —
+
+* coupling capacitance of two parallel wires ≈ ``eps * t / s * L_overlap``
+  (plate approximation: thickness ``t``, spacing ``s``, shared run
+  ``L_overlap``),
+* ground capacitance ≈ ``eps * w / h * L`` plus fringing,
+* charge-sharing glitch estimate ``V_peak ≈ Vdd * Cc / (Cc + Cg)``
+  (fast-aggressor limit), and
+* Devgan's upper bound for the resistive case
+  ``V_peak ≈ Vdd * Rv * Cc / tr`` clipped to the charge-sharing value,
+
+then derives each net's aggressor neighborhood as the nets whose estimated
+glitch contribution exceeds a noise-margin threshold.  The result plugs
+into the same :class:`~repro.sitest.topology.InterconnectTopology` the
+fault models consume, replacing the index-locality heuristic with a
+physically derived one.
+
+Units: microns for geometry, femtofarads for capacitance, volts for
+voltages, ohms for resistance, picoseconds for times.  The absolute
+numbers are screening-grade; what matters downstream is the *relative*
+coupling, which the plate model captures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sitest.topology import InterconnectTopology, Net, SharedBus
+
+#: Permittivity of SiO2 in fF/um (eps_0 * eps_r with eps_r ~ 3.9).
+EPS_OXIDE_FF_PER_UM = 0.0345
+
+
+@dataclass(frozen=True)
+class WireGeometry:
+    """Technology geometry of a routing layer.
+
+    Attributes:
+        width: Wire width (um).
+        thickness: Metal thickness (um).
+        spacing: Minimum spacing between adjacent wires (um).
+        height: Dielectric height to the ground plane (um).
+    """
+
+    width: float = 0.2
+    thickness: float = 0.35
+    spacing: float = 0.2
+    height: float = 0.3
+
+    def __post_init__(self) -> None:
+        for label in ("width", "thickness", "spacing", "height"):
+            if getattr(self, label) <= 0:
+                raise ValueError(f"{label} must be positive")
+
+
+@dataclass(frozen=True)
+class PlacedWire:
+    """One interconnect as a horizontal run on a routing track.
+
+    Attributes:
+        net_id: The net this wire implements.
+        track: Integer track index (adjacent tracks couple).
+        start: Run start coordinate (um).
+        length: Run length (um).
+    """
+
+    net_id: int
+    track: int
+    start: float
+    length: float
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError("wire length must be positive")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.length
+
+    def overlap_with(self, other: "PlacedWire") -> float:
+        """Shared parallel run length with another wire (um)."""
+        return max(
+            0.0, min(self.end, other.end) - max(self.start, other.start)
+        )
+
+
+def coupling_capacitance_ff(
+    first: PlacedWire,
+    second: PlacedWire,
+    geometry: WireGeometry,
+) -> float:
+    """Plate-model coupling capacitance between two wires (fF).
+
+    Wires on the same track cannot couple (they would short); wires more
+    than one track apart are screened by the intervening track and
+    contribute only a second-order term we model as inverse-distance
+    decay.
+    """
+    separation = abs(first.track - second.track)
+    if separation == 0:
+        return 0.0
+    overlap = first.overlap_with(second)
+    if overlap == 0.0:
+        return 0.0
+    pitch_gap = separation * geometry.spacing + (separation - 1) * (
+        geometry.width
+    )
+    plate = EPS_OXIDE_FF_PER_UM * geometry.thickness / pitch_gap * overlap
+    return plate
+
+
+def ground_capacitance_ff(wire: PlacedWire, geometry: WireGeometry) -> float:
+    """Area + fringe capacitance of a wire to the ground plane (fF)."""
+    area = EPS_OXIDE_FF_PER_UM * geometry.width / geometry.height
+    # Standard fringing correction: ~ eps * 2π / ln(1 + 2h/t).
+    fringe = (
+        EPS_OXIDE_FF_PER_UM
+        * 2.0
+        * math.pi
+        / math.log(1.0 + 2.0 * geometry.height / geometry.thickness)
+    )
+    return (area + fringe) * wire.length
+
+
+def glitch_peak_v(
+    coupling_ff: float,
+    ground_ff: float,
+    vdd: float = 1.0,
+    driver_resistance_ohm: float = 1_000.0,
+    rise_time_ps: float = 50.0,
+) -> float:
+    """Victim glitch peak estimate (V) for one aggressor transition.
+
+    The charge-sharing limit ``Vdd * Cc / (Cc + Cg)`` caps Devgan's
+    RC-ramp bound ``Vdd * R * Cc / tr``; we take the minimum of the two,
+    which is the customary screening estimate.
+    """
+    if coupling_ff < 0 or ground_ff < 0:
+        raise ValueError("capacitances must be non-negative")
+    if coupling_ff == 0:
+        return 0.0
+    charge_sharing = vdd * coupling_ff / (coupling_ff + ground_ff)
+    # fF * ohm = 1e-15 * s = 1e-3 ps -> convert to ps.
+    devgan = vdd * driver_resistance_ohm * coupling_ff * 1e-3 / rise_time_ps
+    return min(charge_sharing, devgan)
+
+
+@dataclass(frozen=True)
+class CrosstalkAnalysis:
+    """Per-victim aggressor contributions.
+
+    Attributes:
+        contributions: ``contributions[victim][aggressor]`` is the
+            estimated glitch peak (V) a single transition on ``aggressor``
+            induces on ``victim``.
+    """
+
+    contributions: dict[int, dict[int, float]]
+
+    def worst_case_noise(self, victim: int) -> float:
+        """All aggressors switching together (the MA assumption)."""
+        return sum(self.contributions.get(victim, {}).values())
+
+    def aggressors_above(
+        self, victim: int, threshold: float
+    ) -> tuple[int, ...]:
+        """Aggressors whose individual contribution exceeds ``threshold``."""
+        return tuple(
+            sorted(
+                aggressor
+                for aggressor, noise in self.contributions.get(
+                    victim, {}
+                ).items()
+                if noise > threshold
+            )
+        )
+
+
+def analyze_crosstalk(
+    wires: list[PlacedWire],
+    geometry: WireGeometry = WireGeometry(),
+    vdd: float = 1.0,
+    max_track_separation: int = 2,
+) -> CrosstalkAnalysis:
+    """Estimate all pairwise glitch contributions for a placement.
+
+    Only wire pairs within ``max_track_separation`` tracks are evaluated
+    (farther pairs are screened); complexity is near-linear for realistic
+    channel placements after bucketing wires by track.
+    """
+    by_track: dict[int, list[PlacedWire]] = {}
+    for wire in wires:
+        by_track.setdefault(wire.track, []).append(wire)
+
+    contributions: dict[int, dict[int, float]] = {
+        wire.net_id: {} for wire in wires
+    }
+    for wire in wires:
+        ground = ground_capacitance_ff(wire, geometry)
+        for separation in range(1, max_track_separation + 1):
+            for track in (wire.track - separation, wire.track + separation):
+                for other in by_track.get(track, ()):
+                    coupling = coupling_capacitance_ff(wire, other, geometry)
+                    if coupling == 0.0:
+                        continue
+                    noise = glitch_peak_v(coupling, ground, vdd=vdd)
+                    if noise > 0.0:
+                        contributions[wire.net_id][other.net_id] = noise
+    return CrosstalkAnalysis(contributions=contributions)
+
+
+def topology_from_placement(
+    nets: list[Net],
+    wires: list[PlacedWire],
+    noise_threshold: float = 0.05,
+    geometry: WireGeometry = WireGeometry(),
+    vdd: float = 1.0,
+    bus: SharedBus | None = None,
+) -> InterconnectTopology:
+    """Build a topology whose aggressor neighborhoods come from physics.
+
+    A net's aggressors are the nets whose estimated individual glitch
+    contribution exceeds ``noise_threshold`` volts — the physically
+    grounded replacement for the reduced-MT locality factor.
+
+    Raises:
+        ValueError: If the wires do not cover exactly the given nets.
+    """
+    wire_ids = sorted(wire.net_id for wire in wires)
+    net_ids = sorted(net.net_id for net in nets)
+    if wire_ids != net_ids:
+        raise ValueError("placement must cover exactly the given nets")
+
+    analysis = analyze_crosstalk(wires, geometry, vdd=vdd)
+    neighborhoods = {
+        net.net_id: analysis.aggressors_above(net.net_id, noise_threshold)
+        for net in nets
+    }
+    return InterconnectTopology(
+        nets=list(nets), bus=bus, neighborhoods=neighborhoods
+    )
+
+
+def channel_placement(
+    net_count: int,
+    tracks: int,
+    wire_length: float = 100.0,
+    seed: int = 0,
+) -> list[PlacedWire]:
+    """A simple deterministic channel placement for experiments: nets are
+    dealt round-robin onto tracks with staggered starts."""
+    import random
+
+    if net_count < 0 or tracks <= 0:
+        raise ValueError("need non-negative nets and positive tracks")
+    rng = random.Random(seed)
+    wires = []
+    for net_id in range(net_count):
+        wires.append(
+            PlacedWire(
+                net_id=net_id,
+                track=net_id % tracks,
+                start=rng.uniform(0.0, wire_length / 2),
+                length=rng.uniform(wire_length / 2, wire_length),
+            )
+        )
+    return wires

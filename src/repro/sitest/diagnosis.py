@@ -1,0 +1,121 @@
+"""Dictionary-based diagnosis of SI faults from ILS syndromes.
+
+When the integrity-loss sensors flag failures on the tester, the failing
+*pattern set* is the syndrome; diagnosis asks which MA fault(s) explain
+it.  The classical approach is a fault dictionary: simulate every fault
+against the applied patterns, record which patterns would fail for each
+fault, and match observed syndromes against the dictionary.
+
+The dictionary also quantifies the *diagnostic resolution* of a pattern
+set: faults with identical columns are indistinguishable, so compaction
+(or truncation) can cost resolution even when detection coverage is kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sitest.patterns import SIPattern
+from repro.sitest.simulator import MAFault, detects, fault_universe
+from repro.sitest.topology import InterconnectTopology
+
+
+@dataclass(frozen=True)
+class FaultDictionary:
+    """Pass/fail dictionary of a pattern set over the MA fault universe.
+
+    Attributes:
+        faults: The fault universe, in a fixed order.
+        signatures: For each fault, the frozenset of pattern indices that
+            detect it (its expected failing-pattern signature).
+    """
+
+    faults: tuple[MAFault, ...]
+    signatures: tuple[frozenset[int], ...]
+
+    @property
+    def detectable_faults(self) -> tuple[MAFault, ...]:
+        """Faults at least one pattern detects."""
+        return tuple(
+            fault
+            for fault, signature in zip(self.faults, self.signatures)
+            if signature
+        )
+
+    def equivalence_classes(self) -> tuple[tuple[MAFault, ...], ...]:
+        """Groups of detectable faults with identical signatures —
+        indistinguishable by this pattern set."""
+        by_signature: dict[frozenset[int], list[MAFault]] = {}
+        for fault, signature in zip(self.faults, self.signatures):
+            if signature:
+                by_signature.setdefault(signature, []).append(fault)
+        return tuple(
+            tuple(group) for group in by_signature.values()
+        )
+
+    @property
+    def diagnostic_resolution(self) -> float:
+        """Classes per detectable fault (1.0 = every fault distinguishable)."""
+        detectable = len(self.detectable_faults)
+        if detectable == 0:
+            return 1.0
+        return len(self.equivalence_classes()) / detectable
+
+    def diagnose(self, failing_patterns: frozenset[int]) -> tuple[MAFault, ...]:
+        """Single-fault diagnosis: faults whose signature equals the
+        observed failing-pattern set."""
+        return tuple(
+            fault
+            for fault, signature in zip(self.faults, self.signatures)
+            if signature and signature == failing_patterns
+        )
+
+    def diagnose_subset(
+        self, failing_patterns: frozenset[int]
+    ) -> tuple[MAFault, ...]:
+        """Multiple-fault-tolerant match: faults whose signature is a
+        non-empty subset of the observed failures (each such fault could
+        be one of several present)."""
+        return tuple(
+            fault
+            for fault, signature in zip(self.faults, self.signatures)
+            if signature and signature <= failing_patterns
+        )
+
+
+def build_dictionary(
+    topology: InterconnectTopology,
+    patterns: list[SIPattern],
+) -> FaultDictionary:
+    """Simulate every MA fault against ``patterns``.
+
+    Complexity is |faults| x |patterns| with the cheap per-pair check of
+    :func:`repro.sitest.simulator.detects`; fine for the pattern-set sizes
+    diagnosis is run on (post-compaction sets).
+    """
+    faults = fault_universe(topology)
+    signatures = []
+    for fault in faults:
+        failing = frozenset(
+            index
+            for index, pattern in enumerate(patterns)
+            if detects(topology, pattern, fault)
+        )
+        signatures.append(failing)
+    return FaultDictionary(faults=faults, signatures=tuple(signatures))
+
+
+def syndrome_of(
+    topology: InterconnectTopology,
+    patterns: list[SIPattern],
+    present_faults: tuple[MAFault, ...],
+) -> frozenset[int]:
+    """The failing-pattern set a set of present faults would produce
+    (union of their signatures) — used to generate test syndromes."""
+    failing: set[int] = set()
+    for index, pattern in enumerate(patterns):
+        for fault in present_faults:
+            if detects(topology, pattern, fault):
+                failing.add(index)
+                break
+    return frozenset(failing)

@@ -1,0 +1,86 @@
+"""Test economics: defect level versus SI fault coverage.
+
+The Williams–Brown model relates shipped defect level to process yield
+and fault coverage::
+
+    DL = 1 - Y^(1 - FC)
+
+This module applies it to SI testing: grade a pattern set's MA coverage
+with the simulator, convert to defect level (in DPPM), and expose the
+trade-off "how many SI test cycles buy how many DPPM" — the quantitative
+argument for spending TAM bandwidth on interconnect SI tests at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sitest.patterns import SIPattern
+from repro.sitest.simulator import simulate
+from repro.sitest.topology import InterconnectTopology
+
+
+def williams_brown_defect_level(process_yield: float, coverage: float) -> float:
+    """Shipped defect level ``1 - Y^(1-FC)`` (fraction of shipped parts).
+
+    Raises:
+        ValueError: If yield is not in (0, 1] or coverage not in [0, 1].
+    """
+    if not 0.0 < process_yield <= 1.0:
+        raise ValueError("process yield must lie in (0, 1]")
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError("coverage must lie in [0, 1]")
+    return 1.0 - process_yield ** (1.0 - coverage)
+
+
+def defect_level_dppm(process_yield: float, coverage: float) -> float:
+    """Williams–Brown defect level in defective parts per million."""
+    return williams_brown_defect_level(process_yield, coverage) * 1e6
+
+
+@dataclass(frozen=True)
+class CoverageEconomicsPoint:
+    """One prefix of the pattern set."""
+
+    patterns_applied: int
+    coverage: float
+    dppm: float
+
+
+def coverage_economics(
+    topology: InterconnectTopology,
+    patterns: list[SIPattern],
+    process_yield: float,
+    checkpoints: tuple[int, ...],
+) -> tuple[CoverageEconomicsPoint, ...]:
+    """Defect level after each pattern-count checkpoint.
+
+    Monotone by construction: more patterns -> more coverage -> fewer
+    shipped SI escapes.
+    """
+    points = []
+    for checkpoint in checkpoints:
+        if checkpoint < 0:
+            raise ValueError("checkpoints must be non-negative")
+        report = simulate(topology, patterns[:checkpoint])
+        points.append(
+            CoverageEconomicsPoint(
+                patterns_applied=checkpoint,
+                coverage=report.coverage,
+                dppm=defect_level_dppm(process_yield, report.coverage),
+            )
+        )
+    return tuple(points)
+
+
+def format_economics_report(
+    points: tuple[CoverageEconomicsPoint, ...]
+) -> str:
+    """Text table of the coverage/DPPM trade-off."""
+    lines = [f"{'patterns':>9} {'MA coverage':>12} {'SI DPPM':>10}"]
+    for point in points:
+        lines.append(
+            f"{point.patterns_applied:>9} {point.coverage:>11.1%} "
+            f"{point.dppm:>10.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Signal-integrity fault models: maximal aggressor (MA) and multiple
+transition (MT / reduced MT).
+
+* **MA model** [Cuviello et al., ICCAD 1999]: all aggressors of a victim make
+  the same simultaneous transition; six fault types per victim (positive /
+  negative glitch on a quiescent victim, delayed / sped-up rise and fall), so
+  ``6 N`` vector pairs cover ``N`` victim interconnects.
+
+* **MT model** [Tehranipour et al., TCAD 2004]: all transitions on the
+  victim combined with every transition combination on the aggressors —
+  exponential in the aggressor count.  The *reduced* MT model restricts the
+  aggressors to the ``k`` coupled neighbors on either side (locality factor),
+  giving roughly ``N * 2^(2k+2)`` vector pairs.
+
+Both models emit :class:`~repro.sitest.patterns.SIPattern` vector pairs over
+an :class:`~repro.sitest.topology.InterconnectTopology`.  Pattern streams
+are generated lazily so the (huge) MT sets never need to be materialized to
+be counted or truncated.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+from repro.sitest.patterns import (
+    FALL,
+    RISE,
+    SIPattern,
+    STEADY_ONE,
+    STEADY_ZERO,
+    TRANSITIONS,
+)
+from repro.sitest.topology import InterconnectTopology
+
+#: The six MA fault types as (victim symbol, aggressor symbol) pairs:
+#: positive/negative glitch, delayed rise/fall, speedup rise/fall.
+MA_FAULT_TYPES: tuple[tuple[str, str], ...] = (
+    (STEADY_ZERO, RISE),  # positive glitch on quiescent-low victim
+    (STEADY_ONE, FALL),  # negative glitch on quiescent-high victim
+    (RISE, FALL),  # delayed rising transition
+    (FALL, RISE),  # delayed falling transition
+    (RISE, RISE),  # sped-up rising transition
+    (FALL, FALL),  # sped-up falling transition
+)
+
+#: Victim states exercised by the MT model: steady values and transitions.
+MT_VICTIM_SYMBOLS: tuple[str, ...] = (STEADY_ZERO, STEADY_ONE, RISE, FALL)
+
+
+def ma_pattern_count(victim_count: int) -> int:
+    """Number of MA vector pairs for ``victim_count`` interconnects (``6N``)."""
+    if victim_count < 0:
+        raise ValueError("victim count must be non-negative")
+    return 6 * victim_count
+
+
+def reduced_mt_pattern_count(victim_count: int, locality: int) -> int:
+    """Approximate reduced-MT vector pair count, ``N * 2^(2k+2)``."""
+    if victim_count < 0:
+        raise ValueError("victim count must be non-negative")
+    if locality < 0:
+        raise ValueError("locality factor must be non-negative")
+    return victim_count * 2 ** (2 * locality + 2)
+
+
+def generate_ma_patterns(topology: InterconnectTopology) -> Iterator[SIPattern]:
+    """Yield the MA test set for every net of ``topology``.
+
+    Each victim net yields six patterns; in each, all of the victim's
+    coupled neighbors carry the same aggressor transition.
+    """
+    for victim in topology.nets:
+        aggressors = topology.aggressors_of(victim.net_id)
+        for victim_symbol, aggressor_symbol in MA_FAULT_TYPES:
+            cares = {victim.driver: victim_symbol}
+            for aggressor in aggressors:
+                cares[aggressor.driver] = aggressor_symbol
+            yield SIPattern(cares=cares, victim=victim.driver)
+
+
+def generate_reduced_mt_patterns(
+    topology: InterconnectTopology,
+    locality: int,
+) -> Iterator[SIPattern]:
+    """Yield the reduced-MT test set for every net of ``topology``.
+
+    For each victim, the aggressor set is clipped to the ``locality``
+    coupled neighbors on either side (at most ``2 * locality`` nets), and
+    every combination of rise/fall transitions on those aggressors is
+    paired with each of the four victim states.
+    """
+    if locality < 0:
+        raise ValueError("locality factor must be non-negative")
+    for victim in topology.nets:
+        neighbor_ids = sorted(topology.neighborhoods.get(victim.net_id, ()))
+        below = [n for n in neighbor_ids if n < victim.net_id][-locality:]
+        above = [n for n in neighbor_ids if n > victim.net_id][:locality]
+        aggressor_ids = below + above
+        aggressor_drivers = [topology.nets[n].driver for n in aggressor_ids]
+        for victim_symbol in MT_VICTIM_SYMBOLS:
+            for combo in product(TRANSITIONS, repeat=len(aggressor_drivers)):
+                cares = {victim.driver: victim_symbol}
+                for driver, symbol in zip(aggressor_drivers, combo):
+                    cares[driver] = symbol
+                yield SIPattern(cares=cares, victim=victim.driver)

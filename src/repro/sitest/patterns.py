@@ -1,0 +1,159 @@
+"""Signal-integrity test pattern algebra.
+
+An SI test pattern (paper, Table 1) assigns to a few core output terminals a
+symbol out of:
+
+* ``x`` — don't care (never stored; absence of an assignment means ``x``),
+* ``0`` / ``1`` — terminal held steady at 0/1 over two consecutive cycles,
+* ``R`` — positive transition (the paper's ``↑``),
+* ``F`` — negative transition (the paper's ``↓``).
+
+Each pattern additionally carries a *bus postfix*: the set of shared-bus
+lines it utilizes.  Because a bus line is a test resource shared by several
+cores, a line claim records *which core boundary* drives the line; two
+patterns claiming the same line from different boundaries must not be merged
+(paper, Section 3).
+
+Patterns are sparse: only care bits are stored.  Two patterns are
+*compatible* when their symbol-wise intersection is non-empty, i.e. they
+never assign different non-``x`` symbols to the same terminal and never
+claim the same bus line from different cores.  Compatibility is a pairwise
+property, so any pairwise-compatible set has a non-empty intersection — the
+clique-cover formulation of Section 3 is therefore sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Symbols for care bits.  "x" is represented by absence.
+STEADY_ZERO = "0"
+STEADY_ONE = "1"
+RISE = "R"
+FALL = "F"
+
+SYMBOLS = (STEADY_ZERO, STEADY_ONE, RISE, FALL)
+TRANSITIONS = (RISE, FALL)
+
+_GLYPHS = {STEADY_ZERO: "0", STEADY_ONE: "1", RISE: "↑", FALL: "↓"}
+
+Terminal = tuple[int, int]
+"""A core output terminal: ``(core_id, output_index)``."""
+
+
+@dataclass(frozen=True)
+class SIPattern:
+    """One (possibly merged) SI test vector pair.
+
+    Attributes:
+        cares: Mapping from terminal to its symbol; terminals not present
+            are don't-cares.
+        bus_claims: Mapping from utilized bus line index to the id of the
+            core whose boundary drives the line for this pattern.
+        victim: The victim terminal, or ``None`` for merged patterns that
+            cover several victims.
+    """
+
+    cares: dict[Terminal, str] = field(default_factory=dict)
+    bus_claims: dict[int, int] = field(default_factory=dict)
+    victim: Terminal | None = None
+
+    def __post_init__(self) -> None:
+        for terminal, symbol in self.cares.items():
+            if symbol not in SYMBOLS:
+                raise ValueError(f"invalid symbol {symbol!r} at {terminal}")
+
+    @property
+    def care_cores(self) -> frozenset[int]:
+        """Ids of the cores whose terminals this pattern cares about."""
+        return frozenset(core_id for core_id, _ in self.cares)
+
+    def is_compatible(self, other: "SIPattern") -> bool:
+        """True when the intersection of the two patterns is non-empty."""
+        small, large = (
+            (self, other) if len(self.cares) <= len(other.cares) else (other, self)
+        )
+        large_cares = large.cares
+        for terminal, symbol in small.cares.items():
+            existing = large_cares.get(terminal)
+            if existing is not None and existing != symbol:
+                return False
+        small_bus, large_bus = (
+            (self, other)
+            if len(self.bus_claims) <= len(other.bus_claims)
+            else (other, self)
+        )
+        large_claims = large_bus.bus_claims
+        for line, driver in small_bus.bus_claims.items():
+            existing = large_claims.get(line)
+            if existing is not None and existing != driver:
+                return False
+        return True
+
+    def merged_with(self, other: "SIPattern") -> "SIPattern":
+        """Return the intersection (merge) of two compatible patterns.
+
+        Raises:
+            ValueError: If the patterns are incompatible.
+        """
+        if not self.is_compatible(other):
+            raise ValueError("cannot merge incompatible SI patterns")
+        cares = dict(self.cares)
+        cares.update(other.cares)
+        bus_claims = dict(self.bus_claims)
+        bus_claims.update(other.bus_claims)
+        return SIPattern(cares=cares, bus_claims=bus_claims, victim=None)
+
+
+def format_pattern_table(
+    patterns: list[SIPattern],
+    core_outputs: dict[int, int],
+    bus_width: int = 0,
+) -> str:
+    """Render patterns in the style of the paper's Table 1.
+
+    Args:
+        patterns: The patterns to render (rows).
+        core_outputs: Mapping ``core_id -> number of output terminals``;
+            defines the columns, in sorted core-id order.
+        bus_width: Number of shared-bus lines to render as the postfix.
+
+    Returns:
+        A fixed-width text table using ``↑``/``↓`` glyphs for transitions.
+    """
+    core_ids = sorted(core_outputs)
+    header_cells = [f"core{core_id} WOC" for core_id in core_ids]
+    if bus_width:
+        header_cells.append("Bus")
+
+    rows: list[list[str]] = []
+    for pattern in patterns:
+        cells = []
+        for core_id in core_ids:
+            symbols = [
+                _GLYPHS.get(pattern.cares.get((core_id, index)), "x")
+                for index in range(core_outputs[core_id])
+            ]
+            cells.append(" ".join(symbols))
+        if bus_width:
+            bus_bits = [
+                "1" if line in pattern.bus_claims else "x"
+                for line in range(bus_width)
+            ]
+            cells.append(" ".join(bus_bits))
+        rows.append(cells)
+
+    widths = [
+        max(len(header_cells[column]), *(len(row[column]) for row in rows))
+        if rows
+        else len(header_cells[column])
+        for column in range(len(header_cells))
+    ]
+    lines = [
+        " | ".join(cell.ljust(width) for cell, width in zip(header_cells, widths))
+    ]
+    lines.append("-+-".join("-" * width for width in widths))
+    for index, row in enumerate(rows, start=1):
+        body = " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(body)
+    return "\n".join(lines)

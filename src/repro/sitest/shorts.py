@@ -1,0 +1,135 @@
+"""Classical interconnect shorts/opens testing (boundary-scan style).
+
+The paper's premise (Section 1) is that testing core-external
+interconnects for *shorts and opens* "requires little time" — a handful of
+boundary-scan patterns — which is why prior TAM work could ignore ExTest,
+and why SI tests (thousands of vector pairs) change the picture.  This
+module implements that classical baseline so the claim can be measured:
+
+* the **counting sequence** [Kautz 1974]: net `i` drives the binary code
+  of `i` over ``ceil(log2(N))`` patterns, distinguishing every net pair
+  — but all-0/all-1 codes alias with stuck nets;
+* the **modified counting sequence** [Wagner 1987]: codes `1..N` (skipping
+  all-0s/all-1s) followed by their complements — ``2·(ceil(log2(N+2)))``
+  patterns, detecting and diagnosing shorts (wired-AND/OR), stuck-at-0 and
+  stuck-at-1 and opens;
+* **true/complement aliasing analysis**: which net pairs a given code
+  assignment confounds.
+
+Times are priced with the same wrapper model as SI tests, so the shorts
+baseline slots straight into the cost comparison benches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sitest.topology import InterconnectTopology
+from repro.soc.model import Soc
+
+
+def counting_sequence_length(net_count: int) -> int:
+    """Patterns of the plain counting sequence: ``ceil(log2(N))``."""
+    if net_count < 0:
+        raise ValueError("net count must be non-negative")
+    if net_count <= 1:
+        return 0 if net_count == 0 else 1
+    return math.ceil(math.log2(net_count))
+
+
+def modified_counting_sequence_length(net_count: int) -> int:
+    """Patterns of the modified (true/complement) counting sequence."""
+    if net_count < 0:
+        raise ValueError("net count must be non-negative")
+    if net_count == 0:
+        return 0
+    # Codes 1 .. N over w bits, excluding all-0s and all-1s: need
+    # 2^w - 2 >= N; then each pattern is applied true and complemented.
+    bits = 1
+    while 2**bits - 2 < net_count:
+        bits += 1
+    return 2 * bits
+
+
+def counting_codes(net_count: int, modified: bool = True) -> list[list[int]]:
+    """Per-net parallel test vectors, one inner list per pattern.
+
+    ``result[p][n]`` is the bit net ``n`` drives in pattern ``p``.  With
+    ``modified=True`` the all-0s/all-1s codes are skipped and complement
+    patterns appended.
+    """
+    if net_count < 0:
+        raise ValueError("net count must be non-negative")
+    if net_count == 0:
+        return []
+    if modified:
+        bits = modified_counting_sequence_length(net_count) // 2
+        codes = [net + 1 for net in range(net_count)]  # skip all-0s
+    else:
+        bits = counting_sequence_length(net_count)
+        codes = list(range(net_count))
+    true_patterns = [
+        [(code >> bit) & 1 for code in codes] for bit in range(bits)
+    ]
+    if not modified:
+        return true_patterns
+    complement_patterns = [
+        [1 - value for value in pattern] for pattern in true_patterns
+    ]
+    return true_patterns + complement_patterns
+
+
+def aliased_pairs(codes: list[int]) -> list[tuple[int, int]]:
+    """Net pairs whose codes coincide (a short between them is silent)."""
+    seen: dict[int, int] = {}
+    pairs = []
+    for net, code in enumerate(codes):
+        if code in seen:
+            pairs.append((seen[code], net))
+        else:
+            seen[code] = net
+    return pairs
+
+
+@dataclass(frozen=True)
+class ShortsTestPlan:
+    """Sized shorts/opens test for an SOC's interconnects.
+
+    Attributes:
+        net_count: Interconnects under test.
+        patterns: Boundary-scan patterns applied (modified counting seq.).
+        shift_depth: Cycles to load one pattern through the deepest
+            boundary chain at the given TAM width.
+    """
+
+    net_count: int
+    patterns: int
+    shift_depth: int
+
+    @property
+    def total_cycles(self) -> int:
+        """Serial application cost: shift + one capture per pattern."""
+        return self.patterns * (self.shift_depth + 1)
+
+
+def plan_shorts_test(
+    soc: Soc,
+    topology: InterconnectTopology,
+    width: int,
+) -> ShortsTestPlan:
+    """Price the modified counting sequence on this SOC's interconnects.
+
+    All cores' wrapper output cells shift concurrently over ``width``
+    wires (single ExTest session, every boundary involved), mirroring how
+    the SI timing model treats a group involving all cores.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    total_woc = sum(core.woc_count for core in soc)
+    depth = -(-total_woc // width) if total_woc else 0
+    return ShortsTestPlan(
+        net_count=topology.net_count,
+        patterns=modified_counting_sequence_length(topology.net_count),
+        shift_depth=depth,
+    )

@@ -1,0 +1,146 @@
+"""Behavioral SI fault simulator: MA fault coverage of a pattern set.
+
+Under the maximal aggressor model each net carries six faults — positive /
+negative glitch, delayed rise / fall, sped-up rise / fall (see
+:data:`repro.sitest.faults.MA_FAULT_TYPES`).  A test pattern *detects* such
+a fault when it drives the victim terminal with the fault's victim state
+while **all** coupled aggressors of the net simultaneously carry the
+fault's aggressor transition — the worst-case excitation the model calls
+for — and the receiving wrapper's ILS cell observes the victim (always
+true in this wrapper-based methodology).
+
+The simulator grades arbitrary pattern sets (deterministic MA sets, random
+sets, merged/compacted sets) against a topology, enabling two experiments
+the library uses:
+
+* compaction safety — merging compatible patterns can only *add* care
+  bits, so a compacted set must cover at least the faults of the original
+  set (property-tested in ``tests/sitest/test_simulator.py``);
+* coverage curves — how fast random pattern sets accumulate MA coverage
+  compared to the deterministic ``6N`` set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sitest.faults import MA_FAULT_TYPES
+from repro.sitest.patterns import SIPattern
+from repro.sitest.topology import InterconnectTopology
+
+
+@dataclass(frozen=True)
+class MAFault:
+    """One maximal-aggressor fault instance.
+
+    Attributes:
+        net_id: The victim net.
+        fault_type: Index into :data:`MA_FAULT_TYPES`.
+    """
+
+    net_id: int
+    fault_type: int
+
+    def describe(self) -> str:
+        victim_symbol, aggressor_symbol = MA_FAULT_TYPES[self.fault_type]
+        return (
+            f"net {self.net_id}: victim {victim_symbol!r} with aggressors "
+            f"{aggressor_symbol!r}"
+        )
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Outcome of grading a pattern set.
+
+    Attributes:
+        total_faults: Fault universe size (6 per net with aggressors).
+        detected: The faults at least one pattern detects.
+    """
+
+    total_faults: int
+    detected: frozenset[MAFault]
+
+    @property
+    def coverage(self) -> float:
+        if self.total_faults == 0:
+            return 1.0
+        return len(self.detected) / self.total_faults
+
+
+def fault_universe(topology: InterconnectTopology) -> tuple[MAFault, ...]:
+    """All MA faults of a topology.
+
+    Nets without coupled aggressors cannot exhibit MA faults and are
+    excluded from the universe.
+    """
+    faults = []
+    for net in topology.nets:
+        if not topology.neighborhoods.get(net.net_id):
+            continue
+        for fault_type in range(len(MA_FAULT_TYPES)):
+            faults.append(MAFault(net_id=net.net_id, fault_type=fault_type))
+    return tuple(faults)
+
+
+def detects(
+    topology: InterconnectTopology, pattern: SIPattern, fault: MAFault
+) -> bool:
+    """True when ``pattern`` excites ``fault`` per the MA model."""
+    victim_symbol, aggressor_symbol = MA_FAULT_TYPES[fault.fault_type]
+    net = topology.nets[fault.net_id]
+    if pattern.cares.get(net.driver) != victim_symbol:
+        return False
+    for aggressor_id in topology.neighborhoods.get(fault.net_id, ()):
+        driver = topology.nets[aggressor_id].driver
+        if pattern.cares.get(driver) != aggressor_symbol:
+            return False
+    return True
+
+
+def simulate(
+    topology: InterconnectTopology, patterns: list[SIPattern]
+) -> CoverageReport:
+    """Grade ``patterns`` against the full MA fault universe.
+
+    The hot path is indexed by victim terminal: only patterns that drive a
+    net's victim with the right state are checked against its aggressors.
+    """
+    universe = fault_universe(topology)
+
+    # Index patterns by (victim driver terminal, symbol carried there).
+    by_assignment: dict[tuple, list[SIPattern]] = {}
+    for pattern in patterns:
+        for terminal, symbol in pattern.cares.items():
+            by_assignment.setdefault((terminal, symbol), []).append(pattern)
+
+    detected = set()
+    for fault in universe:
+        victim_symbol, _ = MA_FAULT_TYPES[fault.fault_type]
+        driver = topology.nets[fault.net_id].driver
+        for pattern in by_assignment.get((driver, victim_symbol), ()):
+            if detects(topology, pattern, fault):
+                detected.add(fault)
+                break
+    return CoverageReport(
+        total_faults=len(universe), detected=frozenset(detected)
+    )
+
+
+def coverage_curve(
+    topology: InterconnectTopology,
+    patterns: list[SIPattern],
+    checkpoints: tuple[int, ...],
+) -> tuple[tuple[int, float], ...]:
+    """MA coverage after each prefix length in ``checkpoints``.
+
+    Useful for comparing how fast different pattern sources (deterministic
+    MA, random, compacted) accumulate coverage.
+    """
+    points = []
+    for checkpoint in checkpoints:
+        if checkpoint < 0:
+            raise ValueError("checkpoints must be non-negative")
+        report = simulate(topology, patterns[:checkpoint])
+        points.append((checkpoint, report.coverage))
+    return tuple(points)

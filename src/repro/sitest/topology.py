@@ -1,0 +1,169 @@
+"""Core-external interconnect topology model.
+
+The ITC'02 benchmarks carry no functional netlist, but the fault models
+(:mod:`repro.sitest.faults`) and the Fig. 1 style examples need one.  A
+topology is a set of point-to-point *nets* (each driven by one core output
+terminal and received by one or more cores) plus an optional shared bus, and
+a *coupling neighborhood* describing which nets run close enough to act as
+aggressors on each other.
+
+For synthetic experiments a topology can be generated with
+:func:`random_topology`, which wires core outputs to other cores and derives
+the coupling neighborhoods from a linear placement of the nets (nets with
+nearby indices couple), matching the locality assumption behind the reduced
+MT fault model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.soc.model import Soc
+from repro.sitest.patterns import Terminal
+
+
+@dataclass(frozen=True)
+class Net:
+    """A core-external interconnect.
+
+    Attributes:
+        net_id: Index of the net within the topology.
+        driver: The core output terminal driving the net.
+        receivers: Ids of the cores receiving the net.
+    """
+
+    net_id: int
+    driver: Terminal
+    receivers: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SharedBus:
+    """A functional bus shared between several cores.
+
+    Attributes:
+        width: Number of bus lines.
+        connected_cores: Ids of the cores attached to the bus.
+    """
+
+    width: int
+    connected_cores: tuple[int, ...]
+
+
+@dataclass
+class InterconnectTopology:
+    """Interconnects of an SOC: nets, optional shared bus, and coupling.
+
+    Attributes:
+        nets: All point-to-point nets.
+        bus: The shared functional bus, if any.
+        neighborhoods: ``neighborhoods[net_id]`` lists the net ids that can
+            act as aggressors on that net (its coupled neighbors).
+    """
+
+    nets: list[Net] = field(default_factory=list)
+    bus: SharedBus | None = None
+    neighborhoods: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def net_count(self) -> int:
+        return len(self.nets)
+
+    def net_by_id(self, net_id: int) -> Net:
+        return self.nets[net_id]
+
+    def aggressors_of(self, net_id: int) -> tuple[Net, ...]:
+        """Nets coupled to ``net_id`` (its potential aggressors)."""
+        return tuple(self.nets[n] for n in self.neighborhoods.get(net_id, ()))
+
+    def validate(self, soc: Soc) -> None:
+        """Check the topology against an SOC; raise ``ValueError`` on errors."""
+        core_ids = set(soc.core_ids)
+        outputs = {core.core_id: core.woc_count for core in soc}
+        for net in self.nets:
+            driver_core, driver_index = net.driver
+            if driver_core not in core_ids:
+                raise ValueError(f"net {net.net_id}: unknown driver core {driver_core}")
+            if not 0 <= driver_index < outputs[driver_core]:
+                raise ValueError(
+                    f"net {net.net_id}: driver index {driver_index} out of range "
+                    f"for core {driver_core} ({outputs[driver_core]} output cells)"
+                )
+            for receiver in net.receivers:
+                if receiver not in core_ids:
+                    raise ValueError(
+                        f"net {net.net_id}: unknown receiver core {receiver}"
+                    )
+        if self.bus is not None:
+            for core_id in self.bus.connected_cores:
+                if core_id not in core_ids:
+                    raise ValueError(f"bus: unknown connected core {core_id}")
+        for net_id, neighbors in self.neighborhoods.items():
+            if not 0 <= net_id < len(self.nets):
+                raise ValueError(f"neighborhood for unknown net {net_id}")
+            for neighbor in neighbors:
+                if not 0 <= neighbor < len(self.nets):
+                    raise ValueError(
+                        f"net {net_id}: unknown coupled neighbor {neighbor}"
+                    )
+                if neighbor == net_id:
+                    raise ValueError(f"net {net_id} listed as its own aggressor")
+
+
+def random_topology(
+    soc: Soc,
+    fanouts_per_core: int = 2,
+    locality: int = 3,
+    bus_width: int = 32,
+    seed: int = 0,
+) -> InterconnectTopology:
+    """Generate a random interconnect topology for ``soc``.
+
+    Every core output terminal that is "used" drives one net to
+    ``fanouts_per_core`` randomly chosen other cores (mirroring the paper's
+    Section 2 sizing example where each core sends data to two others).
+    Nets are placed on a line in creation order and each net couples to the
+    ``locality`` nets on either side, the neighborhood structure assumed by
+    the reduced MT fault model.
+
+    Args:
+        soc: The SOC to wire up.
+        fanouts_per_core: Receivers per net.
+        locality: Coupling reach ``k``; net ``i`` couples to nets
+            ``i-k .. i+k`` (excluding itself).
+        bus_width: Width of the shared bus (0 disables the bus).
+        seed: RNG seed; the construction is fully deterministic.
+    """
+    rng = random.Random(seed)
+    core_ids = list(soc.core_ids)
+    if len(core_ids) < 2:
+        raise ValueError("need at least two cores to build interconnects")
+
+    nets: list[Net] = []
+    for core in soc:
+        others = [core_id for core_id in core_ids if core_id != core.core_id]
+        for output_index in range(core.woc_count):
+            receivers = tuple(
+                sorted(rng.sample(others, min(fanouts_per_core, len(others))))
+            )
+            nets.append(
+                Net(
+                    net_id=len(nets),
+                    driver=(core.core_id, output_index),
+                    receivers=receivers,
+                )
+            )
+
+    neighborhoods = {}
+    for net in nets:
+        low = max(0, net.net_id - locality)
+        high = min(len(nets) - 1, net.net_id + locality)
+        neighborhoods[net.net_id] = tuple(
+            n for n in range(low, high + 1) if n != net.net_id
+        )
+
+    bus = None
+    if bus_width > 0:
+        bus = SharedBus(width=bus_width, connected_cores=tuple(core_ids))
+    return InterconnectTopology(nets=nets, bus=bus, neighborhoods=neighborhoods)

@@ -1,0 +1,97 @@
+"""JSON persistence of interconnect topologies.
+
+Lets users bring real netlist-derived topologies (nets, bus, coupling
+neighborhoods) into the flow, mirroring the pattern-set I/O in
+:mod:`repro.sitest.io`.
+
+Format::
+
+    {
+      "format": "repro-topology",
+      "version": 1,
+      "nets": [{"id": 0, "driver": [core, terminal],
+                "receivers": [core, ...]}],
+      "bus": {"width": 32, "cores": [1, 2, ...]},   // optional
+      "neighborhoods": {"0": [1, 2], ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.sitest.topology import InterconnectTopology, Net, SharedBus
+
+_FORMAT = "repro-topology"
+_VERSION = 1
+
+
+def topology_to_dict(topology: InterconnectTopology) -> dict:
+    """JSON-ready representation of a topology."""
+    data: dict = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "nets": [
+            {
+                "id": net.net_id,
+                "driver": list(net.driver),
+                "receivers": list(net.receivers),
+            }
+            for net in topology.nets
+        ],
+        "neighborhoods": {
+            str(net_id): list(neighbors)
+            for net_id, neighbors in sorted(topology.neighborhoods.items())
+        },
+    }
+    if topology.bus is not None:
+        data["bus"] = {
+            "width": topology.bus.width,
+            "cores": list(topology.bus.connected_cores),
+        }
+    return data
+
+
+def topology_from_dict(data: dict) -> InterconnectTopology:
+    """Rebuild a topology from :func:`topology_to_dict` output.
+
+    Raises:
+        ValueError: On an unrecognized payload.
+    """
+    if data.get("format") != _FORMAT:
+        raise ValueError(
+            f"not a topology payload (format={data.get('format')!r})"
+        )
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    nets = [
+        Net(
+            net_id=int(entry["id"]),
+            driver=(int(entry["driver"][0]), int(entry["driver"][1])),
+            receivers=tuple(int(r) for r in entry.get("receivers", [])),
+        )
+        for entry in data.get("nets", [])
+    ]
+    bus = None
+    if "bus" in data:
+        bus = SharedBus(
+            width=int(data["bus"]["width"]),
+            connected_cores=tuple(int(c) for c in data["bus"]["cores"]),
+        )
+    neighborhoods = {
+        int(net_id): tuple(int(n) for n in neighbors)
+        for net_id, neighbors in data.get("neighborhoods", {}).items()
+    }
+    return InterconnectTopology(nets=nets, bus=bus,
+                                neighborhoods=neighborhoods)
+
+
+def save_topology(topology: InterconnectTopology, path: str | Path) -> None:
+    """Write a topology to a JSON file."""
+    Path(path).write_text(json.dumps(topology_to_dict(topology)) + "\n")
+
+
+def load_topology(path: str | Path) -> InterconnectTopology:
+    """Read a topology from a JSON file."""
+    return topology_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,162 @@
+"""Cycle-accurate shift-vector emission for SI test groups.
+
+Turns a compacted SI test group into the actual per-cycle TAM wire values
+a tester would stream — the last translation step before an ATE program.
+Besides its practical use, this is the strongest validation of the timing
+model: the emitted stream for a rail is, by construction, exactly
+``depth_r(s)`` rows per pattern, so the evaluator's cycle counts are
+checked against real data rather than against themselves
+(``tests/sitest/test_vectors.py``).
+
+Conventions (documented simplifications):
+
+* WOCs are transition-generator cells: the shifted bit is the *target*
+  value of the vector pair; the initial value is the cell's current state
+  (launch-off-shift).  Symbol → target bit: ``0``→0, ``1``→1, ``R``→1,
+  ``F``→0; don't-cares shift 0.
+* A rail's chain concatenates its cores in id order; within a core, WOC
+  ``i`` sits on sub-chain ``i % width`` at depth ``i // width`` (balanced
+  round-robin), matching ``ceil(woc / width)`` per-core depth.
+* Rows are emitted shift-first: row 0 enters the chain first, so it ends
+  up deepest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compaction.groups import SITestGroup
+from repro.sitest.patterns import FALL, RISE, SIPattern, STEADY_ONE
+from repro.soc.model import Soc
+from repro.tam.testrail import TestRailArchitecture
+
+_TARGET_BIT = {STEADY_ONE: 1, RISE: 1, FALL: 0}
+
+
+@dataclass(frozen=True)
+class RailVectors:
+    """Shift data of one rail for one SI test group.
+
+    Attributes:
+        rail_index: Index of the rail in the architecture.
+        width: Wires of the rail.
+        depth: Shift rows per pattern (the rail's per-pattern depth).
+        rows: ``rows[p][c]`` is the width-bit tuple shifted in cycle ``c``
+            of pattern ``p``.
+    """
+
+    rail_index: int
+    width: int
+    depth: int
+    rows: tuple[tuple[tuple[int, ...], ...], ...]
+
+    @property
+    def shift_cycles(self) -> int:
+        """Total shift cycles over all patterns (excludes launch/capture)."""
+        return sum(len(pattern_rows) for pattern_rows in self.rows)
+
+
+@dataclass(frozen=True)
+class GroupVectors:
+    """Complete shift program of one SI test group."""
+
+    group_id: int
+    rails: tuple[RailVectors, ...]
+
+    def rail(self, rail_index: int) -> RailVectors:
+        for rail_vectors in self.rails:
+            if rail_vectors.rail_index == rail_index:
+                return rail_vectors
+        raise KeyError(f"rail {rail_index} not involved in this group")
+
+
+def _cell_map(
+    soc: Soc, cores: tuple[int, ...], width: int, group_cores: frozenset[int]
+) -> tuple[dict[tuple[int, int], tuple[int, int]], int]:
+    """Map each involved (core, woc index) to (wire, row) on the rail.
+
+    Rows count from the chain input: a core later in the chain occupies
+    deeper rows.  Returns the map and the total depth.
+    """
+    cell_of: dict[tuple[int, int], tuple[int, int]] = {}
+    offset = 0
+    for core_id in cores:
+        if core_id not in group_cores:
+            continue  # bypassed core: contributes no cells
+        woc = soc.core_by_id(core_id).woc_count
+        if woc == 0:
+            continue
+        depth = -(-woc // width)
+        for index in range(woc):
+            wire = index % width
+            row = offset + index // width
+            cell_of[(core_id, index)] = (wire, row)
+        offset += depth
+    return cell_of, offset
+
+
+def expand_group(
+    soc: Soc,
+    architecture: TestRailArchitecture,
+    group: SITestGroup,
+    patterns: list[SIPattern],
+) -> GroupVectors:
+    """Emit the shift rows of ``patterns`` (the group's compacted set) for
+    every rail the group involves.
+
+    Raises:
+        ValueError: If a pattern cares about a terminal outside the
+            group's cores.
+    """
+    rails = []
+    for rail_index, rail in enumerate(architecture.rails):
+        involved = frozenset(rail.cores) & group.cores
+        if not involved:
+            continue
+        cell_of, depth = _cell_map(soc, rail.cores, rail.width, group.cores)
+        pattern_rows = []
+        for pattern in patterns:
+            rows = [[0] * rail.width for _ in range(depth)]
+            for (core_id, terminal), symbol in pattern.cares.items():
+                if core_id not in group.cores:
+                    raise ValueError(
+                        f"pattern cares about core {core_id} outside the "
+                        "group"
+                    )
+                position = cell_of.get((core_id, terminal))
+                if position is None:
+                    continue  # cell on another rail
+                wire, row = position
+                rows[row][wire] = _TARGET_BIT.get(symbol, 0)
+            # Shift-first emission: the deepest row must enter first.
+            pattern_rows.append(
+                tuple(tuple(row) for row in reversed(rows))
+            )
+        rails.append(
+            RailVectors(
+                rail_index=rail_index,
+                width=rail.width,
+                depth=depth,
+                rows=tuple(pattern_rows),
+            )
+        )
+    return GroupVectors(group_id=group.group_id, rails=tuple(rails))
+
+
+def format_vectors(vectors: GroupVectors, max_patterns: int = 4) -> str:
+    """Human-readable dump of the first few patterns per rail."""
+    lines = [f"SI group {vectors.group_id} shift program"]
+    for rail_vectors in vectors.rails:
+        lines.append(
+            f"  rail {rail_vectors.rail_index}: width "
+            f"{rail_vectors.width}, {rail_vectors.depth} rows/pattern, "
+            f"{rail_vectors.shift_cycles} shift cycles total"
+        )
+        for index, rows in enumerate(rail_vectors.rows[:max_patterns]):
+            bits = " ".join("".join(str(b) for b in row) for row in rows)
+            lines.append(f"    p{index}: {bits}")
+        if len(rail_vectors.rows) > max_patterns:
+            lines.append(
+                f"    ... {len(rail_vectors.rows) - max_patterns} more"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Access to the benchmark SOCs shipped with the package.
+
+The paper evaluates on the ITC'02 benchmarks ``p34392`` and ``p93791``.
+The original benchmark files are not redistributable here, so the package
+ships reconstructions (see DESIGN.md §4): ``d695`` follows the published
+core table exactly; ``p34392`` and ``p93791`` reproduce the published
+structural statistics with deterministic synthetic detail.  ``t5`` is a
+small toy SOC for examples and tests.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+
+from repro.soc.itc02 import parse
+from repro.soc.model import Soc
+
+_DATA_PACKAGE = "repro.soc.data"
+
+
+def available_benchmarks() -> tuple[str, ...]:
+    """Names of the benchmark SOCs shipped with the package, sorted."""
+    names = []
+    for entry in resources.files(_DATA_PACKAGE).iterdir():
+        if entry.name.endswith(".soc"):
+            names.append(entry.name[: -len(".soc")])
+    return tuple(sorted(names))
+
+
+def load_benchmark(name: str) -> Soc:
+    """Load a shipped benchmark SOC by name (e.g. ``"p93791"``).
+
+    Raises:
+        KeyError: If no benchmark with that name is shipped.
+    """
+    resource = resources.files(_DATA_PACKAGE) / f"{name}.soc"
+    if not resource.is_file():
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: "
+            f"{', '.join(available_benchmarks())}"
+        )
+    return parse(resource.read_text())

@@ -1,0 +1,109 @@
+"""Hierarchy utilities for two-level ITC'02 SOCs.
+
+Several ITC'02 benchmarks are hierarchical: some modules are children of
+others and are only accessible through their parent's wrapper.  The paper
+sidesteps this ("Without loss of generality, we do not consider hierarchy
+in the testing of core-internal logic"), and so does the optimizer — but
+the data model carries ``level``/``parent``, and this module provides the
+pieces a hierarchy-aware flow needs:
+
+* structural validation (parents exist, levels consistent, no cycles),
+* child/parent queries,
+* :func:`flatten` — the paper's move: promote every core to the top level
+  so the flat optimizers apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.soc.model import Core, Soc
+
+
+class HierarchyError(ValueError):
+    """Raised when an SOC's hierarchy annotations are inconsistent."""
+
+
+def validate_hierarchy(soc: Soc) -> None:
+    """Check parent/level consistency.
+
+    Raises:
+        HierarchyError: If a parent id is unknown or self-referential, a
+            child's level is not strictly deeper than its parent's, or
+            the parent chain contains a cycle.
+    """
+    cores = {core.core_id: core for core in soc}
+    for core in soc:
+        if core.parent is None:
+            continue
+        if core.parent == core.core_id:
+            raise HierarchyError(
+                f"core {core.core_id} lists itself as parent"
+            )
+        parent = cores.get(core.parent)
+        if parent is None:
+            raise HierarchyError(
+                f"core {core.core_id}: unknown parent {core.parent}"
+            )
+        if core.level <= parent.level:
+            raise HierarchyError(
+                f"core {core.core_id} (level {core.level}) must sit "
+                f"deeper than parent {parent.core_id} "
+                f"(level {parent.level})"
+            )
+    # Cycle check via chain walking (levels already force acyclicity when
+    # consistent, but walk anyway so broken inputs fail loudly).
+    for core in soc:
+        seen = {core.core_id}
+        current = core
+        while current.parent is not None:
+            if current.parent in seen:
+                raise HierarchyError(
+                    f"parent cycle through core {current.parent}"
+                )
+            seen.add(current.parent)
+            current = cores[current.parent]
+
+
+def children_of(soc: Soc, core_id: int) -> tuple[Core, ...]:
+    """Direct children of a core, in file order."""
+    soc.core_by_id(core_id)  # raises KeyError for unknown ids
+    return tuple(core for core in soc if core.parent == core_id)
+
+
+def top_level_cores(soc: Soc) -> tuple[Core, ...]:
+    """Cores without a parent."""
+    return tuple(core for core in soc if core.parent is None)
+
+
+def hierarchy_depth(soc: Soc) -> int:
+    """Length of the longest parent chain (1 for a flat SOC, 0 if empty)."""
+    if not len(soc):
+        return 0
+    validate_hierarchy(soc)
+    cores = {core.core_id: core for core in soc}
+
+    def depth(core: Core) -> int:
+        count = 1
+        while core.parent is not None:
+            core = cores[core.parent]
+            count += 1
+        return count
+
+    return max(depth(core) for core in soc)
+
+
+def flatten(soc: Soc) -> Soc:
+    """Promote every core to the top level (the paper's assumption).
+
+    Returns a new SOC whose cores all have ``parent=None`` and
+    ``level=1``; everything else is untouched.  Validates first so that
+    silently flattening a broken hierarchy is impossible.
+    """
+    validate_hierarchy(soc)
+    return Soc(
+        name=soc.name,
+        cores=tuple(
+            replace(core, parent=None, level=1) for core in soc
+        ),
+    )

@@ -1,0 +1,221 @@
+"""Parser and writer for the ITC'02 SOC test benchmark format.
+
+The grammar implemented here follows the published ITC'02 benchmark files
+[Marinissen, Iyengar, Chakrabarty, ITC 2002]::
+
+    SocName <name>
+    TotalModules <n>
+    Module <id> ['<name>']
+      Level <k>
+      Inputs <i>
+      Outputs <o>
+      Bidirs <b>
+      ScanChains <count> [: <len1> <len2> ...]
+      TotalTests <t>
+      Test <j>
+        ScanUse <0|1>
+        TamUse <0|1>
+        Patterns <p>
+
+Lines starting with ``#`` and blank lines are ignored; indentation is not
+significant.  The writer emits exactly this grammar, so
+``parse(dumps(soc)) == soc`` round-trips.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.soc.model import Core, CoreTest, Soc
+
+
+class Itc02ParseError(ValueError):
+    """Raised on malformed ITC'02 benchmark text, with a line number."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+class _TokenStream:
+    """Sequential reader over the meaningful lines of a benchmark file."""
+
+    def __init__(self, text: str) -> None:
+        self._lines: list[tuple[int, list[str]]] = []
+        for line_no, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                self._lines.append((line_no, line.split()))
+        self._pos = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._lines)
+
+    def peek(self) -> tuple[int, list[str]] | None:
+        if self.exhausted:
+            return None
+        return self._lines[self._pos]
+
+    def next(self) -> tuple[int, list[str]]:
+        if self.exhausted:
+            last_no = self._lines[-1][0] if self._lines else 0
+            raise Itc02ParseError(last_no, "unexpected end of file")
+        item = self._lines[self._pos]
+        self._pos += 1
+        return item
+
+
+def _expect_keyword(stream: _TokenStream, keyword: str) -> tuple[int, list[str]]:
+    line_no, tokens = stream.next()
+    if tokens[0] != keyword:
+        raise Itc02ParseError(line_no, f"expected '{keyword}', got '{tokens[0]}'")
+    return line_no, tokens
+
+
+def _parse_int(line_no: int, token: str, label: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise Itc02ParseError(line_no, f"{label}: expected integer, got '{token}'")
+
+
+def _parse_keyed_int(stream: _TokenStream, keyword: str) -> int:
+    line_no, tokens = _expect_keyword(stream, keyword)
+    if len(tokens) != 2:
+        raise Itc02ParseError(line_no, f"'{keyword}' takes exactly one value")
+    return _parse_int(line_no, tokens[1], keyword)
+
+
+def _parse_bool(stream: _TokenStream, keyword: str) -> bool:
+    line_no, tokens = _expect_keyword(stream, keyword)
+    if len(tokens) != 2 or tokens[1] not in {"0", "1", "yes", "no"}:
+        raise Itc02ParseError(line_no, f"'{keyword}' takes a 0/1 or yes/no value")
+    return tokens[1] in {"1", "yes"}
+
+
+def _parse_scan_chains(stream: _TokenStream) -> tuple[int, ...]:
+    line_no, tokens = _expect_keyword(stream, "ScanChains")
+    if len(tokens) < 2:
+        raise Itc02ParseError(line_no, "'ScanChains' requires a count")
+    count = _parse_int(line_no, tokens[1], "ScanChains count")
+    if count == 0:
+        if len(tokens) > 2:
+            raise Itc02ParseError(line_no, "lengths given for zero scan chains")
+        return ()
+    if len(tokens) < 3 or tokens[2] != ":":
+        raise Itc02ParseError(line_no, "expected ':' before scan chain lengths")
+    lengths = tuple(
+        _parse_int(line_no, token, "scan chain length") for token in tokens[3:]
+    )
+    if len(lengths) != count:
+        raise Itc02ParseError(
+            line_no,
+            f"ScanChains declares {count} chains but lists {len(lengths)} lengths",
+        )
+    return lengths
+
+
+def _parse_test(stream: _TokenStream) -> CoreTest:
+    _expect_keyword(stream, "Test")
+    scan_use = _parse_bool(stream, "ScanUse")
+    tam_use = _parse_bool(stream, "TamUse")
+    patterns = _parse_keyed_int(stream, "Patterns")
+    return CoreTest(patterns=patterns, scan_use=scan_use, tam_use=tam_use)
+
+
+def _parse_module(stream: _TokenStream) -> Core:
+    line_no, tokens = _expect_keyword(stream, "Module")
+    if len(tokens) < 2:
+        raise Itc02ParseError(line_no, "'Module' requires an id")
+    core_id = _parse_int(line_no, tokens[1], "module id")
+    name = tokens[2].strip("'\"") if len(tokens) > 2 else f"module{core_id}"
+
+    level = _parse_keyed_int(stream, "Level")
+    parent = None
+    peeked = stream.peek()
+    if peeked is not None and peeked[1][0] == "Parent":
+        parent = _parse_keyed_int(stream, "Parent")
+    inputs = _parse_keyed_int(stream, "Inputs")
+    outputs = _parse_keyed_int(stream, "Outputs")
+    bidirs = _parse_keyed_int(stream, "Bidirs")
+    scan_chains = _parse_scan_chains(stream)
+    total_tests = _parse_keyed_int(stream, "TotalTests")
+    tests = tuple(_parse_test(stream) for _ in range(total_tests))
+    return Core(
+        core_id=core_id,
+        name=name,
+        inputs=inputs,
+        outputs=outputs,
+        bidirs=bidirs,
+        scan_chains=scan_chains,
+        tests=tests,
+        level=level,
+        parent=parent,
+    )
+
+
+def parse(text: str) -> Soc:
+    """Parse ITC'02 benchmark text into a :class:`Soc`.
+
+    Raises:
+        Itc02ParseError: On any grammar violation, with the offending
+            line number in the message.
+    """
+    stream = _TokenStream(text)
+    line_no, tokens = _expect_keyword(stream, "SocName")
+    if len(tokens) != 2:
+        raise Itc02ParseError(line_no, "'SocName' takes exactly one value")
+    name = tokens[1]
+    total_modules = _parse_keyed_int(stream, "TotalModules")
+
+    cores = []
+    while not stream.exhausted:
+        cores.append(_parse_module(stream))
+    if len(cores) != total_modules:
+        raise Itc02ParseError(
+            line_no,
+            f"TotalModules declares {total_modules} modules "
+            f"but file contains {len(cores)}",
+        )
+    return Soc(name=name, cores=tuple(cores))
+
+
+def parse_file(path: str | Path) -> Soc:
+    """Parse an ITC'02 benchmark file from disk."""
+    return parse(Path(path).read_text())
+
+
+def _dump_lines(soc: Soc) -> Iterator[str]:
+    yield f"SocName {soc.name}"
+    yield f"TotalModules {len(soc.cores)}"
+    for core in soc.cores:
+        yield f"Module {core.core_id} '{core.name}'"
+        yield f"  Level {core.level}"
+        if core.parent is not None:
+            yield f"  Parent {core.parent}"
+        yield f"  Inputs {core.inputs}"
+        yield f"  Outputs {core.outputs}"
+        yield f"  Bidirs {core.bidirs}"
+        if core.scan_chains:
+            lengths = " ".join(str(length) for length in core.scan_chains)
+            yield f"  ScanChains {len(core.scan_chains)} : {lengths}"
+        else:
+            yield "  ScanChains 0"
+        yield f"  TotalTests {len(core.tests)}"
+        for index, test in enumerate(core.tests, start=1):
+            yield f"  Test {index}"
+            yield f"    ScanUse {int(test.scan_use)}"
+            yield f"    TamUse {int(test.tam_use)}"
+            yield f"    Patterns {test.patterns}"
+
+
+def dumps(soc: Soc) -> str:
+    """Serialize a :class:`Soc` to ITC'02 benchmark text."""
+    return "\n".join(_dump_lines(soc)) + "\n"
+
+
+def dump_file(soc: Soc, path: str | Path) -> None:
+    """Write a :class:`Soc` to disk in ITC'02 benchmark format."""
+    Path(path).write_text(dumps(soc))

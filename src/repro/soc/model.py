@@ -1,0 +1,191 @@
+"""Data model for core-based SOCs in the ITC'02 benchmark style.
+
+The model mirrors the information carried by the ITC'02 SOC test benchmarks
+[Marinissen, Iyengar, Chakrabarty, ITC 2002]: an SOC is a set of *modules*
+(embedded cores), each with functional terminals (inputs, outputs, bidirs),
+internal scan chains, and one or more test sets characterized by their
+pattern counts.
+
+Only the fields required for test-architecture optimization are modeled;
+hierarchy ("Level") is parsed and stored but, following the paper
+("Without loss of generality, we do not consider hierarchy"), all cores are
+treated as top-level when building test architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SocModelError(ValueError):
+    """Raised when SOC model invariants are violated."""
+
+
+@dataclass(frozen=True)
+class CoreTest:
+    """One test set of a core (a ``Test`` block in the ITC'02 format).
+
+    Attributes:
+        patterns: Number of test patterns in this test set.
+        scan_use: Whether the patterns are applied through the scan chains
+            (sequential test) or purely combinationally.
+        tam_use: Whether the test is delivered over the TAM (all tests
+            considered in this work are).
+    """
+
+    patterns: int
+    scan_use: bool = True
+    tam_use: bool = True
+
+    def __post_init__(self) -> None:
+        if self.patterns < 0:
+            raise SocModelError(f"negative pattern count: {self.patterns}")
+
+
+@dataclass(frozen=True)
+class Core:
+    """An embedded core (an ITC'02 ``Module``).
+
+    Attributes:
+        core_id: Integer identifier, unique within the SOC.
+        name: Human-readable module name.
+        inputs: Number of functional input terminals.
+        outputs: Number of functional output terminals.
+        bidirs: Number of bidirectional terminals.
+        scan_chains: Lengths of the core-internal scan chains.
+        tests: Test sets of the core.
+        level: Hierarchy level from the benchmark file (0 = SOC top).
+        parent: Id of the parent core for hierarchical SOCs, or ``None``
+            for top-level cores.
+    """
+
+    core_id: int
+    name: str
+    inputs: int
+    outputs: int
+    bidirs: int
+    scan_chains: tuple[int, ...] = ()
+    tests: tuple[CoreTest, ...] = ()
+    level: int = 1
+    parent: int | None = None
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("inputs", self.inputs),
+            ("outputs", self.outputs),
+            ("bidirs", self.bidirs),
+        ):
+            if value < 0:
+                raise SocModelError(
+                    f"core {self.core_id} ({self.name}): negative {label}"
+                )
+        if any(length <= 0 for length in self.scan_chains):
+            raise SocModelError(
+                f"core {self.core_id} ({self.name}): non-positive scan chain length"
+            )
+
+    @property
+    def wic_count(self) -> int:
+        """Number of wrapper input cells (inputs plus bidirs)."""
+        return self.inputs + self.bidirs
+
+    @property
+    def woc_count(self) -> int:
+        """Number of wrapper output cells (outputs plus bidirs).
+
+        These are the cells that launch transitions onto core-external
+        interconnects during SI test.
+        """
+        return self.outputs + self.bidirs
+
+    @property
+    def terminal_count(self) -> int:
+        """Total number of functional terminals."""
+        return self.inputs + self.outputs + self.bidirs
+
+    @property
+    def scan_cell_count(self) -> int:
+        """Total number of core-internal scan flip-flops."""
+        return sum(self.scan_chains)
+
+    @property
+    def is_combinational(self) -> bool:
+        """True when the core has no internal scan chains."""
+        return not self.scan_chains
+
+    @property
+    def total_patterns(self) -> int:
+        """Pattern count summed over all test sets of the core."""
+        return sum(test.patterns for test in self.tests)
+
+
+@dataclass(frozen=True)
+class Soc:
+    """A system-on-chip: a named collection of cores.
+
+    Attributes:
+        name: SOC name (e.g. ``p93791``).
+        cores: The embedded cores, in file order.
+    """
+
+    name: str
+    cores: tuple[Core, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for core in self.cores:
+            if core.core_id in seen:
+                raise SocModelError(
+                    f"SOC {self.name}: duplicate core id {core.core_id}"
+                )
+            seen.add(core.core_id)
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def __iter__(self):
+        return iter(self.cores)
+
+    def core_by_id(self, core_id: int) -> Core:
+        """Return the core with the given id, raising ``KeyError`` if absent."""
+        for core in self.cores:
+            if core.core_id == core_id:
+                return core
+        raise KeyError(f"SOC {self.name}: no core with id {core_id}")
+
+    @property
+    def core_ids(self) -> tuple[int, ...]:
+        """Identifiers of all cores, in file order."""
+        return tuple(core.core_id for core in self.cores)
+
+    @property
+    def total_terminals(self) -> int:
+        """Sum of functional terminal counts over all cores."""
+        return sum(core.terminal_count for core in self.cores)
+
+    @property
+    def total_scan_cells(self) -> int:
+        """Sum of scan flip-flop counts over all cores."""
+        return sum(core.scan_cell_count for core in self.cores)
+
+    def describe(self) -> str:
+        """Return a short human-readable summary of the SOC."""
+        lines = [
+            f"SOC {self.name}: {len(self.cores)} cores, "
+            f"{self.total_terminals} terminals, "
+            f"{self.total_scan_cells} scan cells"
+        ]
+        for core in self.cores:
+            chains = (
+                f"{len(core.scan_chains)} chains "
+                f"(max {max(core.scan_chains)})"
+                if core.scan_chains
+                else "combinational"
+            )
+            lines.append(
+                f"  [{core.core_id:>3}] {core.name:<12} "
+                f"in={core.inputs:<4} out={core.outputs:<4} "
+                f"bidir={core.bidirs:<3} {chains}, "
+                f"{core.total_patterns} patterns"
+            )
+        return "\n".join(lines)

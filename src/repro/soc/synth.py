@@ -1,0 +1,134 @@
+"""Synthetic SOC generation for scaling studies.
+
+Generates random-but-realistic SOCs in the ITC'02 style: a mix of
+combinational glue, small/medium scan cores and large scan-heavy cores,
+with parameter ranges drawn from the published benchmark statistics.  Used
+by the scaling benchmarks and available to users who want to stress the
+optimizers beyond the shipped SOCs.
+
+All generation is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.soc.model import Core, CoreTest, Soc
+
+
+@dataclass(frozen=True)
+class CoreProfile:
+    """Parameter ranges for one class of synthesized cores.
+
+    All ranges are inclusive ``(low, high)`` bounds.
+    """
+
+    name: str
+    inputs: tuple[int, int]
+    outputs: tuple[int, int]
+    bidirs: tuple[int, int]
+    scan_chains: tuple[int, int]
+    scan_cells: tuple[int, int]
+    patterns: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        for label in ("inputs", "outputs", "bidirs", "scan_chains",
+                      "scan_cells", "patterns"):
+            low, high = getattr(self, label)
+            if not 0 <= low <= high:
+                raise ValueError(f"{self.name}: bad {label} range "
+                                 f"({low}, {high})")
+
+
+#: Default profiles, sized after the ITC'02 population.
+GLUE = CoreProfile(
+    name="glue",
+    inputs=(30, 180), outputs=(20, 140), bidirs=(0, 16),
+    scan_chains=(0, 0), scan_cells=(0, 0), patterns=(40, 300),
+)
+SMALL = CoreProfile(
+    name="small",
+    inputs=(20, 90), outputs=(20, 90), bidirs=(0, 16),
+    scan_chains=(1, 8), scan_cells=(100, 900), patterns=(60, 400),
+)
+MEDIUM = CoreProfile(
+    name="medium",
+    inputs=(40, 200), outputs=(40, 220), bidirs=(0, 48),
+    scan_chains=(8, 24), scan_cells=(1_000, 5_000), patterns=(150, 900),
+)
+LARGE = CoreProfile(
+    name="large",
+    inputs=(100, 420), outputs=(100, 350), bidirs=(0, 72),
+    scan_chains=(16, 46), scan_cells=(6_000, 24_000), patterns=(150, 700),
+)
+
+DEFAULT_MIX: tuple[tuple[CoreProfile, float], ...] = (
+    (GLUE, 0.25),
+    (SMALL, 0.25),
+    (MEDIUM, 0.35),
+    (LARGE, 0.15),
+)
+
+
+def _balanced_chains(rng: random.Random, profile: CoreProfile) -> tuple[int, ...]:
+    chains = rng.randint(*profile.scan_chains)
+    if chains == 0:
+        return ()
+    cells = max(chains, rng.randint(*profile.scan_cells))
+    base = cells // chains
+    remainder = cells - base * chains
+    return tuple([base + 1] * remainder + [base] * (chains - remainder))
+
+
+def synthesize_core(
+    core_id: int,
+    profile: CoreProfile,
+    rng: random.Random,
+) -> Core:
+    """Draw one core from a profile."""
+    chains = _balanced_chains(rng, profile)
+    return Core(
+        core_id=core_id,
+        name=f"{profile.name}{core_id}",
+        inputs=rng.randint(*profile.inputs),
+        outputs=rng.randint(*profile.outputs),
+        bidirs=rng.randint(*profile.bidirs),
+        scan_chains=chains,
+        tests=(CoreTest(patterns=rng.randint(*profile.patterns),
+                        scan_use=bool(chains)),),
+    )
+
+
+def synthesize_soc(
+    name: str,
+    core_count: int,
+    mix: tuple[tuple[CoreProfile, float], ...] = DEFAULT_MIX,
+    seed: int = 0,
+) -> Soc:
+    """Generate a synthetic SOC with ``core_count`` cores.
+
+    Args:
+        name: SOC name.
+        core_count: Number of cores (>= 1).
+        mix: ``(profile, weight)`` pairs; weights need not sum to one.
+        seed: RNG seed.
+
+    Raises:
+        ValueError: On a non-positive core count or an empty/invalid mix.
+    """
+    if core_count <= 0:
+        raise ValueError("core_count must be positive")
+    if not mix:
+        raise ValueError("profile mix must not be empty")
+    profiles = [profile for profile, _ in mix]
+    weights = [weight for _, weight in mix]
+    if any(weight < 0 for weight in weights) or sum(weights) <= 0:
+        raise ValueError("profile weights must be non-negative, not all zero")
+
+    rng = random.Random(seed)
+    cores = tuple(
+        synthesize_core(core_id, rng.choices(profiles, weights)[0], rng)
+        for core_id in range(1, core_count + 1)
+    )
+    return Soc(name=name, cores=cores)

@@ -1,0 +1,86 @@
+"""ASCII Gantt rendering of SOC test schedules (paper, Fig. 3 style).
+
+Renders one row per TestRail.  The InTest phase shows each core's internal
+test as a labelled segment (cores on a rail are tested serially, in core-id
+order); the SI phase shows each SI group's occupancy on every rail it
+involves.  Time is scaled to a fixed character budget.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.soc.model import Soc
+from repro.tam.testrail import TestRailArchitecture
+from repro.wrapper.timing import core_test_time
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.core.scheduling
+    from repro.core.scheduling import Evaluation
+
+
+def render_schedule(
+    soc: Soc,
+    architecture: TestRailArchitecture,
+    evaluation: "Evaluation",
+    columns: int = 72,
+) -> str:
+    """Render the combined InTest + SI schedule as fixed-width text.
+
+    Args:
+        soc: The SOC (for per-core InTest times).
+        architecture: The TestRail architecture being visualized.
+        evaluation: Its evaluation (provides the SI schedule).
+        columns: Character budget for the time axis.
+
+    Returns:
+        A multi-line string; one row per rail, ``|`` separates the InTest
+        phase from the SI phase.
+    """
+    t_total = evaluation.t_total
+    if t_total == 0:
+        return "(empty schedule)"
+    scale = columns / t_total
+
+    def span(begin: int, end: int) -> tuple[int, int]:
+        return int(begin * scale), max(int(begin * scale) + 1, int(end * scale))
+
+    lines = [
+        f"SOC {soc.name}: T_in={evaluation.t_in} cc, "
+        f"T_si={evaluation.t_si} cc, T_total={t_total} cc"
+    ]
+    for rail_index, rail in enumerate(architecture.rails):
+        row = [" "] * columns
+        cursor = 0
+        for core_id in rail.cores:
+            duration = core_test_time(soc.core_by_id(core_id), rail.width)
+            if duration == 0:
+                continue
+            start_col, end_col = span(cursor, cursor + duration)
+            _paint(row, start_col, end_col, f"c{core_id}")
+            cursor += duration
+        in_col = int(evaluation.t_in * scale)
+        if 0 <= in_col < columns:
+            row[in_col] = "|"
+        for entry in evaluation.schedule:
+            if rail_index not in entry.rails:
+                continue
+            start_col, end_col = span(
+                evaluation.t_in + entry.begin, evaluation.t_in + entry.end
+            )
+            _paint(row, start_col, end_col, f"s{entry.group_id}")
+        label = f"TAM{rail_index} (w={rail.width:>2})"
+        lines.append(f"{label:<14}[{''.join(row)}]")
+    lines.append(
+        f"{'':14} InTest phase ends at '|'; s<i> = SI test group i"
+    )
+    return "\n".join(lines)
+
+
+def _paint(row: list[str], start: int, end: int, label: str) -> None:
+    """Fill ``row[start:end)`` with '=' and overlay the label if it fits."""
+    end = min(end, len(row))
+    for column in range(start, end):
+        row[column] = "="
+    if end - start >= len(label) + 1:
+        for offset, char in enumerate(label):
+            row[start + offset] = char

@@ -1,0 +1,139 @@
+"""Abort-on-fail core ordering within a TestRail (extension).
+
+Production testers abort a die at the first failing core, so the order in
+which a rail tests its cores changes the *expected* test time even though
+it cannot change the worst case.  With per-core pass probabilities the
+classical result applies: ordering cores by increasing
+``time / (1 - pass_probability)`` ratio minimizes the expected session
+length (exchange argument — identical to weighted shortest-job-first).
+
+This module computes expected times under a yield model and produces the
+optimal intra-rail order; the architecture itself is untouched (ordering
+is free — it is just the test schedule within the rail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.soc.model import Soc
+from repro.tam.testrail import TestRail, TestRailArchitecture
+from repro.wrapper.timing import core_test_time
+
+
+@dataclass(frozen=True)
+class YieldModel:
+    """Per-core pass probabilities.
+
+    Attributes:
+        pass_probability: Mapping ``core_id -> P(core passes)``; absent
+            cores use ``default``.
+        default: Fallback pass probability.
+    """
+
+    pass_probability: dict[int, float] = field(default_factory=dict)
+    default: float = 0.99
+
+    def __post_init__(self) -> None:
+        for core_id, probability in self.pass_probability.items():
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"core {core_id}: pass probability {probability} "
+                    "outside [0, 1]"
+                )
+        if not 0.0 <= self.default <= 1.0:
+            raise ValueError("default pass probability outside [0, 1]")
+
+    def of(self, core_id: int) -> float:
+        return self.pass_probability.get(core_id, self.default)
+
+
+def expected_rail_time(
+    soc: Soc,
+    rail: TestRail,
+    order: tuple[int, ...],
+    yields: YieldModel,
+) -> float:
+    """Expected abort-on-fail test time of ``rail`` under ``order``.
+
+    The session runs core by core; it continues past a core only when the
+    core passes.  ``E[T] = Σ_k T_k · Π_{j<k} p_j``.
+
+    Raises:
+        ValueError: If ``order`` is not a permutation of the rail's cores.
+    """
+    if tuple(sorted(order)) != rail.cores:
+        raise ValueError("order must be a permutation of the rail's cores")
+    expected = 0.0
+    survival = 1.0
+    for core_id in order:
+        expected += survival * core_test_time(
+            soc.core_by_id(core_id), rail.width
+        )
+        survival *= yields.of(core_id)
+    return expected
+
+
+def optimal_rail_order(
+    soc: Soc,
+    rail: TestRail,
+    yields: YieldModel,
+) -> tuple[int, ...]:
+    """Order minimizing the expected abort-on-fail time.
+
+    Sorts by the ratio ``T_c / (1 - p_c)`` ascending (cores certain to
+    pass — ``p_c = 1`` — go last, longest of them first is irrelevant to
+    the expectation, so they tie-break by id for determinism).
+    """
+    def key(core_id: int) -> tuple[float, int]:
+        time = core_test_time(soc.core_by_id(core_id), rail.width)
+        fail = 1.0 - yields.of(core_id)
+        ratio = time / fail if fail > 0 else float("inf")
+        return (ratio, core_id)
+
+    return tuple(sorted(rail.cores, key=key))
+
+
+@dataclass(frozen=True)
+class OrderingReport:
+    """Expected-time gains of optimal ordering for one architecture."""
+
+    naive_expected: float
+    optimal_expected: float
+    orders: tuple[tuple[int, ...], ...]
+
+    @property
+    def gain_pct(self) -> float:
+        if self.naive_expected == 0:
+            return 0.0
+        return (
+            (self.naive_expected - self.optimal_expected)
+            / self.naive_expected
+            * 100.0
+        )
+
+
+def order_architecture(
+    soc: Soc,
+    architecture: TestRailArchitecture,
+    yields: YieldModel,
+) -> OrderingReport:
+    """Optimally order every rail; compare against id-order expectation.
+
+    Rails run concurrently, so the SOC-level expectation reported is the
+    sum of rail expectations (tester occupancy), the quantity abort-on-
+    fail economics care about.
+    """
+    naive = 0.0
+    optimal = 0.0
+    orders = []
+    for rail in architecture.rails:
+        naive += expected_rail_time(soc, rail, rail.cores, yields)
+        best = optimal_rail_order(soc, rail, yields)
+        optimal += expected_rail_time(soc, rail, best, yields)
+        orders.append(best)
+    return OrderingReport(
+        naive_expected=naive,
+        optimal_expected=optimal,
+        orders=tuple(orders),
+    )

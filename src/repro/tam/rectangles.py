@@ -1,0 +1,224 @@
+"""Rectangle-based TAM scheduling (the Test-Bus-family comparator).
+
+The other classical formulation of SOC test scheduling [Iyengar,
+Chakrabarty, Marinissen] views each core as a *malleable rectangle*: at
+TAM width ``w`` it occupies ``w`` wires for ``T(w)`` cycles, and only the
+Pareto-optimal widths are worth considering.  Scheduling packs one
+rectangle per core into the ``W_max × time`` plane without overlap,
+minimizing the makespan.
+
+This module implements the standard list-scheduling heuristic for that
+model: cores in descending order of minimum test area pick, among their
+Pareto widths, the placement finishing earliest (earliest-finish-time on
+the current wire-availability profile).  Wires are interchangeable, so a
+placement just reserves the ``w`` earliest-free wires.
+
+It optimizes InTest only — exactly the scope of that literature — and
+serves as a second baseline alongside TR-Architect; the comparison bench
+shows all three (rectangles, TR-Architect, Algorithm 2) on equal InTest
+footing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.soc.model import Soc
+from repro.wrapper.timing import core_test_time, pareto_widths
+
+
+@dataclass(frozen=True)
+class PlacedRectangle:
+    """One core's placement in the (wires × time) plane.
+
+    Attributes:
+        core_id: The placed core.
+        width: Chosen TAM width.
+        begin: Start time (cycles).
+        end: Completion time (cycles).
+        wires: Indices of the reserved wires.
+    """
+
+    core_id: int
+    width: int
+    begin: int
+    end: int
+    wires: tuple[int, ...]
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.begin
+
+    @property
+    def area(self) -> int:
+        return self.width * self.duration
+
+
+@dataclass(frozen=True)
+class RectangleSchedule:
+    """A complete rectangle packing for one SOC.
+
+    Attributes:
+        w_max: Pin budget.
+        placements: One rectangle per core.
+    """
+
+    w_max: int
+    placements: tuple[PlacedRectangle, ...]
+
+    @property
+    def makespan(self) -> int:
+        return max((p.end for p in self.placements), default=0)
+
+    @property
+    def utilization(self) -> float:
+        """Used area over the bounding ``W_max × makespan`` box."""
+        box = self.w_max * self.makespan
+        if box == 0:
+            return 0.0
+        return sum(p.area for p in self.placements) / box
+
+    def validate(self) -> None:
+        """Check the packing is overlap-free; raise ``ValueError`` if not."""
+        for first in self.placements:
+            if len(first.wires) != first.width:
+                raise ValueError(
+                    f"core {first.core_id}: reserved {len(first.wires)} "
+                    f"wires for width {first.width}"
+                )
+            if any(not 0 <= wire < self.w_max for wire in first.wires):
+                raise ValueError(f"core {first.core_id}: wire out of range")
+            for second in self.placements:
+                if first.core_id >= second.core_id:
+                    continue
+                time_overlap = (
+                    first.begin < second.end and second.begin < first.end
+                )
+                if time_overlap and set(first.wires) & set(second.wires):
+                    raise ValueError(
+                        f"cores {first.core_id} and {second.core_id} "
+                        "overlap in the schedule"
+                    )
+
+
+def _earliest_gap_start(
+    busy: list[list[tuple[int, int]]],
+    width: int,
+    duration: int,
+) -> tuple[int, tuple[int, ...]]:
+    """Earliest start at which ``width`` wires are simultaneously free for
+    ``duration`` cycles, given per-wire sorted busy intervals.
+
+    Candidate starts are 0 and every interval end; the first candidate
+    with enough free wires wins.  Returns ``(start, wires)``.
+    """
+    candidates = {0}
+    for intervals in busy:
+        for _, end in intervals:
+            candidates.add(end)
+
+    def free_during(wire: int, begin: int, finish: int) -> bool:
+        for interval_begin, interval_end in busy[wire]:
+            if interval_begin < finish and begin < interval_end:
+                return False
+        return True
+
+    for start in sorted(candidates):
+        finish = start + duration
+        free_wires = [
+            wire for wire in range(len(busy))
+            if free_during(wire, start, finish)
+        ]
+        if len(free_wires) >= width:
+            return start, tuple(free_wires[:width])
+    raise RuntimeError("unreachable: the empty tail is always free")
+
+
+def schedule_rectangles(
+    soc: Soc, w_max: int, backfill: bool = False
+) -> RectangleSchedule:
+    """Pack every core's best rectangle with earliest-finish placement.
+
+    Cores are processed in descending order of their minimum test area
+    (a strong proxy for "hard to place"); for each, every Pareto width is
+    tried against the current wire-availability profile and the
+    earliest-finishing choice wins (ties prefer narrower rectangles,
+    which keep wires free for others).
+
+    Args:
+        soc: The SOC to schedule.
+        w_max: Pin budget.
+        backfill: With ``False`` (the plain list scheduler) a wire is only
+            free after everything placed on it; with ``True`` rectangles
+            may slot into earlier idle gaps, which typically tightens the
+            packing at mid-size budgets.
+
+    Raises:
+        ValueError: On a non-positive budget or an empty SOC.
+    """
+    if w_max <= 0:
+        raise ValueError(f"W_max must be positive, got {w_max}")
+    if not len(soc):
+        raise ValueError(f"SOC {soc.name} has no cores")
+
+    def min_area(core) -> int:
+        return min(
+            width * core_test_time(core, width)
+            for width in pareto_widths(core, w_max)
+        )
+
+    order = sorted(soc, key=min_area, reverse=True)
+    free_at = [0] * w_max  # per-wire availability (plain mode)
+    busy: list[list[tuple[int, int]]] = [[] for _ in range(w_max)]
+
+    placements = []
+    for core in order:
+        best = None
+        for width in pareto_widths(core, w_max):
+            duration = core_test_time(core, width)
+            if backfill:
+                begin, wires = _earliest_gap_start(busy, width, duration)
+            else:
+                wires = tuple(sorted(heapq.nsmallest(
+                    width, range(w_max),
+                    key=lambda wire: (free_at[wire], wire),
+                )))
+                begin = max(free_at[wire] for wire in wires)
+            finish = begin + duration
+            key = (finish, width)
+            if best is None or key < best[0]:
+                best = (key, width, begin, wires)
+        assert best is not None
+        _, width, begin, wires = best
+        end = begin + core_test_time(core, width)
+        for wire in wires:
+            free_at[wire] = max(free_at[wire], end)
+            busy[wire].append((begin, end))
+        placements.append(
+            PlacedRectangle(
+                core_id=core.core_id,
+                width=width,
+                begin=begin,
+                end=end,
+                wires=wires,
+            )
+        )
+
+    schedule = RectangleSchedule(w_max=w_max, placements=tuple(placements))
+    schedule.validate()
+    return schedule
+
+
+def format_rectangle_schedule(schedule: RectangleSchedule) -> str:
+    """Text summary of a rectangle packing."""
+    lines = [
+        f"rectangle schedule: makespan {schedule.makespan} cc on "
+        f"{schedule.w_max} wires ({schedule.utilization:.1%} packed)"
+    ]
+    for placement in sorted(schedule.placements, key=lambda p: p.begin):
+        lines.append(
+            f"  core {placement.core_id:>3}: w={placement.width:>2} "
+            f"[{placement.begin:>8} .. {placement.end:>8})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Utilization reporting for TestRail architectures.
+
+`time_used(r)` drives the optimizer's merge ordering, but system
+integrators also want to *see* where the TAM wires sit idle.  This module
+derives per-rail utilization statistics from an evaluation: InTest
+occupancy, SI occupancy, idle time within the makespan, and the
+wire-cycles wasted — and renders them as a text report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.soc.model import Soc
+from repro.tam.testrail import TestRailArchitecture
+
+if TYPE_CHECKING:
+    from repro.core.scheduling import Evaluation
+
+
+@dataclass(frozen=True)
+class RailUtilization:
+    """Occupancy figures of one rail over the whole test session.
+
+    Attributes:
+        rail_index: Index of the rail in the architecture.
+        width: TAM wires of the rail.
+        in_busy: Cycles the rail spends applying InTest.
+        si_busy: Cycles the rail spends shifting SI tests.
+        makespan: Total SOC test length (`T_soc`).
+    """
+
+    rail_index: int
+    width: int
+    in_busy: int
+    si_busy: int
+    makespan: int
+
+    @property
+    def busy(self) -> int:
+        return self.in_busy + self.si_busy
+
+    @property
+    def idle(self) -> int:
+        return max(0, self.makespan - self.busy)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the makespan the rail is actually in use."""
+        if self.makespan == 0:
+            return 0.0
+        return min(1.0, self.busy / self.makespan)
+
+    @property
+    def idle_wire_cycles(self) -> int:
+        """Wire-cycles this rail wastes — idle time times its width."""
+        return self.idle * self.width
+
+
+def rail_utilizations(
+    architecture: TestRailArchitecture,
+    evaluation: "Evaluation",
+) -> tuple[RailUtilization, ...]:
+    """Compute per-rail utilization from an evaluation.
+
+    The rail's SI occupancy is its *own* shift time per group
+    (``time_si(r)`` from the paper's Fig. 4 data structure), not the group
+    durations — a rail can sit idle inside a group window while a slower
+    bottleneck rail finishes.
+    """
+    makespan = evaluation.t_total
+    return tuple(
+        RailUtilization(
+            rail_index=index,
+            width=rail.width,
+            in_busy=stats.time_in,
+            si_busy=stats.time_si,
+            makespan=makespan,
+        )
+        for index, (rail, stats) in enumerate(
+            zip(architecture.rails, evaluation.rail_stats)
+        )
+    )
+
+
+def format_utilization_report(
+    soc: Soc,
+    architecture: TestRailArchitecture,
+    evaluation: "Evaluation",
+) -> str:
+    """Text report of per-rail and overall TAM utilization."""
+    rows = rail_utilizations(architecture, evaluation)
+    lines = [
+        f"SOC {soc.name}: makespan {evaluation.t_total} cc "
+        f"over {architecture.total_width} wires"
+    ]
+    lines.append(
+        f"{'rail':>5} {'width':>5} {'InTest':>9} {'SI':>9} {'idle':>9} "
+        f"{'util':>7} {'idle wire-cc':>13}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row.rail_index:>5} {row.width:>5} {row.in_busy:>9} "
+            f"{row.si_busy:>9} {row.idle:>9} {row.utilization:>6.1%} "
+            f"{row.idle_wire_cycles:>13}"
+        )
+    total_wire_cycles = evaluation.t_total * architecture.total_width
+    busy_wire_cycles = sum(row.busy * row.width for row in rows)
+    overall = busy_wire_cycles / total_wire_cycles if total_wire_cycles else 0
+    lines.append(
+        f"overall wire utilization: {overall:.1%} "
+        f"({busy_wire_cycles}/{total_wire_cycles} wire-cycles)"
+    )
+    return "\n".join(lines)

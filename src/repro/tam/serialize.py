@@ -1,0 +1,90 @@
+"""JSON persistence of TestRail architectures and optimization results.
+
+A test architecture is a design artifact that outlives the optimization
+run that produced it (it gets committed, reviewed, re-evaluated against
+new test sets).  This module round-trips architectures — and, one-way,
+full optimization results with their schedules — through plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.tam.testrail import TestRail, TestRailArchitecture
+
+if TYPE_CHECKING:
+    from repro.core.optimizer import OptimizationResult
+
+_FORMAT = "repro-testrail-architecture"
+_VERSION = 1
+
+
+def architecture_to_dict(architecture: TestRailArchitecture) -> dict:
+    """JSON-ready representation of an architecture."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "rails": [
+            {"cores": list(rail.cores), "width": rail.width}
+            for rail in architecture.rails
+        ],
+    }
+
+
+def architecture_from_dict(data: dict) -> TestRailArchitecture:
+    """Rebuild an architecture from :func:`architecture_to_dict` output.
+
+    Raises:
+        ValueError: On an unrecognized payload or a structurally invalid
+            architecture.
+    """
+    if data.get("format") != _FORMAT:
+        raise ValueError(
+            f"not a TestRail architecture payload (format="
+            f"{data.get('format')!r})"
+        )
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    rails = []
+    for entry in data.get("rails", []):
+        rails.append(TestRail.of(entry["cores"], entry["width"]))
+    return TestRailArchitecture(rails=tuple(rails))
+
+
+def save_architecture(
+    architecture: TestRailArchitecture, path: str | Path
+) -> None:
+    """Write an architecture to a JSON file."""
+    Path(path).write_text(
+        json.dumps(architecture_to_dict(architecture), indent=2) + "\n"
+    )
+
+
+def load_architecture(path: str | Path) -> TestRailArchitecture:
+    """Read an architecture from a JSON file."""
+    return architecture_from_dict(json.loads(Path(path).read_text()))
+
+
+def result_to_dict(result: "OptimizationResult") -> dict:
+    """One-way JSON summary of an optimization result (architecture plus
+    evaluation and SI schedule)."""
+    evaluation = result.evaluation
+    return {
+        "architecture": architecture_to_dict(result.architecture),
+        "w_max": result.w_max,
+        "t_in": evaluation.t_in,
+        "t_si": evaluation.t_si,
+        "t_total": evaluation.t_total,
+        "schedule": [
+            {
+                "group_id": entry.group_id,
+                "begin": entry.begin,
+                "end": entry.end,
+                "rails": sorted(entry.rails),
+                "bottleneck_rail": entry.bottleneck_rail,
+            }
+            for entry in evaluation.schedule
+        ],
+    }

@@ -1,0 +1,74 @@
+"""Test Bus architecture model [Varma & Bhatia, ITC 1998] — the ablation
+the paper motivates its TestRail choice with.
+
+A Test Bus multiplexes exactly one core onto each bus at a time.  For
+core-internal test this behaves like a TestRail (cores tested serially per
+bus, each at the bus width).  For core-*external* SI test the mux is the
+problem: an SI test spanning several buses needs every involved bus at
+once, and because the buses cannot hold other external tests half-applied
+behind a mux, SI tests are applied back-to-back — there is no Algorithm 1
+style packing of disjoint-rail tests into the same time window.  (This is
+what the paper means by "the TestRail architecture ... naturally supports
+parallel external testing, in contrast to the Test Bus architecture".)
+
+:class:`TestBusEvaluator` prices exactly that: identical InTest and
+per-group SI times, but a strictly serial SI phase.  ``optimize_testbus``
+runs Algorithm 2 under this cost model, so the TestRail-vs-TestBus
+comparison isolates the scheduling freedom rather than the optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.compaction.groups import SITestGroup
+from repro.core.scheduling import SIScheduleEntry, TamEvaluator
+from repro.soc.model import Soc
+
+if TYPE_CHECKING:
+    from repro.core.optimizer import OptimizationResult
+
+
+class TestBusEvaluator(TamEvaluator):
+    """TestRail cost model with the Test Bus's serial external test phase."""
+
+    __test__ = False  # keep pytest from collecting this class
+
+    def schedule(
+        self, entries: list[SIScheduleEntry]
+    ) -> tuple[tuple[SIScheduleEntry, ...], int]:
+        """Apply SI tests back-to-back, longest first (order is irrelevant
+        to the total, which is simply the sum)."""
+        ordered = sorted(entries, key=lambda e: (-e.time_si, e.group_id))
+        scheduled = []
+        clock = 0
+        for entry in ordered:
+            scheduled.append(
+                SIScheduleEntry(
+                    group_id=entry.group_id,
+                    time_si=entry.time_si,
+                    rails=entry.rails,
+                    bottleneck_rail=entry.bottleneck_rail,
+                    begin=clock,
+                    end=clock + entry.time_si,
+                )
+            )
+            clock += entry.time_si
+        return tuple(scheduled), clock
+
+
+def optimize_testbus(
+    soc: Soc,
+    w_max: int,
+    groups: tuple[SITestGroup, ...] = (),
+    capture_cycles: int = 1,
+) -> "OptimizationResult":
+    """Optimize a Test Bus architecture (Algorithm 2 under the serial
+    external-test cost model)."""
+    from repro.core.optimizer import optimize_tam
+
+    evaluator = TestBusEvaluator(soc, groups, capture_cycles=capture_cycles)
+    return optimize_tam(
+        soc, w_max, groups=groups, capture_cycles=capture_cycles,
+        evaluator=evaluator,
+    )

@@ -1,0 +1,153 @@
+"""TestRail architecture data structures (paper, Fig. 4).
+
+A :class:`TestRail` is an ordered set of cores daisy-chained on ``width``
+TAM wires; a :class:`TestRailArchitecture` is a set of rails that together
+use at most the SOC pin budget ``W_max``.  Both are immutable; the
+optimizers construct modified copies via the ``with_*``/``merged`` helpers,
+which keeps memoized per-rail statistics valid across candidate
+architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TestRail:
+    """One TAM partition: cores sharing ``width`` dedicated wires.
+
+    (The ``Test`` prefix is domain vocabulary, not a pytest marker.)
+
+    Attributes:
+        cores: Ids of the cores on the rail, sorted (order on a rail does
+            not affect any test time in this model).
+        width: Number of TAM wires of the rail.
+    """
+
+    __test__ = False  # keep pytest from collecting this dataclass
+
+    cores: tuple[int, ...]
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"rail width must be positive, got {self.width}")
+        if not self.cores:
+            raise ValueError("a rail must carry at least one core")
+        if tuple(sorted(self.cores)) != self.cores:
+            raise ValueError("rail cores must be sorted")
+        if len(set(self.cores)) != len(self.cores):
+            raise ValueError("rail cores must be distinct")
+
+    @staticmethod
+    def of(cores, width: int) -> "TestRail":
+        """Build a rail from any iterable of core ids."""
+        return TestRail(cores=tuple(sorted(cores)), width=width)
+
+    def widened(self, extra: int) -> "TestRail":
+        """The same rail with ``extra`` additional wires."""
+        return TestRail(cores=self.cores, width=self.width + extra)
+
+    def merged_with(self, other: "TestRail", width: int) -> "TestRail":
+        """Merge two rails onto ``width`` wires."""
+        return TestRail.of(self.cores + other.cores, width)
+
+
+@dataclass(frozen=True)
+class TestRailArchitecture:
+    """A complete TestRail TAM design for an SOC."""
+
+    __test__ = False  # keep pytest from collecting this dataclass
+
+    rails: tuple[TestRail, ...]
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for rail in self.rails:
+            for core_id in rail.cores:
+                if core_id in seen:
+                    raise ValueError(f"core {core_id} appears on several rails")
+                seen.add(core_id)
+
+    def __len__(self) -> int:
+        return len(self.rails)
+
+    def __iter__(self):
+        return iter(self.rails)
+
+    @property
+    def total_width(self) -> int:
+        """Sum of rail widths — must not exceed the SOC's ``W_max``."""
+        return sum(rail.width for rail in self.rails)
+
+    @property
+    def core_ids(self) -> frozenset[int]:
+        return frozenset(
+            core_id for rail in self.rails for core_id in rail.cores
+        )
+
+    def rail_index_of(self, core_id: int) -> int:
+        """Index of the rail carrying ``core_id``."""
+        for index, rail in enumerate(self.rails):
+            if core_id in rail.cores:
+                return index
+        raise KeyError(f"core {core_id} is not on any rail")
+
+    def with_rail(self, index: int, rail: TestRail) -> "TestRailArchitecture":
+        """Replace the rail at ``index``."""
+        rails = list(self.rails)
+        rails[index] = rail
+        return TestRailArchitecture(rails=tuple(rails))
+
+    def without_rail(self, index: int) -> "TestRailArchitecture":
+        rails = list(self.rails)
+        del rails[index]
+        return TestRailArchitecture(rails=tuple(rails))
+
+    def merged(self, first: int, second: int, width: int) -> "TestRailArchitecture":
+        """Merge the rails at the two indices onto ``width`` wires.
+
+        The merged rail takes the position of ``first``.
+        """
+        if first == second:
+            raise ValueError("cannot merge a rail with itself")
+        merged_rail = self.rails[first].merged_with(self.rails[second], width)
+        rails = tuple(
+            merged_rail if index == first else rail
+            for index, rail in enumerate(self.rails)
+            if index != second
+        )
+        return TestRailArchitecture(rails=rails)
+
+    def with_core_moved(
+        self, core_id: int, source: int, destination: int
+    ) -> "TestRailArchitecture":
+        """Move ``core_id`` from rail ``source`` to rail ``destination``.
+
+        Raises:
+            ValueError: If the move would leave the source rail empty (its
+                wires would dangle) or the core is not on the source rail.
+        """
+        source_rail = self.rails[source]
+        if core_id not in source_rail.cores:
+            raise ValueError(f"core {core_id} is not on rail {source}")
+        if len(source_rail.cores) == 1:
+            raise ValueError("cannot empty a rail by moving its last core")
+        remaining = tuple(c for c in source_rail.cores if c != core_id)
+        rails = list(self.rails)
+        rails[source] = TestRail(cores=remaining, width=source_rail.width)
+        rails[destination] = TestRail.of(
+            rails[destination].cores + (core_id,), rails[destination].width
+        )
+        return TestRailArchitecture(rails=tuple(rails))
+
+
+def initial_architecture(core_ids, width_per_rail: int = 1) -> TestRailArchitecture:
+    """The TR-Architect start solution: one rail per core."""
+    return TestRailArchitecture(
+        rails=tuple(
+            TestRail(cores=(core_id,), width=width_per_rail)
+            for core_id in core_ids
+        )
+    )

@@ -1,0 +1,50 @@
+"""TR-Architect baseline [Goel & Marinissen, ITC 2002].
+
+TR-Architect optimizes a TestRail architecture for core-internal test time
+only.  The paper's ``TAM_Optimization`` (Algorithm 2) generalizes exactly
+this procedure to the combined InTest + SI objective, so the baseline is
+obtained by running the generalized optimizer with an empty SI group set:
+``time_si(r) = 0`` for every rail, ``time_used(r) = time_in(r)``, and
+``T_soc = T_soc_in`` — which is precisely TR-Architect's behaviour.
+
+This module also prices the *SI-oblivious* flow used for the tables'
+``T_[8]`` column: optimize for InTest only, then pay for the SI tests on
+the resulting (SI-unaware) architecture.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.compaction.groups import SITestGroup
+from repro.soc.model import Soc
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.core.optimizer import OptimizationResult
+    from repro.core.scheduling import Evaluation
+
+
+def tr_architect(soc: Soc, w_max: int) -> "OptimizationResult":
+    """Optimize the TestRail architecture for InTest time only."""
+    from repro.core.optimizer import optimize_tam
+
+    return optimize_tam(soc, w_max, groups=())
+
+
+def si_oblivious_total(
+    soc: Soc,
+    w_max: int,
+    groups: tuple[SITestGroup, ...],
+    capture_cycles: int = 1,
+) -> "Evaluation":
+    """Total test time of the SI-oblivious flow (``T_[8]`` in the tables).
+
+    The architecture is designed by TR-Architect without any knowledge of
+    the SI tests; the SI tests are then scheduled on it after the fact.
+    """
+    from repro.core.optimizer import evaluate_architecture
+
+    baseline = tr_architect(soc, w_max)
+    return evaluate_architecture(
+        soc, baseline.architecture, groups, capture_cycles=capture_cycles
+    )

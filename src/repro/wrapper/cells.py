@@ -1,0 +1,138 @@
+"""Hardware model of SI-capable wrapper cells and their DFT overhead.
+
+The paper assumes IEEE 1500 compatible wrappers with "some additional
+hardware added for signal integrity test" (Section 2): wrapper output
+cells (WOCs) need a transition generator able to launch two consecutive
+values, and wrapper input cells (WICs) need an integrity-loss sensor (ILS)
+in the style of Bai/Dey/Rajski [DAC 2000] or Tehranipour et al.
+[VTS 2003] that latches noise/delay violations.
+
+This module prices that extra hardware so that the area cost of making an
+SOC SI-testable can be reported next to the test-time gains.  Gate counts
+are parameterized; the defaults follow the cell structures described in
+the cited papers (a standard 1500 cell is roughly a mux + flop; the SI
+extensions add a second flop stage for the WOC's vector pair and a sensor
+latch + comparison logic for the WIC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soc.model import Core, Soc
+
+
+@dataclass(frozen=True)
+class CellLibrary:
+    """Gate-equivalent costs of the wrapper cell variants.
+
+    Attributes:
+        standard_cell_gates: A plain IEEE 1500 wrapper boundary cell
+            (capture/shift flop plus routing muxes).
+        transition_generator_gates: Extra gates a WOC needs to launch the
+            second vector of an SI vector pair (one more flop + mux).
+        ils_sensor_gates: Extra gates a WIC needs for the integrity-loss
+            sensor (noise/skew detector plus sticky latch).
+        gate_area_um2: Silicon area of one gate equivalent.
+    """
+
+    standard_cell_gates: float = 10.0
+    transition_generator_gates: float = 6.0
+    ils_sensor_gates: float = 14.0
+    gate_area_um2: float = 1.2
+
+    def __post_init__(self) -> None:
+        for label in (
+            "standard_cell_gates",
+            "transition_generator_gates",
+            "ils_sensor_gates",
+            "gate_area_um2",
+        ):
+            if getattr(self, label) < 0:
+                raise ValueError(f"{label} must be non-negative")
+
+
+@dataclass(frozen=True)
+class WrapperOverhead:
+    """DFT overhead breakdown for one core (gate equivalents).
+
+    ``standard`` is what a plain 1500 wrapper costs anyway; ``si_extra``
+    is the *additional* price of SI testability, the quantity that trades
+    against the test-time savings.
+    """
+
+    core_id: int
+    standard: float
+    si_extra: float
+
+    @property
+    def total(self) -> float:
+        return self.standard + self.si_extra
+
+    @property
+    def si_fraction(self) -> float:
+        """Share of the wrapper spent on SI support."""
+        if self.total == 0:
+            return 0.0
+        return self.si_extra / self.total
+
+
+def core_wrapper_overhead(
+    core: Core, library: CellLibrary = CellLibrary()
+) -> WrapperOverhead:
+    """Gate cost of an SI-capable wrapper for ``core``.
+
+    Every functional terminal gets a standard 1500 cell; every output-side
+    cell (outputs + bidirs) additionally gets a transition generator and
+    every input-side cell (inputs + bidirs) an ILS sensor — bidirs carry
+    both roles, as they both launch onto and receive from interconnects.
+    """
+    standard = core.terminal_count * library.standard_cell_gates
+    si_extra = (
+        core.woc_count * library.transition_generator_gates
+        + core.wic_count * library.ils_sensor_gates
+    )
+    return WrapperOverhead(core_id=core.core_id, standard=standard,
+                           si_extra=si_extra)
+
+
+def soc_wrapper_overhead(
+    soc: Soc, library: CellLibrary = CellLibrary()
+) -> tuple[WrapperOverhead, ...]:
+    """Per-core wrapper overheads for the whole SOC."""
+    return tuple(core_wrapper_overhead(core, library) for core in soc)
+
+
+def soc_si_area_um2(soc: Soc, library: CellLibrary = CellLibrary()) -> float:
+    """Total *additional* silicon area (um^2) SI testability costs."""
+    return sum(
+        overhead.si_extra for overhead in soc_wrapper_overhead(soc, library)
+    ) * library.gate_area_um2
+
+
+def format_overhead_report(
+    soc: Soc, library: CellLibrary = CellLibrary()
+) -> str:
+    """Readable per-core overhead table."""
+    overheads = soc_wrapper_overhead(soc, library)
+    lines = [
+        f"{'core':>5} {'terminals':>9} {'1500 gates':>11} "
+        f"{'SI extra':>9} {'SI share':>9}"
+    ]
+    for core, overhead in zip(soc, overheads):
+        lines.append(
+            f"{core.core_id:>5} {core.terminal_count:>9} "
+            f"{overhead.standard:>11.0f} {overhead.si_extra:>9.0f} "
+            f"{overhead.si_fraction:>8.1%}"
+        )
+    total_standard = sum(o.standard for o in overheads)
+    total_extra = sum(o.si_extra for o in overheads)
+    lines.append(
+        f"{'total':>5} {soc.total_terminals:>9} {total_standard:>11.0f} "
+        f"{total_extra:>9.0f} "
+        f"{total_extra / (total_standard + total_extra):>8.1%}"
+    )
+    lines.append(
+        f"additional SI area: {soc_si_area_um2(soc, library):,.0f} um^2"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""Structural wrapper netlist generation.
+
+Turns a :class:`~repro.wrapper.design.WrapperDesign` into an explicit
+IEEE 1500 style structure: named cells (WIC/WOC/internal scan segments)
+wired into wrapper scan chains between the Wrapper Serial Input/Output
+ports, plus the WIR and bypass.  This is the artifact a DFT-insertion flow
+would hand to synthesis; here it makes the wrapper model *auditable* —
+every cell the timing model charges for exists in the netlist, which the
+tests check cell-by-cell.
+
+Cell types:
+
+* ``WIC`` — wrapper input cell; with SI support it carries an
+  integrity-loss sensor (``ils`` flag).
+* ``WOC`` — wrapper output cell; with SI support it carries a transition
+  generator (``transition_generator`` flag).
+* ``SCAN`` — a core-internal scan-chain segment (length recorded, not
+  expanded into flops).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.soc.model import Core
+from repro.wrapper.design import design_wrapper
+
+
+@dataclass(frozen=True)
+class WrapperCell:
+    """One element of a wrapper scan chain.
+
+    Attributes:
+        name: Unique instance name within the wrapper.
+        cell_type: ``WIC``, ``WOC`` or ``SCAN``.
+        length: Scan length of the element (1 for boundary cells).
+        ils: WICs only — integrity-loss sensor present.
+        transition_generator: WOCs only — vector-pair launch hardware.
+    """
+
+    name: str
+    cell_type: str
+    length: int = 1
+    ils: bool = False
+    transition_generator: bool = False
+
+
+@dataclass(frozen=True)
+class WrapperChain:
+    """One wrapper scan chain from WSI[i] to WSO[i]."""
+
+    index: int
+    cells: tuple[WrapperCell, ...]
+
+    @property
+    def scan_in_length(self) -> int:
+        """Cells on the scan-in path: WICs and scan segments."""
+        return sum(
+            cell.length for cell in self.cells
+            if cell.cell_type in ("WIC", "SCAN")
+        )
+
+    @property
+    def scan_out_length(self) -> int:
+        """Cells on the scan-out path: scan segments and WOCs."""
+        return sum(
+            cell.length for cell in self.cells
+            if cell.cell_type in ("SCAN", "WOC")
+        )
+
+
+@dataclass(frozen=True)
+class WrapperNetlist:
+    """Complete structural wrapper of one core at one TAM width."""
+
+    core_id: int
+    core_name: str
+    width: int
+    si_capable: bool
+    chains: tuple[WrapperChain, ...]
+    wir_bits: int = 4
+
+    @property
+    def cell_count(self) -> int:
+        return sum(len(chain.cells) for chain in self.chains)
+
+    @property
+    def boundary_cell_count(self) -> int:
+        return sum(
+            1
+            for chain in self.chains
+            for cell in chain.cells
+            if cell.cell_type in ("WIC", "WOC")
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "repro-wrapper-netlist",
+            "version": 1,
+            "core_id": self.core_id,
+            "core_name": self.core_name,
+            "width": self.width,
+            "si_capable": self.si_capable,
+            "wir_bits": self.wir_bits,
+            "chains": [
+                {
+                    "index": chain.index,
+                    "cells": [asdict(cell) for cell in chain.cells],
+                }
+                for chain in self.chains
+            ],
+        }
+
+
+def build_wrapper_netlist(
+    core: Core,
+    width: int,
+    si_capable: bool = True,
+    wir_bits: int = 4,
+) -> WrapperNetlist:
+    """Generate the structural wrapper matching :func:`design_wrapper`.
+
+    The same LPT assignment drives both, so the netlist's per-chain
+    scan-in/scan-out lengths reproduce the design's — asserted before
+    returning, making the timing model auditable against structure.
+    """
+    design = design_wrapper(core, width)
+
+    # Reproduce the LPT scan-chain assignment deterministically.
+    import heapq
+
+    loads = [0] * width
+    heap = [(0, index) for index in range(width)]
+    heapq.heapify(heap)
+    scan_of_chain: list[list[int]] = [[] for _ in range(width)]
+    for length in sorted(core.scan_chains, reverse=True):
+        load, index = heapq.heappop(heap)
+        scan_of_chain[index].append(length)
+        loads[index] = load + length
+        heapq.heappush(heap, (loads[index], index))
+
+    # Distribute boundary cells exactly like _distribute_cells: greedy
+    # one-at-a-time onto the currently shortest side.
+    def distribute(counts: list[int], total: int) -> list[int]:
+        result = [0] * width
+        side = [counts[index] for index in range(width)]
+        heap2 = [(side[index], index) for index in range(width)]
+        heapq.heapify(heap2)
+        for _ in range(total):
+            length, index = heapq.heappop(heap2)
+            result[index] += 1
+            heapq.heappush(heap2, (length + 1, index))
+        return result
+
+    wics = distribute(loads, core.inputs + core.bidirs)
+    wocs = distribute(loads, core.outputs + core.bidirs)
+
+    chains = []
+    for index in range(width):
+        cells: list[WrapperCell] = []
+        for wic_index in range(wics[index]):
+            cells.append(
+                WrapperCell(
+                    name=f"wic_{index}_{wic_index}",
+                    cell_type="WIC",
+                    ils=si_capable,
+                )
+            )
+        for segment_index, length in enumerate(scan_of_chain[index]):
+            cells.append(
+                WrapperCell(
+                    name=f"scan_{index}_{segment_index}",
+                    cell_type="SCAN",
+                    length=length,
+                )
+            )
+        for woc_index in range(wocs[index]):
+            cells.append(
+                WrapperCell(
+                    name=f"woc_{index}_{woc_index}",
+                    cell_type="WOC",
+                    transition_generator=si_capable,
+                )
+            )
+        chains.append(WrapperChain(index=index, cells=tuple(cells)))
+
+    netlist = WrapperNetlist(
+        core_id=core.core_id,
+        core_name=core.name,
+        width=width,
+        si_capable=si_capable,
+        chains=tuple(chains),
+        wir_bits=wir_bits,
+    )
+
+    # Audit: the structure must reproduce the design's chain lengths.
+    if max(chain.scan_in_length for chain in chains) != design.max_scan_in:
+        raise AssertionError("netlist scan-in length diverges from design")
+    if max(chain.scan_out_length for chain in chains) != design.max_scan_out:
+        raise AssertionError("netlist scan-out length diverges from design")
+    return netlist
+
+
+def save_wrapper_netlist(netlist: WrapperNetlist, path: str | Path) -> None:
+    """Write the netlist as JSON."""
+    Path(path).write_text(json.dumps(netlist.to_dict(), indent=2) + "\n")
+
+
+def format_wrapper_summary(netlist: WrapperNetlist) -> str:
+    """Short text summary of the wrapper structure."""
+    lines = [
+        f"wrapper for core {netlist.core_id} ({netlist.core_name}) at "
+        f"width {netlist.width} "
+        f"({'SI-capable' if netlist.si_capable else 'plain 1500'})"
+    ]
+    for chain in netlist.chains:
+        wics = sum(1 for cell in chain.cells if cell.cell_type == "WIC")
+        wocs = sum(1 for cell in chain.cells if cell.cell_type == "WOC")
+        scan = sum(
+            cell.length for cell in chain.cells if cell.cell_type == "SCAN"
+        )
+        lines.append(
+            f"  chain {chain.index}: {wics} WIC + {scan} scan FF + "
+            f"{wocs} WOC (in {chain.scan_in_length} / "
+            f"out {chain.scan_out_length})"
+        )
+    lines.append(f"  WIR: {netlist.wir_bits} bits; bypass: 1 bit")
+    return "\n".join(lines)

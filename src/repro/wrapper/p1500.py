@@ -1,0 +1,121 @@
+"""IEEE 1500 session modeling: instruction overhead between tests.
+
+Switching a wrapped core between modes (InTest, ExTest/SI, bypass) shifts
+an instruction through its Wrapper Instruction Register (WIR) over the
+Wrapper Serial Port.  Architecture optimizers usually ignore this
+constant-ish overhead; this module prices it so users can check the
+assumption for their SOC — with many small SI groups the WIR traffic is
+not always negligible.
+
+Model: WIRs of the cores on one rail are daisy-chained on the rail's
+serial control path, so loading new instructions for a rail costs the sum
+of its cores' WIR lengths (plus Update/Capture cycles).  A test session
+is: one instruction load per rail per *phase transition* its cores
+participate in — InTest setup, one setup per SI group the rail serves,
+and a final bypass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.compaction.groups import SITestGroup
+from repro.soc.model import Core, Soc
+from repro.tam.testrail import TestRailArchitecture
+
+if TYPE_CHECKING:
+    from repro.core.scheduling import Evaluation
+
+
+@dataclass(frozen=True)
+class WirConfig:
+    """Wrapper Instruction Register parameters.
+
+    Attributes:
+        instruction_bits: WIR length per core (1500 mandates >= 3 ops:
+            WS_BYPASS, WS_EXTEST, plus user ops; real WIRs are 3–8 bits).
+        update_cycles: Update/Capture cycles after each shift.
+    """
+
+    instruction_bits: int = 4
+    update_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        if self.instruction_bits <= 0:
+            raise ValueError("instruction_bits must be positive")
+        if self.update_cycles < 0:
+            raise ValueError("update_cycles must be non-negative")
+
+
+def core_wir_length(core: Core, config: WirConfig = WirConfig()) -> int:
+    """WIR length of one core — constant per the 1500 standard."""
+    del core  # uniform WIRs; parameter kept for future per-core overrides
+    return config.instruction_bits
+
+
+@dataclass(frozen=True)
+class SessionOverhead:
+    """WIR traffic of one complete test session.
+
+    Attributes:
+        instruction_loads: Number of per-rail instruction load operations.
+        total_cycles: Cycles spent shifting/updating WIRs overall.
+    """
+
+    instruction_loads: int
+    total_cycles: int
+
+    def relative_to(self, t_soc: int) -> float:
+        """Overhead as a fraction of the payload test time."""
+        if t_soc <= 0:
+            raise ValueError("t_soc must be positive")
+        return self.total_cycles / t_soc
+
+
+def session_overhead(
+    soc: Soc,
+    architecture: TestRailArchitecture,
+    groups: tuple[SITestGroup, ...] = (),
+    config: WirConfig = WirConfig(),
+) -> SessionOverhead:
+    """Price the WIR traffic of the full InTest + SI session.
+
+    Per rail: one load to enter InTest, one load per SI group the rail
+    serves (its cores must switch between SI-drive and bypass roles), and
+    one final load back to bypass/functional.
+    """
+    loads = 0
+    cycles = 0
+    for rail in architecture.rails:
+        chain_bits = sum(
+            core_wir_length(soc.core_by_id(core_id), config)
+            for core_id in rail.cores
+        )
+        rail_cores = set(rail.cores)
+        si_sessions = sum(
+            1 for group in groups
+            if not group.is_empty and rail_cores & group.cores
+        )
+        rail_loads = 1 + si_sessions + 1
+        loads += rail_loads
+        cycles += rail_loads * (chain_bits + config.update_cycles)
+    return SessionOverhead(instruction_loads=loads, total_cycles=cycles)
+
+
+def overhead_report(
+    soc: Soc,
+    architecture: TestRailArchitecture,
+    evaluation: "Evaluation",
+    groups: tuple[SITestGroup, ...] = (),
+    config: WirConfig = WirConfig(),
+) -> str:
+    """One-paragraph report: is the 1500 control overhead negligible?"""
+    overhead = session_overhead(soc, architecture, groups, config)
+    fraction = overhead.relative_to(max(evaluation.t_total, 1))
+    verdict = "negligible" if fraction < 0.01 else "NOT negligible"
+    return (
+        f"1500 session overhead: {overhead.instruction_loads} instruction "
+        f"loads, {overhead.total_cycles} cycles = {fraction:.2%} of "
+        f"T_soc ({verdict})"
+    )

@@ -1,0 +1,67 @@
+"""Core-internal (InTest) test-time model.
+
+Uses the standard scan test time formula from the wrapper/TAM
+co-optimization literature [Iyengar, Chakrabarty, Marinissen, JETTA 2002]:
+
+    T(w) = (1 + max(s_i, s_o)) * p + min(s_i, s_o)
+
+where ``s_i``/``s_o`` are the longest wrapper scan-in/scan-out chains of the
+balanced wrapper at width ``w`` and ``p`` is the pattern count.  Pipelining
+of scan-in of pattern ``k+1`` with scan-out of pattern ``k`` is assumed,
+giving the ``max``/``min`` structure.
+
+Cores can carry several test sets (ITC'02 ``Test`` blocks); their times
+add up because they reuse the same wrapper.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.soc.model import Core
+from repro.wrapper.design import design_wrapper
+
+
+@lru_cache(maxsize=None)
+def core_test_time(core: Core, width: int) -> int:
+    """InTest application time (clock cycles) of ``core`` at TAM ``width``."""
+    design = design_wrapper(core, width)
+    scan_in = design.max_scan_in
+    scan_out = design.max_scan_out
+    longest = max(scan_in, scan_out)
+    shortest = min(scan_in, scan_out)
+    total = 0
+    for test in core.tests:
+        if test.patterns == 0:
+            continue
+        total += (1 + longest) * test.patterns + shortest
+    return total
+
+
+def core_time_table(core: Core, max_width: int) -> tuple[int, ...]:
+    """InTest times of ``core`` for every width ``1..max_width``.
+
+    Index ``w - 1`` holds the time at width ``w``.  Useful for Pareto
+    analysis and for fast lookups inside the optimizers.
+    """
+    if max_width <= 0:
+        raise ValueError(f"max_width must be positive, got {max_width}")
+    return tuple(core_test_time(core, width) for width in range(1, max_width + 1))
+
+
+def pareto_widths(core: Core, max_width: int) -> tuple[int, ...]:
+    """Widths in ``1..max_width`` at which the core's test time strictly
+    improves over all smaller widths.
+
+    Because wrapper chains cannot be shorter than the longest internal scan
+    chain, test time is a staircase function of width; only the Pareto
+    widths are worth assigning.
+    """
+    table = core_time_table(core, max_width)
+    best = None
+    result = []
+    for width, time in enumerate(table, start=1):
+        if best is None or time < best:
+            best = time
+            result.append(width)
+    return tuple(result)

@@ -1,0 +1,134 @@
+"""Edge-case and adversarial tests for the compaction pipeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compaction.horizontal import build_si_test_groups
+from repro.compaction.vertical import color_compact, greedy_compact
+from repro.sitest.patterns import FALL, RISE, SIPattern, STEADY_ONE, STEADY_ZERO
+from repro.soc.model import Soc
+from tests.conftest import make_core
+
+
+class TestAdversarialVertical:
+    def test_pairwise_incompatible_chain(self):
+        # Patterns forming a path of conflicts: 0-1 conflict, 1-2
+        # conflict, 0-2 compatible.  Greedy must produce exactly 2 merged
+        # patterns (0 with 2, then 1).
+        p0 = SIPattern(cares={(1, 0): RISE})
+        p1 = SIPattern(cares={(1, 0): FALL, (1, 1): RISE})
+        p2 = SIPattern(cares={(1, 1): FALL})
+        result = greedy_compact([p0, p1, p2])
+        assert result.compacted_count == 2
+        # p0 and p2 are compatible, so greedy's first clique is {0, 2};
+        # p1 conflicts with both of its neighbours and stays alone.
+        assert set(result.members[0]) == {0, 2}
+        assert set(result.members[1]) == {1}
+
+    def test_all_four_symbols_on_one_terminal(self):
+        patterns = [
+            SIPattern(cares={(1, 0): symbol})
+            for symbol in (STEADY_ZERO, STEADY_ONE, RISE, FALL)
+        ]
+        assert greedy_compact(patterns).compacted_count == 4
+        assert color_compact(patterns).compacted_count == 4
+
+    def test_greedy_worst_case_vs_coloring(self):
+        # An interleaving where greedy's first clique absorbs a pattern
+        # that blocks later merges; coloring may do better or equal, but
+        # both must stay within the trivial bounds.
+        patterns = []
+        for index in range(20):
+            patterns.append(SIPattern(cares={(1, index % 5): RISE}))
+            patterns.append(
+                SIPattern(cares={(1, index % 5): FALL, (1, 5): RISE})
+            )
+        greedy = greedy_compact(patterns).compacted_count
+        colored = color_compact(patterns).compacted_count
+        assert 2 <= greedy <= 4
+        assert 2 <= colored <= 4
+
+    def test_bus_saturated_set(self):
+        # Every pattern claims bus line 0 from a different core: nothing
+        # merges despite disjoint terminal cares.
+        patterns = [
+            SIPattern(cares={(core_id, 0): RISE}, bus_claims={0: core_id})
+            for core_id in range(1, 9)
+        ]
+        assert greedy_compact(patterns).compacted_count == 8
+
+    def test_merged_pattern_metadata(self):
+        a = SIPattern(cares={(1, 0): RISE}, victim=(1, 0))
+        b = SIPattern(cares={(2, 0): FALL}, victim=(2, 0))
+        result = greedy_compact([a, b])
+        merged = result.compacted[0]
+        # Merged patterns drop the single-victim annotation.
+        assert merged.victim is None
+        assert merged.care_cores == {1, 2}
+
+
+class TestHorizontalEdges:
+    def test_patterns_with_zero_cares(self):
+        soc = Soc(
+            name="z", cores=(make_core(1, outputs=4), make_core(2, outputs=4))
+        )
+        empty = SIPattern()
+        grouping = build_si_test_groups(soc, [empty], parts=2)
+        # A care-less pattern has no care cores; it lands in some part
+        # group (its parts set is empty -> length-0 never > 1).
+        assert grouping.total_compacted_patterns == 1
+
+    def test_single_core_soc_grouping(self):
+        soc = Soc(name="one", cores=(make_core(1, outputs=4),))
+        patterns = [SIPattern(cares={(1, 0): RISE})] * 4
+        grouping = build_si_test_groups(soc, patterns, parts=1)
+        assert len(grouping.groups) == 1
+        assert grouping.groups[0].patterns == 1
+
+    def test_all_patterns_residual(self):
+        # Two cores, every pattern spans both: with parts=2 everything is
+        # residual.
+        soc = Soc(
+            name="r", cores=(make_core(1, outputs=4), make_core(2, outputs=4))
+        )
+        patterns = [
+            SIPattern(cares={(1, i % 4): RISE, (2, i % 4): FALL})
+            for i in range(10)
+        ]
+        grouping = build_si_test_groups(soc, patterns, parts=2)
+        assert grouping.cut_patterns == 10
+        residual = [g for g in grouping.groups if g.is_residual]
+        assert len(residual) == 1
+        assert sum(not g.is_residual for g in grouping.groups) == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=60))
+    def test_identical_patterns_always_collapse(self, count):
+        pattern = SIPattern(cares={(1, 0): RISE}, bus_claims={3: 1})
+        result = greedy_compact([pattern] * count)
+        assert result.compacted_count == (1 if count else 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=200),
+           st.integers(min_value=0, max_value=40))
+    def test_compaction_is_idempotent(self, count, seed):
+        # Re-compacting an already compacted set may merge further (the
+        # conflict structure changed), but a third pass after a stable
+        # second pass must be a fixpoint.
+        from repro.sitest.generator import generate_random_patterns
+        from repro.soc.model import Soc
+
+        soc = Soc(
+            name="idem",
+            cores=tuple(make_core(i, outputs=10) for i in range(1, 5)),
+        )
+        patterns = generate_random_patterns(soc, count, seed=seed)
+        once = list(greedy_compact(patterns).compacted)
+        twice = list(greedy_compact(once).compacted)
+        thrice = list(greedy_compact(twice).compacted)
+        assert len(twice) <= len(once)
+        assert len(thrice) <= len(twice)
+        if len(twice) == len(once):
+            # Stable pass: nothing merged, so the set is a fixpoint.
+            assert twice == once

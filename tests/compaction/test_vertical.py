@@ -1,0 +1,156 @@
+"""Tests for vertical (pattern-count) compaction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compaction.vertical import color_compact, greedy_compact
+from repro.sitest.generator import generate_random_patterns
+from repro.sitest.patterns import FALL, RISE, SIPattern, SYMBOLS
+from repro.soc.model import Soc
+from tests.conftest import make_core
+
+
+def _random_patterns(count, seed=0):
+    soc = Soc(
+        name="vc", cores=tuple(make_core(i, outputs=12) for i in range(1, 6))
+    )
+    return generate_random_patterns(soc, count, seed=seed)
+
+
+def _check_cover(patterns, result):
+    """Every input pattern appears in exactly one merged pattern, and each
+    merged pattern is consistent with all of its members."""
+    seen = sorted(
+        index for members in result.members for index in members
+    )
+    assert seen == list(range(len(patterns)))
+    for merged, members in zip(result.compacted, result.members):
+        for index in members:
+            original = patterns[index]
+            for terminal, symbol in original.cares.items():
+                assert merged.cares[terminal] == symbol
+            for line, driver in original.bus_claims.items():
+                assert merged.bus_claims[line] == driver
+
+
+class TestGreedyCompact:
+    def test_empty_input(self):
+        result = greedy_compact([])
+        assert result.compacted == ()
+        assert result.ratio == 1.0
+
+    def test_identical_patterns_merge_to_one(self):
+        pattern = SIPattern(cares={(1, 0): RISE})
+        result = greedy_compact([pattern] * 5)
+        assert result.compacted_count == 1
+        assert result.ratio == 5.0
+
+    def test_conflicting_patterns_stay_apart(self):
+        a = SIPattern(cares={(1, 0): RISE})
+        b = SIPattern(cares={(1, 0): FALL})
+        result = greedy_compact([a, b, a, b])
+        assert result.compacted_count == 2
+
+    def test_bus_conflict_blocks_merge(self):
+        a = SIPattern(cares={(1, 0): RISE}, bus_claims={3: 1})
+        b = SIPattern(cares={(2, 0): RISE}, bus_claims={3: 2})
+        result = greedy_compact([a, b])
+        assert result.compacted_count == 2
+
+    def test_bus_same_driver_merges(self):
+        a = SIPattern(cares={(1, 0): RISE}, bus_claims={3: 1})
+        b = SIPattern(cares={(1, 1): RISE}, bus_claims={3: 1})
+        assert greedy_compact([a, b]).compacted_count == 1
+
+    def test_greedy_is_order_dependent_but_covering(self):
+        patterns = _random_patterns(300, seed=1)
+        result = greedy_compact(patterns)
+        _check_cover(patterns, result)
+        assert result.compacted_count < len(patterns)
+
+    def test_first_pattern_seeds_first_clique(self):
+        patterns = _random_patterns(50, seed=2)
+        result = greedy_compact(patterns)
+        assert result.members[0][0] == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=120),
+           st.integers(min_value=0, max_value=50))
+    def test_cover_property(self, count, seed):
+        patterns = _random_patterns(count, seed=seed)
+        result = greedy_compact(patterns)
+        _check_cover(patterns, result)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=120),
+           st.integers(min_value=0, max_value=50))
+    def test_members_pairwise_compatible(self, count, seed):
+        patterns = _random_patterns(count, seed=seed)
+        result = greedy_compact(patterns)
+        rng = random.Random(seed)
+        for members in result.members:
+            sample = rng.sample(members, k=min(4, len(members)))
+            for i in sample:
+                for j in sample:
+                    assert patterns[i].is_compatible(patterns[j])
+
+
+class TestColorCompact:
+    def test_matches_greedy_on_trivial_cases(self):
+        pattern = SIPattern(cares={(1, 0): RISE})
+        assert color_compact([pattern] * 4).compacted_count == 1
+
+    def test_cover_property(self):
+        patterns = _random_patterns(200, seed=3)
+        result = color_compact(patterns)
+        _check_cover(patterns, result)
+
+    def test_no_two_conflicting_patterns_share_class(self):
+        patterns = _random_patterns(150, seed=4)
+        result = color_compact(patterns)
+        for members in result.members:
+            members = list(members)
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    assert patterns[members[i]].is_compatible(
+                        patterns[members[j]]
+                    )
+
+    def test_quality_comparable_to_greedy(self):
+        # Paper, Section 3: the greedy heuristic achieves compaction ratios
+        # similar to clique-cover approximation algorithms.
+        patterns = _random_patterns(500, seed=5)
+        greedy = greedy_compact(patterns).compacted_count
+        colored = color_compact(patterns).compacted_count
+        assert greedy <= colored * 1.5
+        assert colored <= greedy * 1.5
+
+
+class TestPairwiseSymbols:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.sampled_from(SYMBOLS)),
+            min_size=0, max_size=12,
+        )
+    )
+    def test_single_terminal_lower_bound(self, assignments):
+        # On a single terminal the minimum clique cover size equals the
+        # number of distinct symbols used; greedy must achieve it exactly.
+        patterns = [
+            SIPattern(cares={(1, terminal): symbol})
+            for terminal, symbol in assignments
+        ]
+        if not patterns:
+            return
+        distinct = {
+            (terminal, symbol) for terminal, symbol in assignments
+        }
+        per_terminal: dict[int, set[str]] = {}
+        for terminal, symbol in distinct:
+            per_terminal.setdefault(terminal, set()).add(symbol)
+        optimum = max(len(symbols) for symbols in per_terminal.values())
+        result = greedy_compact(patterns)
+        assert result.compacted_count == optimum

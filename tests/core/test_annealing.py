@@ -1,0 +1,111 @@
+"""Tests for the simulated-annealing TAM optimizer."""
+
+import pytest
+
+from repro.compaction.groups import SITestGroup
+from repro.core.annealing import AnnealingConfig, anneal_tam, _propose
+from repro.core.optimizer import optimize_tam
+from repro.core.scheduling import TamEvaluator
+from repro.soc.model import Soc
+from repro.tam.testrail import TestRail, TestRailArchitecture
+from tests.conftest import make_core
+import random
+
+
+@pytest.fixture
+def soc():
+    return Soc(
+        name="sa",
+        cores=(
+            make_core(1, inputs=10, outputs=10, scan_chains=(20, 20),
+                      patterns=50),
+            make_core(2, inputs=8, outputs=12, scan_chains=(30,),
+                      patterns=40),
+            make_core(3, inputs=6, outputs=8, patterns=30),
+            make_core(4, inputs=12, outputs=6, scan_chains=(15, 15, 15),
+                      patterns=60),
+        ),
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingConfig(initial_temperature=0)
+        with pytest.raises(ValueError):
+            AnnealingConfig(cooling_rate=1.0)
+        with pytest.raises(ValueError):
+            AnnealingConfig(steps=-1)
+
+
+class TestProposals:
+    def test_moves_conserve_width_and_cores(self, soc):
+        rng = random.Random(0)
+        architecture = TestRailArchitecture(
+            rails=(TestRail.of([1, 2], 3), TestRail.of([3, 4], 5))
+        )
+        for _ in range(300):
+            candidate = _propose(rng, architecture)
+            if candidate is None:
+                continue
+            assert candidate.total_width == architecture.total_width
+            assert candidate.core_ids == architecture.core_ids
+            architecture = candidate
+
+
+class TestAnneal:
+    def test_rejects_bad_inputs(self, soc):
+        with pytest.raises(ValueError):
+            anneal_tam(soc, 0)
+        with pytest.raises(ValueError):
+            anneal_tam(Soc(name="empty"), 4)
+
+    def test_budget_respected(self, soc):
+        result = anneal_tam(soc, 12, config=AnnealingConfig(steps=500))
+        assert result.architecture.total_width == 12
+        assert result.architecture.core_ids == {1, 2, 3, 4}
+
+    def test_deterministic_per_seed(self, soc):
+        config = AnnealingConfig(steps=400, seed=3)
+        a = anneal_tam(soc, 8, config=config)
+        b = anneal_tam(soc, 8, config=config)
+        assert a.architecture == b.architecture
+        assert a.t_total == b.t_total
+
+    def test_improves_over_trivial_start(self, soc):
+        evaluator = TamEvaluator(soc, ())
+        trivial = TestRailArchitecture(rails=(TestRail.of([1, 2, 3, 4], 16),))
+        result = anneal_tam(soc, 16, config=AnnealingConfig(steps=2_000,
+                                                            seed=1))
+        assert result.t_total <= evaluator.t_total(trivial)
+
+    def test_warm_start_never_worse(self, soc):
+        groups = (
+            SITestGroup(group_id=0, cores=frozenset({1, 2, 3, 4}),
+                        patterns=25),
+        )
+        deterministic = optimize_tam(soc, 12, groups)
+        warm = anneal_tam(
+            soc, 12, groups,
+            config=AnnealingConfig(steps=800, seed=2),
+            initial=deterministic.architecture,
+        )
+        assert warm.t_total <= deterministic.t_total
+
+    def test_warm_start_width_mismatch_rejected(self, soc):
+        wrong = TestRailArchitecture(rails=(TestRail.of([1, 2, 3, 4], 5),))
+        with pytest.raises(ValueError, match="wires"):
+            anneal_tam(soc, 12, initial=wrong)
+
+    def test_close_to_deterministic_heuristic(self, soc):
+        # SA with a modest budget should land within 25% of Algorithm 2.
+        deterministic = optimize_tam(soc, 8)
+        annealed = anneal_tam(soc, 8, config=AnnealingConfig(steps=3_000,
+                                                             seed=7))
+        assert annealed.t_total <= deterministic.t_total * 1.25
+
+    def test_zero_steps_returns_initial_cost(self, soc):
+        result = anneal_tam(soc, 8, config=AnnealingConfig(steps=0))
+        evaluator = TamEvaluator(soc, ())
+        trivial = TestRailArchitecture(rails=(TestRail.of([1, 2, 3, 4], 8),))
+        assert result.t_total == evaluator.t_total(trivial)

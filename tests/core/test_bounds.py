@@ -1,0 +1,104 @@
+"""Tests for the lower-bound arguments."""
+
+import pytest
+
+from repro.compaction.groups import SITestGroup
+from repro.core.bounds import (
+    bound_report,
+    intest_bandwidth_bound,
+    intest_core_floor,
+    si_floor,
+)
+from repro.core.optimizer import optimize_tam
+from repro.soc.model import Soc
+from repro.tam.tr_architect import tr_architect
+from tests.conftest import make_core
+
+
+class TestCoreFloor:
+    def test_dominant_core_sets_floor(self):
+        soc = Soc(
+            name="f",
+            cores=(
+                make_core(1, inputs=2, outputs=2, scan_chains=(100,),
+                          patterns=10),
+                make_core(2, inputs=2, outputs=2, patterns=1),
+            ),
+        )
+        # (1 + 100+ε) * 10 + ... — dominated by the long chain.
+        assert intest_core_floor(soc) >= (1 + 100) * 10
+
+    def test_empty_soc(self):
+        assert intest_core_floor(Soc(name="e")) == 0
+
+
+class TestBandwidthBound:
+    def test_hand_checked(self):
+        # One core: 4 in, 2 out, 10 scan cells, 5 patterns.
+        # word = max(4+10, 2+10) = 14; payload = 70; W=7 -> 10 cycles.
+        soc = Soc(
+            name="b",
+            cores=(make_core(1, inputs=4, outputs=2, scan_chains=(10,),
+                             patterns=5),),
+        )
+        assert intest_bandwidth_bound(soc, 7) == 10
+
+    def test_rounds_up(self):
+        soc = Soc(
+            name="b2",
+            cores=(make_core(1, inputs=3, outputs=0, patterns=1),),
+        )
+        assert intest_bandwidth_bound(soc, 2) == 2  # ceil(3 / 2)
+
+    def test_rejects_bad_width(self, d695):
+        with pytest.raises(ValueError):
+            intest_bandwidth_bound(d695, 0)
+
+
+class TestSiFloor:
+    def test_single_group(self, t5):
+        group = SITestGroup(
+            group_id=0, cores=frozenset(t5.core_ids), patterns=10
+        )
+        total_woc = sum(core.woc_count for core in t5)
+        expected = 10 * (-(-total_woc // 8) + 1)
+        assert si_floor(t5, (group,), 8) == expected
+
+    def test_max_over_groups(self, t5):
+        light = SITestGroup(group_id=0, cores=frozenset({1}), patterns=1)
+        heavy = SITestGroup(
+            group_id=1, cores=frozenset(t5.core_ids), patterns=50
+        )
+        both = si_floor(t5, (light, heavy), 16)
+        assert both == si_floor(t5, (heavy,), 16)
+
+    def test_empty_groups(self, t5):
+        assert si_floor(t5, (), 8) == 0
+
+
+class TestSoundness:
+    """The whole point: no heuristic result may beat the bound."""
+
+    @pytest.mark.parametrize("w_max", [8, 16, 32, 64])
+    def test_tr_architect_respects_bound(self, d695, w_max):
+        report = bound_report(d695, w_max)
+        achieved = tr_architect(d695, w_max).t_total
+        assert achieved >= report.t_in_bound
+        assert 0 <= report.gap(achieved) < 1
+
+    @pytest.mark.parametrize("w_max", [8, 24])
+    def test_si_aware_respects_bound(self, d695, w_max):
+        from repro.compaction.horizontal import build_si_test_groups
+        from repro.sitest.generator import generate_random_patterns
+
+        patterns = generate_random_patterns(d695, 800, seed=6)
+        grouping = build_si_test_groups(d695, patterns, parts=2, seed=6)
+        report = bound_report(d695, w_max, grouping.groups)
+        achieved = optimize_tam(d695, w_max, grouping.groups).t_total
+        assert achieved >= report.t_total_bound
+
+    def test_bound_tight_at_saturation(self, p34392):
+        # p34392's dominant core makes the core floor tight at wide TAMs.
+        report = bound_report(p34392, 64)
+        achieved = tr_architect(p34392, 64).t_total
+        assert report.gap(achieved) < 0.05

@@ -1,0 +1,155 @@
+"""Tests for the exact SI scheduler and Algorithm 1's gap against it."""
+
+import random
+
+import pytest
+
+from repro.core.exact_schedule import (
+    MAX_EXACT_TESTS,
+    exact_si_schedule,
+)
+from repro.core.scheduling import SIScheduleEntry, schedule_si_tests
+
+
+def _entry(group_id, time_si, rails):
+    return SIScheduleEntry(
+        group_id=group_id,
+        time_si=time_si,
+        rails=frozenset(rails),
+        bottleneck_rail=min(rails),
+        begin=0,
+        end=0,
+    )
+
+
+def _valid(schedule):
+    for a in schedule:
+        for b in schedule:
+            if a.group_id < b.group_id and (
+                a.begin < b.end and b.begin < a.end
+            ):
+                assert a.rails.isdisjoint(b.rails)
+
+
+class TestExactSchedule:
+    def test_empty(self):
+        result = exact_si_schedule([])
+        assert result.t_si == 0
+        assert result.schedule == ()
+
+    def test_too_many_tests_rejected(self):
+        entries = [_entry(i, 10, {i}) for i in range(MAX_EXACT_TESTS + 1)]
+        with pytest.raises(ValueError, match="at most"):
+            exact_si_schedule(entries)
+
+    def test_single_test(self):
+        result = exact_si_schedule([_entry(0, 42, {0})])
+        assert result.t_si == 42
+
+    def test_disjoint_tests_parallel(self):
+        entries = [_entry(0, 30, {0}), _entry(1, 50, {1}), _entry(2, 20, {2})]
+        result = exact_si_schedule(entries)
+        assert result.t_si == 50
+
+    def test_full_conflict_serializes(self):
+        entries = [_entry(i, 10 + i, {0}) for i in range(4)]
+        result = exact_si_schedule(entries)
+        assert result.t_si == sum(10 + i for i in range(4))
+
+    def test_schedule_is_valid(self):
+        entries = [
+            _entry(0, 30, {0, 1}),
+            _entry(1, 20, {1, 2}),
+            _entry(2, 25, {0, 2}),
+            _entry(3, 10, {3}),
+        ]
+        result = exact_si_schedule(entries)
+        _valid(result.schedule)
+        assert result.permutations_tried == 24
+
+    def test_beats_greedy_on_crafted_case(self):
+        # Greedy longest-first can commit the shared rail badly; the exact
+        # search must never be worse.
+        entries = [
+            _entry(0, 10, {0, 1}),
+            _entry(1, 9, {0}),
+            _entry(2, 9, {1}),
+            _entry(3, 12, {2}),
+        ]
+        _, greedy = schedule_si_tests(entries)
+        exact = exact_si_schedule(entries)
+        assert exact.t_si <= greedy
+
+
+class TestEvaluatorIntegration:
+    def test_exact_schedule_flag_never_worse(self):
+        from repro.compaction.groups import SITestGroup
+        from repro.core.scheduling import TamEvaluator
+        from repro.soc.model import Soc
+        from repro.tam.testrail import TestRail, TestRailArchitecture
+        from tests.conftest import make_core
+
+        soc = Soc(
+            name="ev",
+            cores=tuple(
+                make_core(i, inputs=6, outputs=12, patterns=10)
+                for i in range(1, 5)
+            ),
+        )
+        groups = (
+            SITestGroup(group_id=0, cores=frozenset({1, 2}), patterns=20),
+            SITestGroup(group_id=1, cores=frozenset({2, 3}), patterns=15),
+            SITestGroup(group_id=2, cores=frozenset({3, 4}), patterns=10),
+            SITestGroup(group_id=3, cores=frozenset({1, 4}), patterns=5),
+        )
+        architecture = TestRailArchitecture(
+            rails=tuple(TestRail.of([i], 2) for i in (1, 2, 3, 4))
+        )
+        greedy = TamEvaluator(soc, groups).evaluate(architecture)
+        exact = TamEvaluator(soc, groups, exact_schedule=True).evaluate(
+            architecture
+        )
+        assert exact.t_si <= greedy.t_si
+        assert exact.t_in == greedy.t_in
+
+    def test_optimizer_accepts_exact_evaluator(self):
+        from repro.compaction.groups import SITestGroup
+        from repro.core.optimizer import optimize_tam
+        from repro.core.scheduling import TamEvaluator
+        from repro.soc.model import Soc
+        from tests.conftest import make_core
+
+        soc = Soc(
+            name="ev2",
+            cores=tuple(
+                make_core(i, inputs=6, outputs=12, patterns=10)
+                for i in range(1, 4)
+            ),
+        )
+        groups = (
+            SITestGroup(group_id=0, cores=frozenset({1, 2}), patterns=10),
+            SITestGroup(group_id=1, cores=frozenset({3}), patterns=10),
+        )
+        evaluator = TamEvaluator(soc, groups, exact_schedule=True)
+        greedy = optimize_tam(soc, 6, groups)
+        exact = optimize_tam(soc, 6, groups, evaluator=evaluator)
+        assert exact.t_total <= greedy.t_total * 1.01
+
+
+class TestAlgorithm1Gap:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_greedy_never_beats_exact_and_stays_close(self, seed):
+        rng = random.Random(seed)
+        count = rng.randint(2, 7)
+        entries = [
+            _entry(
+                index,
+                rng.randint(5, 60),
+                set(rng.sample(range(4), k=rng.randint(1, 3))),
+            )
+            for index in range(count)
+        ]
+        _, greedy = schedule_si_tests(entries)
+        exact = exact_si_schedule(entries)
+        assert greedy >= exact.t_si
+        assert greedy <= exact.t_si * 1.5  # longest-first is 2-competitive

@@ -1,0 +1,126 @@
+"""Reproduction of the paper's Example 1 / Fig. 3.
+
+Five cores, three SI test groups: SI1 involves all five cores, SI2 involves
+cores 1, 4 and 5, SI3 involves cores 2 and 3.  Two TAM designs are compared;
+the testing time of the *same* SI group differs between them because the
+bottleneck TAM changes — the effect the example illustrates.
+"""
+
+import pytest
+
+from repro.compaction.groups import SITestGroup
+from repro.core.scheduling import TamEvaluator
+from repro.soc.model import Soc
+from repro.tam.testrail import TestRail, TestRailArchitecture
+from tests.conftest import make_core
+
+#: Wrapper output cell counts per core.
+WOC = {1: 8, 2: 16, 3: 8, 4: 8, 5: 4}
+
+
+@pytest.fixture(scope="module")
+def soc():
+    return Soc(
+        name="fig3",
+        cores=tuple(
+            make_core(core_id, inputs=4, outputs=WOC[core_id], patterns=10)
+            for core_id in sorted(WOC)
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def groups():
+    return (
+        SITestGroup(group_id=1, cores=frozenset({1, 2, 3, 4, 5}), patterns=10),
+        SITestGroup(group_id=2, cores=frozenset({1, 4, 5}), patterns=5),
+        SITestGroup(group_id=3, cores=frozenset({2, 3}), patterns=4),
+    )
+
+
+@pytest.fixture(scope="module")
+def design_a():
+    """Fig. 3(a): TAM1 = {1, 2}, TAM2 = {3, 4}, TAM3 = {5}."""
+    return TestRailArchitecture(
+        rails=(
+            TestRail.of([1, 2], width=2),
+            TestRail.of([3, 4], width=2),
+            TestRail.of([5], width=1),
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def design_b():
+    """Fig. 3(b): TAM1 = {1, 4, 5}, TAM2 = {2, 3}."""
+    return TestRailArchitecture(
+        rails=(
+            TestRail.of([1, 4, 5], width=2),
+            TestRail.of([2, 3], width=3),
+        )
+    )
+
+
+class TestDesignA:
+    def test_si1_bottleneck_is_tam1(self, soc, groups, design_a):
+        # T_si1 = max{T1+T2, T3+T4, T5}: depths 4+8, 4+4, 4 on widths 2,2,1.
+        evaluator = TamEvaluator(soc, groups)
+        entries = evaluator.calculate_si_test_times(design_a)
+        si1 = entries[0]
+        assert si1.rails == frozenset({0, 1, 2})
+        assert si1.bottleneck_rail == 0
+        assert si1.time_si == 10 * (4 + 8 + 1)  # 130 cycles
+
+    def test_si3_only_involves_tam1_and_tam2(self, soc, groups, design_a):
+        evaluator = TamEvaluator(soc, groups)
+        si3 = evaluator.calculate_si_test_times(design_a)[2]
+        assert si3.rails == frozenset({0, 1})
+        # TAM1 carries core 2 (16 cells / 2 wires = 8), TAM2 core 3 (4).
+        assert si3.time_si == 4 * (8 + 1)
+
+    def test_tam3_rail_times(self, soc, groups, design_a):
+        # Paper: time_si(TAM3) = T5^si1 + T5^si2 (its own occupancy).
+        evaluator = TamEvaluator(soc, groups)
+        stats = evaluator.rail_stats(design_a.rails[2])
+        assert stats.si_depths == (4, 4, 0)
+        assert stats.time_si == 10 * 5 + 5 * 5
+
+    def test_full_schedule(self, soc, groups, design_a):
+        evaluator = TamEvaluator(soc, groups)
+        evaluation = evaluator.evaluate(design_a)
+        # SI1 (130 cc, all rails) runs first; SI3 (36 cc, rails 0-1) then
+        # SI2 (25 cc, all rails) must serialize behind it.
+        assert evaluation.t_si == 130 + 36 + 25
+
+
+class TestDesignB:
+    def test_si1_time_differs_from_design_a(self, soc, groups, design_b):
+        # Same SI test, same cores, different TAM design -> different time:
+        # T_si1 = max{T1+T4+T5, T2+T3} = max{10*(4+4+2+1), 10*(6+3+1)}.
+        evaluator = TamEvaluator(soc, groups)
+        si1 = evaluator.calculate_si_test_times(design_b)[0]
+        assert si1.time_si == 10 * (4 + 4 + 2 + 1)  # 110 cycles
+        assert si1.bottleneck_rail == 0
+
+    def test_si2_confined_to_tam1(self, soc, groups, design_b):
+        evaluator = TamEvaluator(soc, groups)
+        si2 = evaluator.calculate_si_test_times(design_b)[1]
+        assert si2.rails == frozenset({0})
+
+    def test_si2_and_si3_overlap(self, soc, groups, design_b):
+        # SI2 uses only TAM1 and SI3 only TAM2: they can run in parallel.
+        evaluator = TamEvaluator(soc, groups)
+        evaluation = evaluator.evaluate(design_b)
+        by_id = {entry.group_id: entry for entry in evaluation.schedule}
+        assert by_id[2].rails.isdisjoint(by_id[3].rails)
+        assert by_id[2].begin == by_id[3].begin == by_id[1].end
+
+
+class TestCrossDesign:
+    def test_example_headline(self, soc, groups, design_a, design_b):
+        """The paper's point: T_si1 differs across designs although SI1
+        involves all TAM wires in both."""
+        evaluator = TamEvaluator(soc, groups)
+        si1_a = evaluator.calculate_si_test_times(design_a)[0].time_si
+        si1_b = evaluator.calculate_si_test_times(design_b)[0].time_si
+        assert si1_a != si1_b

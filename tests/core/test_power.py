@@ -1,0 +1,148 @@
+"""Tests for power-constrained SI test scheduling."""
+
+import pytest
+
+from repro.compaction.groups import SITestGroup
+from repro.core.optimizer import optimize_tam
+from repro.core.power import (
+    PowerAwareEvaluator,
+    PowerModel,
+    schedule_si_tests_power,
+)
+from repro.core.scheduling import SIScheduleEntry, schedule_si_tests
+from repro.soc.model import Soc
+from tests.conftest import make_core
+
+
+def _entry(group_id, time_si, rails):
+    return SIScheduleEntry(
+        group_id=group_id,
+        time_si=time_si,
+        rails=frozenset(rails),
+        bottleneck_rail=min(rails),
+        begin=0,
+        end=0,
+    )
+
+
+class TestPowerModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(budget=0)
+        with pytest.raises(ValueError):
+            PowerModel(budget=5, core_power={1: -2})
+        with pytest.raises(ValueError):
+            PowerModel(budget=5, default_power=-1)
+
+    def test_rating_fallback(self):
+        model = PowerModel(budget=10, core_power={1: 3.0}, default_power=0.5)
+        assert model.rating_of(1) == 3.0
+        assert model.rating_of(2) == 0.5
+
+    def test_group_power_sums_cores(self):
+        model = PowerModel(budget=10, core_power={1: 3.0, 2: 2.0})
+        group = SITestGroup(group_id=0, cores=frozenset({1, 2}), patterns=5)
+        assert model.group_power(group) == 5.0
+
+
+class TestPowerSchedule:
+    def test_unlimited_budget_matches_algorithm_1(self):
+        entries = [
+            _entry(0, 100, {0}),
+            _entry(1, 80, {1}),
+            _entry(2, 30, {0, 1}),
+        ]
+        powers = {0: 1.0, 1: 1.0, 2: 1.0}
+        free, t_free = schedule_si_tests_power(entries, powers, budget=1e9)
+        base, t_base = schedule_si_tests(entries)
+        assert t_free == t_base
+        assert {(e.group_id, e.begin) for e in free} == {
+            (e.group_id, e.begin) for e in base
+        }
+
+    def test_budget_forces_serialization(self):
+        # Two rail-disjoint tests that would overlap under Algorithm 1.
+        entries = [_entry(0, 100, {0}), _entry(1, 80, {1})]
+        powers = {0: 3.0, 1: 3.0}
+        schedule, t_si = schedule_si_tests_power(entries, powers, budget=4.0)
+        assert t_si == 180
+        by_id = {e.group_id: e for e in schedule}
+        assert by_id[1].begin == by_id[0].end
+
+    def test_partial_concurrency(self):
+        entries = [
+            _entry(0, 100, {0}),
+            _entry(1, 50, {1}),
+            _entry(2, 50, {2}),
+        ]
+        powers = {0: 2.0, 1: 2.0, 2: 2.0}
+        schedule, t_si = schedule_si_tests_power(entries, powers, budget=4.0)
+        # Two tests at a time: 0 runs 0-100, 1 runs 0-50, 2 runs 50-100.
+        assert t_si == 100
+        by_id = {e.group_id: e for e in schedule}
+        assert by_id[2].begin == 50
+
+    def test_overbudget_single_test_rejected(self):
+        entries = [_entry(0, 10, {0})]
+        with pytest.raises(ValueError, match="exceeds the power budget"):
+            schedule_si_tests_power(entries, {0: 9.0}, budget=5.0)
+
+    def test_no_rail_or_power_violation(self):
+        entries = [
+            _entry(index, 20 + 7 * index, {index % 3}) for index in range(7)
+        ]
+        powers = {index: 2.0 for index in range(7)}
+        budget = 4.0
+        schedule, _ = schedule_si_tests_power(entries, powers, budget)
+        events = []
+        for entry in schedule:
+            events.append((entry.begin, +1, entry))
+            events.append((entry.end, -1, entry))
+        times = sorted({entry.begin for entry in schedule})
+        for t in times:
+            running = [e for e in schedule if e.begin <= t < e.end]
+            assert sum(powers[e.group_id] for e in running) <= budget
+            rails = [rail for e in running for rail in e.rails]
+            assert len(rails) == len(set(rails))
+
+
+class TestPowerAwareEvaluator:
+    @pytest.fixture
+    def soc(self):
+        return Soc(
+            name="pw",
+            cores=tuple(
+                make_core(i, inputs=8, outputs=16, patterns=20)
+                for i in range(1, 5)
+            ),
+        )
+
+    @pytest.fixture
+    def groups(self):
+        return (
+            SITestGroup(group_id=0, cores=frozenset({1, 2}), patterns=30),
+            SITestGroup(group_id=1, cores=frozenset({3, 4}), patterns=30),
+        )
+
+    def test_tight_budget_increases_t_si(self, soc, groups):
+        loose = PowerAwareEvaluator(
+            soc, groups, PowerModel(budget=100.0)
+        )
+        tight = PowerAwareEvaluator(
+            soc, groups, PowerModel(budget=2.0)
+        )
+        result_loose = optimize_tam(soc, 8, groups, evaluator=loose)
+        result_tight = optimize_tam(soc, 8, groups, evaluator=tight)
+        assert result_tight.t_total >= result_loose.t_total
+
+    def test_optimizer_integrates(self, soc, groups):
+        evaluator = PowerAwareEvaluator(soc, groups, PowerModel(budget=2.5))
+        result = optimize_tam(soc, 8, groups, evaluator=evaluator)
+        assert result.architecture.total_width == 8
+        # With budget for only one two-core group at a time the SI phase
+        # serializes completely.
+        entries = result.evaluation.schedule
+        for a in entries:
+            for b in entries:
+                if a.group_id < b.group_id:
+                    assert a.end <= b.begin or b.end <= a.begin

@@ -1,0 +1,185 @@
+"""Tests for CalculateSITestTime, ScheduleSITest and the evaluator."""
+
+import pytest
+
+from repro.compaction.groups import SITestGroup
+from repro.core.scheduling import (
+    SIScheduleEntry,
+    TamEvaluator,
+    schedule_si_tests,
+)
+from repro.soc.model import Soc
+from repro.tam.testrail import TestRail, TestRailArchitecture
+from repro.wrapper.timing import core_test_time
+from tests.conftest import make_core
+
+
+def _entry(group_id, time_si, rails):
+    return SIScheduleEntry(
+        group_id=group_id,
+        time_si=time_si,
+        rails=frozenset(rails),
+        bottleneck_rail=min(rails),
+        begin=0,
+        end=0,
+    )
+
+
+class TestScheduleSITests:
+    def test_empty(self):
+        schedule, t_si = schedule_si_tests([])
+        assert schedule == ()
+        assert t_si == 0
+
+    def test_single_test(self):
+        schedule, t_si = schedule_si_tests([_entry(0, 100, {0})])
+        assert t_si == 100
+        assert schedule[0].begin == 0
+        assert schedule[0].end == 100
+
+    def test_disjoint_tests_run_in_parallel(self):
+        entries = [_entry(0, 100, {0}), _entry(1, 80, {1})]
+        schedule, t_si = schedule_si_tests(entries)
+        assert t_si == 100
+        assert all(item.begin == 0 for item in schedule)
+
+    def test_conflicting_tests_serialize(self):
+        entries = [_entry(0, 100, {0, 1}), _entry(1, 80, {1})]
+        schedule, t_si = schedule_si_tests(entries)
+        assert t_si == 180
+        by_id = {item.group_id: item for item in schedule}
+        assert by_id[0].begin == 0  # longest first
+        assert by_id[1].begin == 100
+
+    def test_backfilling(self):
+        # Long test on rail 0; two short tests on rail 1 fill the gap.
+        entries = [
+            _entry(0, 100, {0}),
+            _entry(1, 40, {1}),
+            _entry(2, 30, {1}),
+        ]
+        schedule, t_si = schedule_si_tests(entries)
+        assert t_si == 100
+        by_id = {item.group_id: item for item in schedule}
+        assert by_id[1].begin == 0
+        assert by_id[2].begin == 40
+
+    def test_time_advances_to_earliest_completion(self):
+        entries = [
+            _entry(0, 50, {0}),
+            _entry(1, 100, {1}),
+            _entry(2, 10, {0, 1}),
+        ]
+        schedule, t_si = schedule_si_tests(entries)
+        by_id = {item.group_id: item for item in schedule}
+        # Group 2 needs both rails: it must wait for group 1 (the longer).
+        assert by_id[2].begin == 100
+        assert t_si == 110
+
+    def test_no_rail_overlap_at_any_time(self):
+        entries = [
+            _entry(index, 10 * (index + 1), {index % 3, (index + 1) % 3})
+            for index in range(8)
+        ]
+        schedule, _ = schedule_si_tests(entries)
+        for a in schedule:
+            for b in schedule:
+                if a.group_id >= b.group_id:
+                    continue
+                overlap_in_time = a.begin < b.end and b.begin < a.end
+                if overlap_in_time:
+                    assert a.rails.isdisjoint(b.rails)
+
+    def test_all_entries_scheduled_once(self):
+        entries = [_entry(index, 5 + index, {index % 2}) for index in range(6)]
+        schedule, _ = schedule_si_tests(entries)
+        assert sorted(item.group_id for item in schedule) == list(range(6))
+
+
+@pytest.fixture
+def evaluator_soc():
+    return Soc(
+        name="sched",
+        cores=(
+            make_core(1, inputs=4, outputs=8, patterns=10),
+            make_core(2, inputs=4, outputs=16, patterns=20),
+            make_core(3, inputs=4, outputs=8, patterns=5),
+        ),
+    )
+
+
+class TestTamEvaluator:
+    def test_rail_in_time_sums_cores(self, evaluator_soc):
+        evaluator = TamEvaluator(evaluator_soc)
+        rail = TestRail.of([1, 2], width=2)
+        stats = evaluator.rail_stats(rail)
+        expected = core_test_time(
+            evaluator_soc.core_by_id(1), 2
+        ) + core_test_time(evaluator_soc.core_by_id(2), 2)
+        assert stats.time_in == expected
+
+    def test_si_depth_uses_ceiling(self, evaluator_soc):
+        group = SITestGroup(group_id=0, cores=frozenset({1, 2}), patterns=7)
+        evaluator = TamEvaluator(evaluator_soc, (group,))
+        stats = evaluator.rail_stats(TestRail.of([1, 2], width=3))
+        # ceil(8/3) + ceil(16/3) = 3 + 6 = 9.
+        assert stats.si_depths == (9,)
+        assert stats.time_si == 7 * (9 + 1)
+
+    def test_rail_outside_group_has_zero_depth(self, evaluator_soc):
+        group = SITestGroup(group_id=0, cores=frozenset({1}), patterns=7)
+        evaluator = TamEvaluator(evaluator_soc, (group,))
+        stats = evaluator.rail_stats(TestRail.of([3], width=2))
+        assert stats.si_depths == (0,)
+        assert stats.time_si == 0
+
+    def test_bottleneck_rail_identified(self, evaluator_soc):
+        group = SITestGroup(
+            group_id=0, cores=frozenset({1, 2, 3}), patterns=10
+        )
+        evaluator = TamEvaluator(evaluator_soc, (group,))
+        arch = TestRailArchitecture(
+            rails=(TestRail.of([1], 8), TestRail.of([2, 3], 1))
+        )
+        entries = evaluator.calculate_si_test_times(arch)
+        assert len(entries) == 1
+        assert entries[0].bottleneck_rail == 1  # 24 cells on 1 wire
+        assert entries[0].rails == frozenset({0, 1})
+
+    def test_empty_groups_filtered(self, evaluator_soc):
+        empty = SITestGroup(group_id=0, cores=frozenset(), patterns=0)
+        evaluator = TamEvaluator(evaluator_soc, (empty,))
+        assert evaluator.groups == ()
+
+    def test_unknown_group_core_rejected(self, evaluator_soc):
+        group = SITestGroup(group_id=0, cores=frozenset({99}), patterns=1)
+        with pytest.raises(ValueError, match="unknown cores"):
+            TamEvaluator(evaluator_soc, (group,))
+
+    def test_t_in_is_max_over_rails(self, evaluator_soc):
+        evaluator = TamEvaluator(evaluator_soc)
+        arch = TestRailArchitecture(
+            rails=(TestRail.of([1], 2), TestRail.of([2, 3], 2))
+        )
+        evaluation = evaluator.evaluate(arch)
+        assert evaluation.t_in == max(
+            stats.time_in for stats in evaluation.rail_stats
+        )
+        assert evaluation.t_si == 0
+        assert evaluation.t_total == evaluation.t_in
+
+    def test_memoization_returns_same_object(self, evaluator_soc):
+        evaluator = TamEvaluator(evaluator_soc)
+        rail = TestRail.of([1], 2)
+        assert evaluator.rail_stats(rail) is evaluator.rail_stats(
+            TestRail.of([1], 2)
+        )
+
+    def test_capture_cycles_knob(self, evaluator_soc):
+        group = SITestGroup(group_id=0, cores=frozenset({1}), patterns=10)
+        cheap = TamEvaluator(evaluator_soc, (group,), capture_cycles=0)
+        costly = TamEvaluator(evaluator_soc, (group,), capture_cycles=5)
+        rail = TestRail.of([1], 1)
+        assert costly.rail_stats(rail).time_si - cheap.rail_stats(
+            rail
+        ).time_si == 10 * 5

@@ -1,0 +1,134 @@
+"""Tests cross-validating the analytic model against the executable
+session simulator."""
+
+import pytest
+
+from repro.compaction.groups import SITestGroup
+from repro.compaction.horizontal import build_si_test_groups
+from repro.core.optimizer import optimize_tam
+from repro.core.scheduling import SIScheduleEntry, TamEvaluator
+from repro.core.session_sim import (
+    SessionEvent,
+    SessionTrace,
+    SimulationError,
+    simulate_session,
+    utilization_from_trace,
+)
+from repro.sitest.generator import generate_random_patterns
+from repro.soc.model import Soc
+from repro.tam.testrail import TestRail, TestRailArchitecture
+from tests.conftest import make_core
+
+
+@pytest.fixture
+def soc():
+    return Soc(
+        name="sim",
+        cores=(
+            make_core(1, inputs=8, outputs=8, patterns=30),
+            make_core(2, inputs=8, outputs=8, patterns=20),
+            make_core(3, inputs=8, outputs=8, patterns=10),
+        ),
+    )
+
+
+class TestCrossValidation:
+    def test_makespan_matches_evaluator(self, soc):
+        groups = (
+            SITestGroup(group_id=0, cores=frozenset({1, 2}), patterns=15),
+            SITestGroup(group_id=1, cores=frozenset({3}), patterns=10),
+        )
+        architecture = TestRailArchitecture(
+            rails=(TestRail.of([1, 2], 2), TestRail.of([3], 2))
+        )
+        evaluation = TamEvaluator(soc, groups).evaluate(architecture)
+        trace = simulate_session(soc, architecture, evaluation)
+        assert trace.makespan == evaluation.t_total
+        assert trace.intest_end == evaluation.t_in
+
+    def test_full_pipeline_cross_validation(self, d695):
+        patterns = generate_random_patterns(d695, 1_000, seed=13)
+        grouping = build_si_test_groups(d695, patterns, parts=4, seed=13)
+        result = optimize_tam(d695, 24, groups=grouping.groups)
+        trace = simulate_session(
+            d695, result.architecture, result.evaluation
+        )
+        assert trace.makespan == result.t_total
+
+    def test_event_counts(self, soc):
+        architecture = TestRailArchitecture(
+            rails=(TestRail.of([1, 2, 3], 4),)
+        )
+        evaluation = TamEvaluator(soc).evaluate(architecture)
+        trace = simulate_session(soc, architecture, evaluation)
+        intest_events = [e for e in trace.events if e.kind == "intest"]
+        assert len(intest_events) == 3
+        assert not [e for e in trace.events if e.kind == "si"]
+
+    def test_utilization_from_trace_matches_report(self, soc):
+        architecture = TestRailArchitecture(
+            rails=(TestRail.of([1], 2), TestRail.of([2, 3], 2))
+        )
+        evaluation = TamEvaluator(soc).evaluate(architecture)
+        trace = simulate_session(soc, architecture, evaluation)
+        from repro.tam.report import rail_utilizations
+
+        measured = utilization_from_trace(trace, len(architecture.rails))
+        reported = rail_utilizations(architecture, evaluation)
+        for value, row in zip(measured, reported):
+            assert value == pytest.approx(row.utilization, abs=1e-9)
+
+
+class TestExclusivity:
+    def test_double_booked_rail_detected(self, soc):
+        architecture = TestRailArchitecture(
+            rails=(TestRail.of([1, 2, 3], 4),)
+        )
+        evaluation = TamEvaluator(soc).evaluate(architecture)
+        # Corrupt the schedule: an SI entry overlapping InTest on rail 0.
+        bad_entry = SIScheduleEntry(
+            group_id=9,
+            time_si=50,
+            rails=frozenset({0}),
+            bottleneck_rail=0,
+            begin=-evaluation.t_in,  # starts at absolute time 0
+            end=-evaluation.t_in + 50,
+        )
+        corrupted = type(evaluation)(
+            t_in=evaluation.t_in,
+            t_si=evaluation.t_si,
+            schedule=evaluation.schedule + (bad_entry,),
+            rail_stats=evaluation.rail_stats,
+        )
+        with pytest.raises(SimulationError, match="double-booked"):
+            simulate_session(soc, architecture, corrupted)
+
+    def test_zero_duration_events_ignored(self):
+        trace = SessionTrace(
+            events=[
+                SessionEvent(kind="si", label=0, rails=frozenset({0}),
+                             begin=5, end=5)
+            ]
+        )
+        assert trace.busy_intervals(0) == []
+
+
+class TestTrace:
+    def test_empty_trace(self):
+        trace = SessionTrace()
+        assert trace.makespan == 0
+        assert trace.intest_end == 0
+        assert utilization_from_trace(trace, 3) == [0.0, 0.0, 0.0]
+
+    def test_busy_intervals_sorted(self, soc):
+        architecture = TestRailArchitecture(
+            rails=(TestRail.of([1, 2, 3], 2),)
+        )
+        evaluation = TamEvaluator(soc).evaluate(architecture)
+        trace = simulate_session(soc, architecture, evaluation)
+        intervals = trace.busy_intervals(0)
+        assert intervals == sorted(intervals)
+        # Back-to-back serial InTest: each interval starts where the
+        # previous ended.
+        for (_, end), (begin, _) in zip(intervals, intervals[1:]):
+            assert begin == end

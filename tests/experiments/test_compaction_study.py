@@ -1,0 +1,71 @@
+"""Tests for the test-data-volume study."""
+
+import pytest
+
+from repro.experiments.compaction_study import (
+    format_volume_report,
+    measure_compaction,
+)
+from repro.sitest.generator import generate_random_patterns
+from repro.soc.model import Soc
+from tests.conftest import make_core
+
+
+@pytest.fixture(scope="module")
+def soc():
+    return Soc(
+        name="vol",
+        cores=tuple(make_core(i, outputs=12) for i in range(1, 7)),
+    )
+
+
+@pytest.fixture(scope="module")
+def patterns(soc):
+    return generate_random_patterns(soc, 1_200, seed=19)
+
+
+class TestMeasure:
+    def test_needs_group_counts(self, soc, patterns):
+        with pytest.raises(ValueError):
+            measure_compaction(soc, patterns, ())
+
+    def test_volume_before_is_full_length(self, soc, patterns):
+        volumes = measure_compaction(soc, patterns, (1,), seed=19)
+        full = sum(core.woc_count for core in soc)
+        assert volumes[0].volume_before == len(patterns) * full
+
+    def test_compaction_reduces_volume(self, soc, patterns):
+        for volume in measure_compaction(soc, patterns, (1, 2, 4), seed=19):
+            assert volume.volume_after < volume.volume_before
+            assert volume.patterns_after < volume.patterns_before
+
+    def test_single_group_count_equals_volume_ratio(self, soc, patterns):
+        # With i=1 every pattern keeps full length, so the volume factor
+        # equals the count factor exactly.
+        volume = measure_compaction(soc, patterns, (1,), seed=19)[0]
+        assert volume.count_reduction == pytest.approx(
+            volume.volume_reduction
+        )
+        assert volume.residual_patterns == 0
+
+    def test_grouping_trades_count_for_length(self, soc, patterns):
+        flat, grouped = measure_compaction(soc, patterns, (1, 4), seed=19)
+        # More groups -> more compacted patterns (smaller merge pools)...
+        assert grouped.patterns_after >= flat.patterns_after
+        # ...but the per-pattern length drop more than compensates here.
+        assert grouped.volume_after <= flat.volume_after * 1.1
+
+    def test_empty_pattern_set(self, soc):
+        volume = measure_compaction(soc, [], (1,), seed=0)[0]
+        assert volume.volume_before == 0
+        assert volume.volume_after == 0
+        assert volume.count_reduction == 1.0
+        assert volume.volume_reduction == 1.0
+
+
+class TestFormat:
+    def test_report_rows(self, soc, patterns):
+        volumes = measure_compaction(soc, patterns, (1, 2), seed=19)
+        text = format_volume_report(volumes)
+        assert len(text.splitlines()) == 3
+        assert "residual" in text

@@ -1,0 +1,76 @@
+"""Tests for the optimizer comparison harness."""
+
+import pytest
+
+from repro.compaction.groups import SITestGroup
+from repro.experiments.compare import (
+    Comparison,
+    Contender,
+    compare_optimizers,
+    format_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison(t5):
+    groups = (
+        SITestGroup(group_id=0, cores=frozenset(t5.core_ids), patterns=30),
+        SITestGroup(group_id=1, cores=frozenset({1, 2}), patterns=10),
+    )
+    return compare_optimizers(t5, 6, groups, annealing_steps=400)
+
+
+class TestCompare:
+    def test_all_contenders_present(self, comparison):
+        names = {contender.name for contender in comparison.contenders}
+        assert "Algorithm 2" in names
+        assert "TR-Architect + post-hoc SI" in names
+        assert "Test Bus architecture" in names
+        assert "simulated annealing" in names
+        assert "exact enumeration" in names  # t5: 5 cores, W=6
+
+    def test_exact_is_the_floor(self, comparison):
+        exact = next(
+            c for c in comparison.contenders
+            if c.name == "exact enumeration"
+        )
+        for contender in comparison.contenders:
+            assert contender.t_total >= exact.t_total
+
+    def test_bound_below_everything(self, comparison):
+        for contender in comparison.contenders:
+            assert contender.t_total >= comparison.bound
+
+    def test_best_selection(self, comparison):
+        best = comparison.best()
+        assert best.t_total == min(
+            c.t_total for c in comparison.contenders
+        )
+
+    def test_exact_skipped_on_large_instances(self, d695):
+        result = compare_optimizers(d695, 16, (), annealing_steps=200)
+        names = {contender.name for contender in result.contenders}
+        assert "exact enumeration" not in names
+
+    def test_warm_start_never_worse_than_algorithm2(self, comparison):
+        by_name = {c.name: c for c in comparison.contenders}
+        assert by_name["SA warm-started from Alg. 2"].t_total <= (
+            by_name["Algorithm 2"].t_total
+        )
+
+    def test_empty_comparison_best_raises(self):
+        with pytest.raises(ValueError):
+            Comparison(soc_name="x", w_max=8, bound=0, contenders=()).best()
+
+
+class TestFormat:
+    def test_sorted_and_marked(self, comparison):
+        text = format_comparison(comparison)
+        assert text.count("<- best") == 1
+        assert "lower bound" in text
+        rows = text.splitlines()[2:]
+        assert len(rows) == len(comparison.contenders)
+        # Rows are sorted by achieved time (column after the name).
+        ordered = sorted(comparison.contenders, key=lambda c: c.t_total)
+        for row, contender in zip(rows, ordered):
+            assert str(contender.t_total) in row

@@ -1,0 +1,67 @@
+"""Tests for the multi-site economics study."""
+
+import pytest
+
+from repro.experiments.multisite import (
+    MultisiteStudy,
+    SitePoint,
+    format_multisite_report,
+    run_multisite_study,
+)
+
+
+class TestSitePoint:
+    def test_throughput(self):
+        point = SitePoint(sites=4, width_per_site=8, t_soc=2_000)
+        assert point.throughput == pytest.approx(2.0)
+
+    def test_zero_time(self):
+        point = SitePoint(sites=1, width_per_site=8, t_soc=0)
+        assert point.throughput == float("inf")
+
+
+class TestStudy:
+    def test_default_site_counts_are_divisors(self, t5):
+        study = run_multisite_study(t5, 12)
+        assert [point.sites for point in study.points] == [1, 2, 3, 4, 6, 12]
+        for point in study.points:
+            assert point.sites * point.width_per_site == 12
+
+    def test_rejects_bad_inputs(self, t5):
+        with pytest.raises(ValueError):
+            run_multisite_study(t5, 0)
+        with pytest.raises(ValueError):
+            run_multisite_study(t5, 12, site_counts=(5,))
+
+    def test_t_soc_grows_with_sites(self, t5):
+        study = run_multisite_study(t5, 8, site_counts=(1, 2, 4))
+        times = [point.t_soc for point in study.points]
+        assert times == sorted(times)
+
+    def test_best_is_max_throughput(self, t5):
+        study = run_multisite_study(t5, 8, site_counts=(1, 2, 4))
+        best = study.best()
+        assert best.throughput == max(
+            point.throughput for point in study.points
+        )
+
+    def test_multisite_pays_when_curve_flattens(self, p34392):
+        # p34392 saturates at moderate width (dominant core): splitting
+        # channels across sites must beat single-site testing.
+        from repro.compaction.groups import SITestGroup
+
+        study = run_multisite_study(p34392, 64, site_counts=(1, 2))
+        single, dual = study.points
+        assert dual.throughput > single.throughput
+
+    def test_empty_study_best_raises(self):
+        with pytest.raises(ValueError):
+            MultisiteStudy(soc_name="x", channels=8, points=()).best()
+
+
+class TestFormat:
+    def test_marks_best(self, t5):
+        study = run_multisite_study(t5, 8, site_counts=(1, 2, 4))
+        text = format_multisite_report(study)
+        assert text.count("<- best") == 1
+        assert "tester channels" in text

@@ -1,0 +1,81 @@
+"""Tests for the pin-budget Pareto sweep."""
+
+import pytest
+
+from repro.experiments.pareto import (
+    ParetoCurve,
+    ParetoPoint,
+    format_curve,
+    sweep_widths,
+)
+
+
+def _curve(*totals, start_width=8, step=8):
+    points = tuple(
+        ParetoPoint(w_max=start_width + index * step, t_total=total,
+                    t_in=total, t_si=0)
+        for index, total in enumerate(totals)
+    )
+    return ParetoCurve(soc_name="c", points=points)
+
+
+class TestKnee:
+    def test_obvious_knee(self):
+        # Steep drop then flat: the knee sits where the curve flattens.
+        curve = _curve(1000, 400, 380, 370, 365)
+        assert curve.knee().w_max == 16
+
+    def test_linear_curve_has_no_strong_knee(self):
+        curve = _curve(1000, 800, 600, 400, 200)
+        knee = curve.knee()
+        assert knee in curve.points
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            _curve(100).knee()
+
+    def test_flat_curve(self):
+        curve = _curve(500, 500, 500)
+        assert curve.knee() in curve.points
+
+
+class TestDominated:
+    def test_monotone_curve_has_none(self):
+        assert _curve(1000, 800, 600).dominated_points() == ()
+
+    def test_bump_detected(self):
+        curve = _curve(1000, 700, 750, 600)
+        dominated = curve.dominated_points()
+        assert [point.t_total for point in dominated] == [750]
+
+
+class TestSweep:
+    def test_validates_widths(self, t5):
+        with pytest.raises(ValueError):
+            sweep_widths(t5, ())
+        with pytest.raises(ValueError):
+            sweep_widths(t5, (8, 8))
+        with pytest.raises(ValueError):
+            sweep_widths(t5, (16, 8))
+
+    def test_sweep_t5(self, t5):
+        curve = sweep_widths(t5, (2, 4, 8, 16))
+        assert [point.w_max for point in curve.points] == [2, 4, 8, 16]
+        totals = [point.t_total for point in curve.points]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_sweep_with_groups(self, t5):
+        from repro.compaction.groups import SITestGroup
+
+        groups = (
+            SITestGroup(group_id=0, cores=frozenset(t5.core_ids),
+                        patterns=20),
+        )
+        curve = sweep_widths(t5, (4, 8), groups=groups)
+        assert all(point.t_si > 0 for point in curve.points)
+
+    def test_format(self, t5):
+        curve = sweep_widths(t5, (2, 4, 8))
+        text = format_curve(curve)
+        assert "<- knee" in text
+        assert len(text.splitlines()) == 1 + 3

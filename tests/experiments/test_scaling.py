@@ -1,0 +1,41 @@
+"""Tests for the scaling study harness."""
+
+import pytest
+
+from repro.experiments.scaling import (
+    format_scaling_report,
+    run_scaling_study,
+)
+
+
+class TestScalingStudy:
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            run_scaling_study(())
+        with pytest.raises(ValueError):
+            run_scaling_study((4,), w_max=0)
+        with pytest.raises(ValueError):
+            run_scaling_study((4,), pattern_count=-1)
+
+    def test_one_point_per_size(self):
+        points = run_scaling_study((3, 6), w_max=8, pattern_count=200,
+                                   parts=2, seed=1)
+        assert [point.core_count for point in points] == [3, 6]
+
+    def test_gaps_are_sane(self):
+        points = run_scaling_study((4,), w_max=8, pattern_count=200,
+                                   parts=2, seed=2)
+        assert 0.0 <= points[0].bound_gap < 1.0
+
+    def test_parts_clamped_to_core_count(self):
+        # parts=4 with a 2-core SOC must not crash.
+        points = run_scaling_study((2,), w_max=4, pattern_count=100,
+                                   parts=4, seed=3)
+        assert points[0].t_total > 0
+
+    def test_report_format(self):
+        points = run_scaling_study((3,), w_max=8, pattern_count=100,
+                                   parts=2, seed=1)
+        text = format_scaling_report(points)
+        assert "cores" in text
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,59 @@
+"""Tests for the generator-sensitivity harness."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    format_sensitivity_report,
+    run_sensitivity_study,
+)
+from repro.sitest.generator import GeneratorConfig
+
+
+class TestStudy:
+    def test_validates_inputs(self, t5):
+        with pytest.raises(ValueError):
+            run_sensitivity_study(t5, -1, 8)
+        with pytest.raises(ValueError):
+            run_sensitivity_study(t5, 100, 0)
+
+    def test_default_variants_all_run(self, t5):
+        points = run_sensitivity_study(t5, 200, 8, parts=2, seed=3)
+        assert len(points) == 7
+        assert points[0].label == "paper defaults"
+        assert all(point.t_total > 0 for point in points)
+
+    def test_custom_variants(self, t5):
+        variants = (
+            ("a", GeneratorConfig()),
+            ("b", GeneratorConfig(bus_probability=0.0)),
+        )
+        points = run_sensitivity_study(t5, 200, 8, parts=2, seed=3,
+                                       variants=variants)
+        assert [point.label for point in points] == ["a", "b"]
+
+    def test_bus_pressure_raises_pattern_count(self, t5):
+        variants = (
+            ("none", GeneratorConfig(bus_probability=0.0)),
+            ("full", GeneratorConfig(bus_probability=1.0)),
+        )
+        none, full = run_sensitivity_study(t5, 500, 8, parts=1, seed=3,
+                                           variants=variants)
+        # Bus-line driver conflicts block merges, so more bus usage means
+        # more compacted patterns.
+        assert full.compacted_patterns >= none.compacted_patterns
+
+    def test_deterministic(self, t5):
+        first = run_sensitivity_study(t5, 200, 8, parts=2, seed=4)
+        second = run_sensitivity_study(t5, 200, 8, parts=2, seed=4)
+        assert first == second
+
+
+class TestFormat:
+    def test_reference_row_is_zero(self, t5):
+        points = run_sensitivity_study(t5, 150, 8, parts=2, seed=3)
+        text = format_sensitivity_report(points)
+        assert "+0.0%" in text
+        assert len(text.splitlines()) == 1 + len(points)
+
+    def test_empty(self):
+        assert format_sensitivity_report(()) == "(no variants)"

@@ -1,0 +1,47 @@
+"""Tests for the seed-stability harness."""
+
+import pytest
+
+from repro.experiments.stability import StabilityRow, run_stability_study
+
+
+class TestStabilityRow:
+    def test_statistics(self):
+        row = StabilityRow("x", (1.0, 2.0, 3.0))
+        assert row.mean == pytest.approx(2.0)
+        assert row.std == pytest.approx(1.0)
+        assert row.spread == pytest.approx(2.0)
+
+    def test_single_value(self):
+        row = StabilityRow("x", (5.0,))
+        assert row.std == 0.0
+        assert row.spread == 0.0
+
+
+class TestStudy:
+    def test_needs_seeds(self, t5):
+        with pytest.raises(ValueError):
+            run_stability_study(t5, 100, 8, seeds=())
+
+    def test_one_value_per_seed(self, t5):
+        report = run_stability_study(
+            t5, 200, 8, seeds=(1, 2), group_counts=(1, 2)
+        )
+        assert len(report.delta_baseline.values) == 2
+        assert len(report.t_min.values) == 2
+        assert report.soc_name == "t5"
+
+    def test_format(self, t5):
+        report = run_stability_study(t5, 150, 8, seeds=(1,),
+                                     group_counts=(1, 2))
+        text = report.format()
+        assert "dT_[8]" in text
+        assert "T_min" in text
+        assert "seeds=[1]" in text
+
+    def test_deterministic(self, t5):
+        first = run_stability_study(t5, 150, 8, seeds=(3, 4),
+                                    group_counts=(1, 2))
+        second = run_stability_study(t5, 150, 8, seeds=(3, 4),
+                                     group_counts=(1, 2))
+        assert first == second

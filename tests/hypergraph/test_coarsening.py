@@ -1,0 +1,145 @@
+"""Unit tests for the multilevel partitioner's internals."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph.hypergraph import Hypergraph, build_hypergraph
+from repro.hypergraph.multilevel import (
+    _coarsen,
+    _contract,
+    _heavy_edge_matching,
+    _initial_bisection,
+    _subgraph,
+)
+
+
+def _random_graph(n, seed=0, edge_factor=2):
+    rng = random.Random(seed)
+    edges = {}
+    for _ in range(n * edge_factor):
+        size = rng.randint(2, min(4, n)) if n >= 2 else 2
+        pins = frozenset(rng.sample(range(n), k=size))
+        if len(pins) >= 2:
+            edges[pins] = edges.get(pins, 0) + rng.randint(1, 5)
+    return build_hypergraph([rng.randint(1, 5) for _ in range(n)], edges)
+
+
+class TestMatching:
+    def test_mapping_is_surjective_onto_prefix(self):
+        graph = _random_graph(12, seed=1)
+        mapping = _heavy_edge_matching(graph, random.Random(0))
+        coarse_ids = sorted(set(mapping))
+        assert coarse_ids == list(range(len(coarse_ids)))
+
+    def test_at_most_pairs(self):
+        graph = _random_graph(12, seed=2)
+        mapping = _heavy_edge_matching(graph, random.Random(0))
+        from collections import Counter
+
+        counts = Counter(mapping)
+        assert all(count <= 2 for count in counts.values())
+
+    def test_isolated_vertices_stay_single(self):
+        graph = Hypergraph(vertex_weights=[1, 1, 1],
+                           edges=[(0, 1)], edge_weights=[3])
+        mapping = _heavy_edge_matching(graph, random.Random(0))
+        # Vertex 2 has no edges: it must map alone.
+        partners = [v for v in range(3) if mapping[v] == mapping[2]]
+        assert partners == [2]
+
+
+class TestContract:
+    def test_vertex_weight_conserved(self):
+        graph = _random_graph(10, seed=3)
+        mapping = _heavy_edge_matching(graph, random.Random(1))
+        coarse = _contract(graph, mapping, max(mapping) + 1)
+        assert coarse.total_vertex_weight == graph.total_vertex_weight
+
+    def test_internal_edges_dropped(self):
+        graph = Hypergraph(vertex_weights=[1, 1], edges=[(0, 1)],
+                           edge_weights=[5])
+        coarse = _contract(graph, [0, 0], 1)
+        assert coarse.edge_count == 0
+
+    def test_parallel_edges_merged(self):
+        graph = Hypergraph(
+            vertex_weights=[1, 1, 1, 1],
+            edges=[(0, 2), (1, 3)],
+            edge_weights=[2, 3],
+        )
+        # Contract {0,1} and {2,3}: both edges become the same coarse edge.
+        coarse = _contract(graph, [0, 0, 1, 1], 2)
+        assert coarse.edge_count == 1
+        assert coarse.edge_weights[0] == 5
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=20),
+           st.integers(min_value=0, max_value=50))
+    def test_cut_preserved_under_projection(self, n, seed):
+        # Any partition of the coarse graph, projected to the fine graph,
+        # has exactly the coarse cut weight plus the dropped internal
+        # edges' contribution of zero.
+        from repro.hypergraph.hypergraph import cut_weight
+
+        graph = _random_graph(n, seed=seed)
+        mapping = _heavy_edge_matching(graph, random.Random(seed))
+        coarse_count = max(mapping) + 1
+        coarse = _contract(graph, mapping, coarse_count)
+        rng = random.Random(seed + 1)
+        coarse_assignment = [rng.randint(0, 1) for _ in range(coarse_count)]
+        fine_assignment = [coarse_assignment[mapping[v]] for v in range(n)]
+        assert cut_weight(coarse, coarse_assignment) == cut_weight(
+            graph, fine_assignment
+        )
+
+
+class TestCoarsenHierarchy:
+    def test_levels_shrink(self):
+        graph = _random_graph(100, seed=4)
+        levels = _coarsen(graph, random.Random(0))
+        sizes = [level[0].vertex_count for level in levels]
+        assert sizes[0] == 100
+        assert all(b < a for a, b in zip(sizes, sizes[1:]))
+
+    def test_small_graph_single_level(self):
+        graph = _random_graph(8, seed=5)
+        levels = _coarsen(graph, random.Random(0))
+        assert len(levels) == 1
+
+
+class TestSubgraph:
+    def test_restriction(self):
+        graph = build_hypergraph(
+            [1, 2, 3, 4],
+            {frozenset({0, 1, 2}): 5, frozenset({2, 3}): 7},
+        )
+        sub, _ = _subgraph(graph, [1, 2])
+        assert sub.vertex_weights == [2, 3]
+        # Edge {0,1,2} loses pin 0 -> {1,2} locally {0,1}; edge {2,3}
+        # loses pin 3 -> single pin, dropped.
+        assert sub.edges == [(0, 1)]
+        assert sub.edge_weights == [5]
+
+
+class TestInitialBisection:
+    def test_target_roughly_met(self):
+        graph = _random_graph(20, seed=6)
+        total = graph.total_vertex_weight
+        assignment = _initial_bisection(graph, total // 2,
+                                        random.Random(3))
+        weight0 = sum(
+            graph.vertex_weights[v]
+            for v in range(20) if assignment[v] == 0
+        )
+        assert weight0 >= total // 2  # grows until the target is reached
+        assert weight0 <= total
+
+    def test_both_sides_nonempty_for_positive_target(self):
+        graph = _random_graph(10, seed=7)
+        assignment = _initial_bisection(
+            graph, graph.total_vertex_weight // 3, random.Random(0)
+        )
+        assert 0 in assignment and 1 in assignment

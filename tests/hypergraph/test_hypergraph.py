@@ -1,0 +1,70 @@
+"""Tests for the hypergraph data structure."""
+
+import pytest
+
+from repro.hypergraph.hypergraph import (
+    Hypergraph,
+    build_hypergraph,
+    cut_weight,
+    part_weights,
+)
+
+
+class TestValidation:
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(vertex_weights=[1, 1], edges=[(0, 1)], edge_weights=[])
+
+    def test_nonpositive_vertex_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(vertex_weights=[1, 0])
+
+    def test_singleton_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(vertex_weights=[1, 1], edges=[(0,)], edge_weights=[1])
+
+    def test_duplicate_pins_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(vertex_weights=[1, 1], edges=[(0, 0)], edge_weights=[1])
+
+    def test_unknown_pin_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(vertex_weights=[1, 1], edges=[(0, 5)], edge_weights=[1])
+
+
+class TestBuild:
+    def test_drops_small_pin_sets(self):
+        graph = build_hypergraph(
+            [1, 2, 3],
+            {frozenset({0}): 5, frozenset({0, 1}): 2, frozenset({1, 2}): 3},
+        )
+        assert graph.edge_count == 2
+        assert graph.total_vertex_weight == 6
+
+    def test_incidence(self):
+        graph = build_hypergraph(
+            [1, 1, 1], {frozenset({0, 1}): 1, frozenset({0, 2}): 1}
+        )
+        incidence = graph.incidence()
+        assert len(incidence[0]) == 2
+        assert len(incidence[1]) == 1
+
+
+class TestCutWeight:
+    def test_uncut(self):
+        graph = build_hypergraph([1, 1, 1], {frozenset({0, 1, 2}): 7})
+        assert cut_weight(graph, [0, 0, 0]) == 0
+
+    def test_cut_counts_once_regardless_of_spread(self):
+        graph = build_hypergraph([1, 1, 1], {frozenset({0, 1, 2}): 7})
+        assert cut_weight(graph, [0, 1, 1]) == 7
+        assert cut_weight(graph, [0, 1, 2]) == 7
+
+    def test_wrong_assignment_length(self):
+        graph = build_hypergraph([1, 1], {frozenset({0, 1}): 1})
+        with pytest.raises(ValueError):
+            cut_weight(graph, [0])
+
+    def test_part_weights(self):
+        graph = build_hypergraph([3, 5, 7], {frozenset({0, 1}): 1})
+        assert part_weights(graph, [0, 1, 1], 2) == [3, 12]

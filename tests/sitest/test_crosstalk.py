@@ -1,0 +1,188 @@
+"""Tests for the physical crosstalk model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sitest.crosstalk import (
+    CrosstalkAnalysis,
+    PlacedWire,
+    WireGeometry,
+    analyze_crosstalk,
+    channel_placement,
+    coupling_capacitance_ff,
+    glitch_peak_v,
+    ground_capacitance_ff,
+    topology_from_placement,
+)
+from repro.sitest.topology import Net
+
+
+class TestGeometry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WireGeometry(width=0)
+        with pytest.raises(ValueError):
+            WireGeometry(spacing=-1)
+
+    def test_wire_validation(self):
+        with pytest.raises(ValueError):
+            PlacedWire(net_id=0, track=0, start=0.0, length=0.0)
+
+    def test_overlap(self):
+        a = PlacedWire(net_id=0, track=0, start=0.0, length=10.0)
+        b = PlacedWire(net_id=1, track=1, start=5.0, length=10.0)
+        assert a.overlap_with(b) == 5.0
+        assert b.overlap_with(a) == 5.0
+
+    def test_no_overlap(self):
+        a = PlacedWire(net_id=0, track=0, start=0.0, length=4.0)
+        b = PlacedWire(net_id=1, track=1, start=5.0, length=4.0)
+        assert a.overlap_with(b) == 0.0
+
+
+class TestCapacitances:
+    def test_same_track_no_coupling(self):
+        geometry = WireGeometry()
+        a = PlacedWire(net_id=0, track=2, start=0.0, length=10.0)
+        b = PlacedWire(net_id=1, track=2, start=0.0, length=10.0)
+        assert coupling_capacitance_ff(a, b, geometry) == 0.0
+
+    def test_coupling_scales_with_overlap(self):
+        geometry = WireGeometry()
+        a = PlacedWire(net_id=0, track=0, start=0.0, length=100.0)
+        near = PlacedWire(net_id=1, track=1, start=0.0, length=100.0)
+        short = PlacedWire(net_id=2, track=1, start=0.0, length=50.0)
+        assert coupling_capacitance_ff(a, near, geometry) == pytest.approx(
+            2 * coupling_capacitance_ff(a, short, geometry)
+        )
+
+    def test_coupling_decays_with_separation(self):
+        geometry = WireGeometry()
+        a = PlacedWire(net_id=0, track=0, start=0.0, length=100.0)
+        adjacent = PlacedWire(net_id=1, track=1, start=0.0, length=100.0)
+        far = PlacedWire(net_id=2, track=2, start=0.0, length=100.0)
+        assert coupling_capacitance_ff(a, adjacent, geometry) > (
+            coupling_capacitance_ff(a, far, geometry)
+        )
+
+    def test_ground_capacitance_scales_with_length(self):
+        geometry = WireGeometry()
+        short = PlacedWire(net_id=0, track=0, start=0.0, length=10.0)
+        long = PlacedWire(net_id=1, track=0, start=0.0, length=20.0)
+        assert ground_capacitance_ff(long, geometry) == pytest.approx(
+            2 * ground_capacitance_ff(short, geometry)
+        )
+
+
+class TestGlitch:
+    def test_zero_coupling_no_glitch(self):
+        assert glitch_peak_v(0.0, 10.0) == 0.0
+
+    def test_charge_sharing_limit(self):
+        # Huge driver resistance: the charge-sharing cap binds.
+        peak = glitch_peak_v(5.0, 5.0, vdd=1.0,
+                             driver_resistance_ohm=1e9)
+        assert peak == pytest.approx(0.5)
+
+    def test_devgan_limit(self):
+        # Tiny coupling with a stiff driver: the RC ramp bound binds.
+        peak = glitch_peak_v(0.1, 10.0, vdd=1.0,
+                             driver_resistance_ohm=100.0,
+                             rise_time_ps=100.0)
+        assert peak == pytest.approx(1.0 * 100.0 * 0.1 * 1e-3 / 100.0)
+
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            glitch_peak_v(-1.0, 1.0)
+
+    @given(st.floats(min_value=0.01, max_value=100),
+           st.floats(min_value=0.01, max_value=100))
+    def test_peak_never_exceeds_vdd(self, coupling, ground):
+        assert 0.0 <= glitch_peak_v(coupling, ground, vdd=1.2) <= 1.2
+
+
+class TestAnalysis:
+    def test_symmetric_neighbors(self):
+        wires = [
+            PlacedWire(net_id=0, track=0, start=0.0, length=100.0),
+            PlacedWire(net_id=1, track=1, start=0.0, length=100.0),
+        ]
+        analysis = analyze_crosstalk(wires)
+        assert 1 in analysis.contributions[0]
+        assert 0 in analysis.contributions[1]
+
+    def test_worst_case_noise_sums(self):
+        wires = [
+            PlacedWire(net_id=0, track=1, start=0.0, length=100.0),
+            PlacedWire(net_id=1, track=0, start=0.0, length=100.0),
+            PlacedWire(net_id=2, track=2, start=0.0, length=100.0),
+        ]
+        analysis = analyze_crosstalk(wires)
+        assert analysis.worst_case_noise(0) == pytest.approx(
+            sum(analysis.contributions[0].values())
+        )
+        # Victim 0 sits between both aggressors.
+        assert len(analysis.contributions[0]) == 2
+
+    def test_threshold_filters(self):
+        analysis = CrosstalkAnalysis(
+            contributions={0: {1: 0.2, 2: 0.01}}
+        )
+        assert analysis.aggressors_above(0, 0.05) == (1,)
+        assert analysis.aggressors_above(0, 0.001) == (1, 2)
+
+
+class TestTopologyFromPlacement:
+    def _nets(self, count):
+        return [
+            Net(net_id=i, driver=(1 + i % 2, i // 2), receivers=(2 - i % 2,))
+            for i in range(count)
+        ]
+
+    def test_neighborhoods_derived_from_physics(self):
+        nets = self._nets(4)
+        wires = [
+            PlacedWire(net_id=0, track=0, start=0.0, length=100.0),
+            PlacedWire(net_id=1, track=1, start=0.0, length=100.0),
+            PlacedWire(net_id=2, track=2, start=0.0, length=100.0),
+            # Net 3 is far away: no aggressors.
+            PlacedWire(net_id=3, track=10, start=0.0, length=100.0),
+        ]
+        topology = topology_from_placement(nets, wires,
+                                           noise_threshold=0.01)
+        assert 1 in topology.neighborhoods[0]
+        assert topology.neighborhoods[3] == ()
+
+    def test_placement_must_cover_nets(self):
+        nets = self._nets(2)
+        wires = [PlacedWire(net_id=0, track=0, start=0.0, length=10.0)]
+        with pytest.raises(ValueError, match="cover"):
+            topology_from_placement(nets, wires)
+
+    def test_feeds_the_fault_models(self):
+        from repro.sitest.faults import generate_ma_patterns
+
+        nets = self._nets(6)
+        wires = channel_placement(6, tracks=3, seed=1)
+        topology = topology_from_placement(nets, wires,
+                                           noise_threshold=0.02)
+        patterns = list(generate_ma_patterns(topology))
+        assert len(patterns) == 6 * len(nets)
+
+
+class TestChannelPlacement:
+    def test_deterministic(self):
+        assert channel_placement(8, 4, seed=3) == channel_placement(
+            8, 4, seed=3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            channel_placement(-1, 2)
+        with pytest.raises(ValueError):
+            channel_placement(4, 0)
+
+    def test_round_robin_tracks(self):
+        wires = channel_placement(6, 3, seed=0)
+        assert [wire.track for wire in wires] == [0, 1, 2, 0, 1, 2]

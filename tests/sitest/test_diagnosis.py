@@ -1,0 +1,104 @@
+"""Tests for dictionary-based SI fault diagnosis."""
+
+import pytest
+
+from repro.compaction.vertical import greedy_compact
+from repro.sitest.diagnosis import build_dictionary, syndrome_of
+from repro.sitest.faults import generate_ma_patterns
+from repro.sitest.simulator import fault_universe
+from repro.sitest.topology import random_topology
+from repro.soc.model import Soc
+from tests.conftest import make_core
+
+
+@pytest.fixture(scope="module")
+def topology():
+    soc = Soc(
+        name="diag",
+        cores=(make_core(1, outputs=6), make_core(2, outputs=6)),
+    )
+    return random_topology(soc, fanouts_per_core=1, locality=1, seed=23)
+
+
+@pytest.fixture(scope="module")
+def ma_patterns(topology):
+    return list(generate_ma_patterns(topology))
+
+
+@pytest.fixture(scope="module")
+def dictionary(topology, ma_patterns):
+    return build_dictionary(topology, ma_patterns)
+
+
+class TestDictionary:
+    def test_covers_universe(self, dictionary, topology):
+        assert dictionary.faults == fault_universe(topology)
+
+    def test_ma_set_detects_everything(self, dictionary):
+        assert dictionary.detectable_faults == dictionary.faults
+
+    def test_signatures_nonempty_for_detected(self, dictionary):
+        for signature in dictionary.signatures:
+            assert signature  # MA set detects every fault
+
+    def test_resolution_bounds(self, dictionary):
+        assert 0.0 < dictionary.diagnostic_resolution <= 1.0
+
+    def test_equivalence_classes_partition_detectable(self, dictionary):
+        classes = dictionary.equivalence_classes()
+        flattened = [fault for group in classes for fault in group]
+        assert sorted(flattened, key=lambda f: (f.net_id, f.fault_type)) == (
+            sorted(dictionary.detectable_faults,
+                   key=lambda f: (f.net_id, f.fault_type))
+        )
+
+    def test_empty_pattern_set(self, topology):
+        dictionary = build_dictionary(topology, [])
+        assert dictionary.detectable_faults == ()
+        assert dictionary.diagnostic_resolution == 1.0
+
+
+class TestDiagnose:
+    def test_single_fault_diagnosed(self, topology, ma_patterns, dictionary):
+        fault = dictionary.faults[3]
+        syndrome = syndrome_of(topology, ma_patterns, (fault,))
+        candidates = dictionary.diagnose(syndrome)
+        assert fault in candidates
+        # Every candidate is signature-equivalent to the real fault.
+        signature = dictionary.signatures[dictionary.faults.index(fault)]
+        for candidate in candidates:
+            index = dictionary.faults.index(candidate)
+            assert dictionary.signatures[index] == signature
+
+    def test_subset_match_for_double_fault(self, topology, ma_patterns,
+                                           dictionary):
+        first = dictionary.faults[0]
+        second = dictionary.faults[-1]
+        syndrome = syndrome_of(topology, ma_patterns, (first, second))
+        candidates = dictionary.diagnose_subset(syndrome)
+        assert first in candidates
+        assert second in candidates
+
+    def test_clean_syndrome_matches_nothing(self, dictionary):
+        assert dictionary.diagnose(frozenset()) == ()
+
+
+class TestCompactionAndResolution:
+    def test_compaction_keeps_detection_may_cost_resolution(
+        self, topology, ma_patterns
+    ):
+        compacted = list(greedy_compact(ma_patterns).compacted)
+        original = build_dictionary(topology, ma_patterns)
+        after = build_dictionary(topology, compacted)
+        # Detection preserved...
+        assert len(after.detectable_faults) >= len(
+            original.detectable_faults
+        )
+        # ...but the compacted set has far fewer patterns, so its
+        # signature space — and with it the distinguishing power — shrinks
+        # (deterministic for this fixture's seed).
+        assert len(compacted) < len(ma_patterns)
+        assert len(after.equivalence_classes()) <= len(
+            original.equivalence_classes()
+        )
+        assert after.diagnostic_resolution <= 1.0

@@ -1,0 +1,83 @@
+"""Tests for the defect-level economics model."""
+
+import pytest
+
+from repro.sitest.economics import (
+    coverage_economics,
+    defect_level_dppm,
+    format_economics_report,
+    williams_brown_defect_level,
+)
+from repro.sitest.faults import generate_ma_patterns
+from repro.sitest.topology import random_topology
+from repro.soc.model import Soc
+from tests.conftest import make_core
+
+
+class TestWilliamsBrown:
+    def test_full_coverage_ships_nothing_defective(self):
+        assert williams_brown_defect_level(0.8, 1.0) == pytest.approx(0.0)
+
+    def test_zero_coverage_ships_all_defects(self):
+        assert williams_brown_defect_level(0.8, 0.0) == pytest.approx(0.2)
+
+    def test_hand_value(self):
+        # Y = 0.9, FC = 0.5: DL = 1 - 0.9^0.5 ~ 5.13%.
+        assert williams_brown_defect_level(0.9, 0.5) == pytest.approx(
+            1 - 0.9**0.5
+        )
+
+    def test_monotone_in_coverage(self):
+        values = [
+            williams_brown_defect_level(0.85, coverage / 10)
+            for coverage in range(11)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            williams_brown_defect_level(0.0, 0.5)
+        with pytest.raises(ValueError):
+            williams_brown_defect_level(1.5, 0.5)
+        with pytest.raises(ValueError):
+            williams_brown_defect_level(0.9, 1.1)
+
+    def test_dppm_scale(self):
+        assert defect_level_dppm(0.9, 1.0) == pytest.approx(0.0)
+        assert defect_level_dppm(0.9, 0.0) == pytest.approx(1e5)
+
+
+class TestCoverageEconomics:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        soc = Soc(
+            name="econ",
+            cores=(make_core(1, outputs=6), make_core(2, outputs=6)),
+        )
+        topology = random_topology(soc, locality=2, seed=31)
+        patterns = list(generate_ma_patterns(topology))
+        return topology, patterns
+
+    def test_dppm_decreases_with_patterns(self, setup):
+        topology, patterns = setup
+        points = coverage_economics(
+            topology, patterns, process_yield=0.85,
+            checkpoints=(0, len(patterns) // 2, len(patterns)),
+        )
+        dppm = [point.dppm for point in points]
+        assert dppm == sorted(dppm, reverse=True)
+        assert points[-1].dppm == pytest.approx(0.0)
+
+    def test_negative_checkpoint_rejected(self, setup):
+        topology, patterns = setup
+        with pytest.raises(ValueError):
+            coverage_economics(topology, patterns, 0.9, (-1,))
+
+    def test_report_format(self, setup):
+        topology, patterns = setup
+        points = coverage_economics(
+            topology, patterns, 0.9, (0, len(patterns))
+        )
+        text = format_economics_report(points)
+        assert "DPPM" in text
+        assert len(text.splitlines()) == 3

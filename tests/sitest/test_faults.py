@@ -1,0 +1,128 @@
+"""Tests for the MA and reduced-MT fault models, including the paper's
+Section 2 motivation arithmetic."""
+
+import itertools
+
+import pytest
+
+from repro.sitest.faults import (
+    MA_FAULT_TYPES,
+    generate_ma_patterns,
+    generate_reduced_mt_patterns,
+    ma_pattern_count,
+    reduced_mt_pattern_count,
+)
+from repro.sitest.patterns import SYMBOLS, TRANSITIONS
+from repro.sitest.topology import random_topology
+from repro.soc.model import Soc
+from tests.conftest import make_core
+
+
+@pytest.fixture
+def small_topology():
+    soc = Soc(
+        name="small",
+        cores=(make_core(1, outputs=3), make_core(2, outputs=3)),
+    )
+    return random_topology(soc, locality=2, seed=5)
+
+
+class TestCounts:
+    def test_ma_count_is_6n(self):
+        assert ma_pattern_count(640) == 3840
+
+    def test_motivation_example(self):
+        # Paper, Section 2: N = 2 * 10 * 32 = 640 victims; MA needs 3840
+        # vector pairs, reduced MT with k = 3 needs ~163,840.
+        victims = 2 * 10 * 32
+        assert ma_pattern_count(victims) == 3840
+        assert reduced_mt_pattern_count(victims, locality=3) == 163_840
+
+    def test_reduced_mt_formula(self):
+        assert reduced_mt_pattern_count(10, 1) == 10 * 2**4
+        assert reduced_mt_pattern_count(1, 0) == 4
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            ma_pattern_count(-1)
+        with pytest.raises(ValueError):
+            reduced_mt_pattern_count(-1, 2)
+        with pytest.raises(ValueError):
+            reduced_mt_pattern_count(1, -2)
+
+
+class TestMaGeneration:
+    def test_six_patterns_per_victim(self, small_topology):
+        patterns = list(generate_ma_patterns(small_topology))
+        assert len(patterns) == 6 * small_topology.net_count
+
+    def test_fault_types_cover_table(self, small_topology):
+        patterns = list(generate_ma_patterns(small_topology))
+        victim = small_topology.nets[0]
+        first_six = patterns[:6]
+        observed = [pattern.cares[victim.driver] for pattern in first_six]
+        assert observed == [pair[0] for pair in MA_FAULT_TYPES]
+
+    def test_all_aggressors_transition_identically(self, small_topology):
+        for pattern in generate_ma_patterns(small_topology):
+            aggressor_symbols = {
+                symbol
+                for terminal, symbol in pattern.cares.items()
+                if terminal != pattern.victim
+            }
+            assert len(aggressor_symbols) <= 1
+            assert aggressor_symbols <= set(TRANSITIONS)
+
+    def test_victim_recorded(self, small_topology):
+        for pattern in generate_ma_patterns(small_topology):
+            assert pattern.victim in pattern.cares
+
+
+class TestReducedMtGeneration:
+    def test_count_matches_formula_for_interior_nets(self, small_topology):
+        locality = 2
+        patterns = list(
+            generate_reduced_mt_patterns(small_topology, locality)
+        )
+        # Interior nets have the full 2k aggressors; edge nets fewer.  The
+        # total is bounded by the formula and dominated by interior nets.
+        formula = reduced_mt_pattern_count(small_topology.net_count, locality)
+        assert 0 < len(patterns) <= formula
+
+    def test_interior_net_block_size(self, small_topology):
+        locality = 2
+        victim = small_topology.nets[3]  # interior: 2 neighbors each side
+        block = [
+            pattern
+            for pattern in generate_reduced_mt_patterns(small_topology, locality)
+            if pattern.victim == victim.driver
+        ]
+        assert len(block) == 2 ** (2 * locality + 2)
+
+    def test_all_victim_states_exercised(self, small_topology):
+        victim = small_topology.nets[3]
+        block = [
+            pattern
+            for pattern in generate_reduced_mt_patterns(small_topology, 1)
+            if pattern.victim == victim.driver
+        ]
+        assert {pattern.cares[victim.driver] for pattern in block} == set(SYMBOLS)
+
+    def test_aggressor_combinations_distinct(self, small_topology):
+        victim = small_topology.nets[3]
+        block = [
+            pattern
+            for pattern in generate_reduced_mt_patterns(small_topology, 1)
+            if pattern.victim == victim.driver
+        ]
+        signatures = {
+            tuple(sorted(pattern.cares.items())) for pattern in block
+        }
+        assert len(signatures) == len(block)
+
+    def test_lazy_generation(self, small_topology):
+        # The generator must be lazily consumable (the full MT set can be
+        # huge); taking a prefix must not materialize everything.
+        stream = generate_reduced_mt_patterns(small_topology, 3)
+        prefix = list(itertools.islice(stream, 10))
+        assert len(prefix) == 10

@@ -1,0 +1,134 @@
+"""Tests for the SI pattern algebra (Table 1 semantics)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sitest.patterns import (
+    FALL,
+    RISE,
+    SIPattern,
+    STEADY_ONE,
+    STEADY_ZERO,
+    SYMBOLS,
+    format_pattern_table,
+)
+
+symbol_st = st.sampled_from(SYMBOLS)
+terminal_st = st.tuples(
+    st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=5)
+)
+pattern_st = st.builds(
+    SIPattern,
+    cares=st.dictionaries(terminal_st, symbol_st, max_size=6),
+    bus_claims=st.dictionaries(
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=1, max_value=4),
+        max_size=4,
+    ),
+)
+
+
+class TestValidation:
+    def test_invalid_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            SIPattern(cares={(1, 0): "Z"})
+
+    def test_care_cores(self):
+        pattern = SIPattern(cares={(1, 0): RISE, (1, 3): FALL, (7, 2): RISE})
+        assert pattern.care_cores == frozenset({1, 7})
+
+
+class TestCompatibility:
+    def test_disjoint_patterns_compatible(self):
+        a = SIPattern(cares={(1, 0): RISE})
+        b = SIPattern(cares={(2, 0): FALL})
+        assert a.is_compatible(b)
+
+    def test_equal_symbols_compatible(self):
+        a = SIPattern(cares={(1, 0): RISE, (1, 1): STEADY_ZERO})
+        b = SIPattern(cares={(1, 0): RISE})
+        assert a.is_compatible(b)
+
+    def test_conflicting_symbols_incompatible(self):
+        a = SIPattern(cares={(1, 0): RISE})
+        b = SIPattern(cares={(1, 0): FALL})
+        assert not a.is_compatible(b)
+
+    def test_steady_values_conflict(self):
+        a = SIPattern(cares={(1, 0): STEADY_ZERO})
+        b = SIPattern(cares={(1, 0): STEADY_ONE})
+        assert not a.is_compatible(b)
+
+    def test_same_bus_line_different_driver_incompatible(self):
+        # The paper's rule: patterns triggering the same bus line from
+        # different core boundaries must not be merged.
+        a = SIPattern(cares={(1, 0): RISE}, bus_claims={5: 1})
+        b = SIPattern(cares={(2, 0): RISE}, bus_claims={5: 2})
+        assert not a.is_compatible(b)
+
+    def test_same_bus_line_same_driver_compatible(self):
+        a = SIPattern(cares={(1, 0): RISE}, bus_claims={5: 1})
+        b = SIPattern(cares={(1, 1): FALL}, bus_claims={5: 1})
+        assert a.is_compatible(b)
+
+    def test_different_bus_lines_compatible(self):
+        a = SIPattern(bus_claims={1: 1}, cares={(1, 0): RISE})
+        b = SIPattern(bus_claims={2: 2}, cares={(2, 0): RISE})
+        assert a.is_compatible(b)
+
+    @given(pattern_st, pattern_st)
+    def test_symmetry(self, a, b):
+        assert a.is_compatible(b) == b.is_compatible(a)
+
+    @given(pattern_st)
+    def test_reflexive(self, pattern):
+        assert pattern.is_compatible(pattern)
+
+
+class TestMerge:
+    def test_merge_unions_cares(self):
+        a = SIPattern(cares={(1, 0): RISE})
+        b = SIPattern(cares={(2, 0): FALL}, bus_claims={3: 2})
+        merged = a.merged_with(b)
+        assert merged.cares == {(1, 0): RISE, (2, 0): FALL}
+        assert merged.bus_claims == {3: 2}
+
+    def test_merge_incompatible_raises(self):
+        a = SIPattern(cares={(1, 0): RISE})
+        b = SIPattern(cares={(1, 0): FALL})
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+    @given(pattern_st, pattern_st)
+    def test_merged_pattern_compatible_with_both(self, a, b):
+        if a.is_compatible(b):
+            merged = a.merged_with(b)
+            assert merged.is_compatible(a)
+            assert merged.is_compatible(b)
+
+    @given(pattern_st, pattern_st, pattern_st)
+    def test_pairwise_compatibility_implies_set_mergeable(self, a, b, c):
+        # The clique-cover formulation is sound: pairwise compatibility
+        # lets the whole set be merged with intact compatibility.
+        if (a.is_compatible(b) and a.is_compatible(c)
+                and b.is_compatible(c)):
+            merged = a.merged_with(b)
+            assert merged.is_compatible(c)
+
+
+class TestFormatting:
+    def test_table_1_glyphs(self):
+        patterns = [
+            SIPattern(cares={(1, 0): RISE, (1, 2): FALL, (2, 1): STEADY_ONE}),
+            SIPattern(cares={(2, 0): STEADY_ZERO}, bus_claims={0: 2}),
+        ]
+        table = format_pattern_table(patterns, {1: 3, 2: 2}, bus_width=2)
+        assert "↑" in table and "↓" in table
+        assert "core1 WOC" in table and "Bus" in table
+        lines = table.splitlines()
+        assert len(lines) == 2 + len(patterns)  # header + rule + rows
+
+    def test_empty_pattern_list(self):
+        table = format_pattern_table([], {1: 2})
+        assert "core1 WOC" in table

@@ -1,0 +1,127 @@
+"""Tests for the shorts/opens counting-sequence baseline."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sitest.shorts import (
+    aliased_pairs,
+    counting_codes,
+    counting_sequence_length,
+    modified_counting_sequence_length,
+    plan_shorts_test,
+)
+from repro.sitest.topology import random_topology
+
+
+class TestLengths:
+    @pytest.mark.parametrize(
+        "nets,expected", [(0, 0), (1, 1), (2, 1), (3, 2), (8, 3), (9, 4),
+                          (1024, 10)]
+    )
+    def test_counting_sequence(self, nets, expected):
+        assert counting_sequence_length(nets) == expected
+
+    @pytest.mark.parametrize(
+        "nets,expected", [(0, 0), (1, 4), (2, 4), (6, 6), (7, 8), (14, 8),
+                          (15, 10)]
+    )
+    def test_modified_counting_sequence(self, nets, expected):
+        # 2^w - 2 >= N with true + complement application.
+        assert modified_counting_sequence_length(nets) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            counting_sequence_length(-1)
+        with pytest.raises(ValueError):
+            modified_counting_sequence_length(-1)
+
+    def test_far_cheaper_than_si_tests(self):
+        # The paper's premise: shorts/opens patterns are logarithmic while
+        # SI tests are linear (MA) or worse in the net count.
+        from repro.sitest.faults import ma_pattern_count
+
+        nets = 640
+        assert modified_counting_sequence_length(nets) < 25
+        assert ma_pattern_count(nets) == 3840
+
+
+class TestCodes:
+    def test_shape(self):
+        patterns = counting_codes(6, modified=True)
+        assert len(patterns) == modified_counting_sequence_length(6)
+        assert all(len(pattern) == 6 for pattern in patterns)
+
+    def test_all_codes_distinct(self):
+        patterns = counting_codes(10, modified=True)
+        bits = len(patterns) // 2
+        codes = [
+            sum(patterns[bit][net] << bit for bit in range(bits))
+            for net in range(10)
+        ]
+        assert len(set(codes)) == 10
+
+    def test_modified_skips_all_zero_and_all_one(self):
+        nets = 6
+        patterns = counting_codes(nets, modified=True)
+        bits = len(patterns) // 2
+        for net in range(nets):
+            code = sum(patterns[bit][net] << bit for bit in range(bits))
+            assert code != 0
+            assert code != 2**bits - 1
+
+    def test_complement_half(self):
+        patterns = counting_codes(5, modified=True)
+        half = len(patterns) // 2
+        for true, complement in zip(patterns[:half], patterns[half:]):
+            assert all(t + c == 1 for t, c in zip(true, complement))
+
+    def test_plain_codes_start_at_zero(self):
+        patterns = counting_codes(4, modified=False)
+        bits = len(patterns)
+        code_of_net0 = sum(patterns[bit][0] << bit for bit in range(bits))
+        assert code_of_net0 == 0
+
+    def test_empty(self):
+        assert counting_codes(0) == []
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_every_net_pair_distinguished(self, nets):
+        patterns = counting_codes(nets, modified=True)
+        bits = len(patterns) // 2
+        codes = [
+            sum(patterns[bit][net] << bit for bit in range(bits))
+            for net in range(nets)
+        ]
+        assert aliased_pairs(codes) == []
+
+
+class TestAliasedPairs:
+    def test_detects_duplicates(self):
+        assert aliased_pairs([1, 2, 1, 3, 2]) == [(0, 2), (1, 4)]
+
+    def test_no_duplicates(self):
+        assert aliased_pairs([1, 2, 3]) == []
+
+
+class TestPlan:
+    def test_plan_costs(self, d695):
+        topology = random_topology(d695, seed=2)
+        plan = plan_shorts_test(d695, topology, width=16)
+        total_woc = sum(core.woc_count for core in d695)
+        assert plan.shift_depth == -(-total_woc // 16)
+        assert plan.total_cycles == plan.patterns * (plan.shift_depth + 1)
+
+    def test_plan_rejects_bad_width(self, d695):
+        topology = random_topology(d695, seed=2)
+        with pytest.raises(ValueError):
+            plan_shorts_test(d695, topology, width=0)
+
+    def test_shorts_time_negligible_vs_intest(self, d695):
+        # The quantitative version of the paper's Section 1 claim.
+        from repro.tam.tr_architect import tr_architect
+
+        topology = random_topology(d695, seed=2)
+        plan = plan_shorts_test(d695, topology, width=16)
+        intest = tr_architect(d695, 16).t_total
+        assert plan.total_cycles < intest * 0.05

@@ -1,0 +1,138 @@
+"""Tests for the MA fault simulator, including the key safety property:
+vertical compaction never loses fault coverage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compaction.vertical import greedy_compact
+from repro.sitest.faults import MA_FAULT_TYPES, generate_ma_patterns
+from repro.sitest.patterns import RISE, SIPattern, STEADY_ZERO
+from repro.sitest.simulator import (
+    MAFault,
+    coverage_curve,
+    detects,
+    fault_universe,
+    simulate,
+)
+from repro.sitest.topology import InterconnectTopology, Net, random_topology
+from repro.soc.model import Soc
+from tests.conftest import make_core
+
+
+@pytest.fixture(scope="module")
+def soc():
+    return Soc(
+        name="sim",
+        cores=tuple(make_core(i, outputs=8) for i in range(1, 5)),
+    )
+
+
+@pytest.fixture(scope="module")
+def topology(soc):
+    return random_topology(soc, fanouts_per_core=2, locality=2, seed=17)
+
+
+class TestFaultUniverse:
+    def test_six_faults_per_coupled_net(self, topology):
+        universe = fault_universe(topology)
+        coupled = sum(
+            1 for net in topology.nets
+            if topology.neighborhoods.get(net.net_id)
+        )
+        assert len(universe) == 6 * coupled
+
+    def test_isolated_net_excluded(self):
+        topo = InterconnectTopology(
+            nets=[Net(net_id=0, driver=(1, 0), receivers=(2,))],
+            neighborhoods={},
+        )
+        assert fault_universe(topo) == ()
+
+    def test_fault_describe(self):
+        fault = MAFault(net_id=3, fault_type=0)
+        assert "net 3" in fault.describe()
+
+
+class TestDetects:
+    def test_exact_ma_pattern_detects(self, topology):
+        victim = topology.nets[4]
+        fault = MAFault(net_id=4, fault_type=0)  # quiescent-0 / rising
+        cares = {victim.driver: STEADY_ZERO}
+        for aggressor in topology.aggressors_of(4):
+            cares[aggressor.driver] = RISE
+        assert detects(topology, SIPattern(cares=cares), fault)
+
+    def test_missing_aggressor_fails(self, topology):
+        victim = topology.nets[4]
+        fault = MAFault(net_id=4, fault_type=0)
+        aggressors = topology.aggressors_of(4)
+        cares = {victim.driver: STEADY_ZERO}
+        for aggressor in aggressors[:-1]:  # drop one
+            cares[aggressor.driver] = RISE
+        assert not detects(topology, SIPattern(cares=cares), fault)
+
+    def test_wrong_victim_state_fails(self, topology):
+        fault = MAFault(net_id=4, fault_type=0)
+        cares = {topology.nets[4].driver: RISE}
+        for aggressor in topology.aggressors_of(4):
+            cares[aggressor.driver] = RISE
+        assert not detects(topology, SIPattern(cares=cares), fault)
+
+
+class TestSimulate:
+    def test_ma_set_achieves_full_coverage(self, topology):
+        patterns = list(generate_ma_patterns(topology))
+        report = simulate(topology, patterns)
+        assert report.coverage == pytest.approx(1.0)
+
+    def test_empty_pattern_set(self, topology):
+        report = simulate(topology, [])
+        assert report.coverage == 0.0
+        assert report.total_faults == 6 * len(
+            [n for n in topology.nets if topology.neighborhoods.get(n.net_id)]
+        )
+
+    def test_half_the_ma_set_covers_half(self, topology):
+        patterns = list(generate_ma_patterns(topology))
+        # MA patterns come in blocks of six per net; taking three of each
+        # block covers exactly half the fault types.
+        half = [p for i, p in enumerate(patterns) if i % 6 < 3]
+        report = simulate(topology, half)
+        assert report.coverage == pytest.approx(0.5)
+
+    def test_coverage_curve_monotone(self, topology):
+        patterns = list(generate_ma_patterns(topology))
+        curve = coverage_curve(topology, patterns, (0, 10, 50, len(patterns)))
+        values = [coverage for _, coverage in curve]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_negative_checkpoint_rejected(self, topology):
+        with pytest.raises(ValueError):
+            coverage_curve(topology, [], (-1,))
+
+
+class TestCompactionPreservesCoverage:
+    """Merging compatible patterns only adds care bits, so a compacted set
+    must detect at least every fault the original set detects."""
+
+    def test_on_ma_set(self, topology):
+        patterns = list(generate_ma_patterns(topology))
+        compaction = greedy_compact(patterns)
+        before = simulate(topology, patterns)
+        after = simulate(topology, list(compaction.compacted))
+        assert before.detected <= after.detected
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=300),
+           st.integers(min_value=0, max_value=30))
+    def test_on_random_sets(self, soc, topology, count, seed):
+        from repro.sitest.generator import generate_random_patterns
+
+        patterns = generate_random_patterns(soc, count, seed=seed)
+        compaction = greedy_compact(patterns)
+        before = simulate(topology, patterns)
+        after = simulate(topology, list(compaction.compacted))
+        assert before.detected <= after.detected

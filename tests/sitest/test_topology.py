@@ -1,0 +1,96 @@
+"""Tests for the interconnect topology model."""
+
+import pytest
+
+from repro.sitest.topology import (
+    InterconnectTopology,
+    Net,
+    SharedBus,
+    random_topology,
+)
+from repro.soc.model import Soc
+from tests.conftest import make_core
+
+
+@pytest.fixture
+def three_core_soc():
+    return Soc(
+        name="three",
+        cores=(
+            make_core(1, outputs=4),
+            make_core(2, outputs=2),
+            make_core(3, outputs=3),
+        ),
+    )
+
+
+class TestRandomTopology:
+    def test_one_net_per_output(self, three_core_soc):
+        topology = random_topology(three_core_soc, seed=3)
+        assert topology.net_count == 4 + 2 + 3
+
+    def test_receivers_exclude_driver(self, three_core_soc):
+        topology = random_topology(three_core_soc, fanouts_per_core=2, seed=3)
+        for net in topology.nets:
+            assert net.driver[0] not in net.receivers
+            assert len(net.receivers) == 2
+
+    def test_locality_neighborhoods(self, three_core_soc):
+        topology = random_topology(three_core_soc, locality=2, seed=3)
+        middle = topology.net_count // 2
+        neighbors = topology.neighborhoods[middle]
+        assert set(neighbors) == {middle - 2, middle - 1, middle + 1, middle + 2}
+
+    def test_deterministic_for_seed(self, three_core_soc):
+        a = random_topology(three_core_soc, seed=11)
+        b = random_topology(three_core_soc, seed=11)
+        assert a.nets == b.nets
+
+    def test_bus_disabled(self, three_core_soc):
+        assert random_topology(three_core_soc, bus_width=0, seed=3).bus is None
+
+    def test_validates_against_soc(self, three_core_soc):
+        topology = random_topology(three_core_soc, seed=3)
+        topology.validate(three_core_soc)  # must not raise
+
+    def test_needs_two_cores(self):
+        soc = Soc(name="solo", cores=(make_core(1),))
+        with pytest.raises(ValueError):
+            random_topology(soc)
+
+
+class TestValidate:
+    def test_unknown_driver_core(self, three_core_soc):
+        bad = InterconnectTopology(
+            nets=[Net(net_id=0, driver=(99, 0), receivers=(1,))]
+        )
+        with pytest.raises(ValueError, match="unknown driver"):
+            bad.validate(three_core_soc)
+
+    def test_driver_index_out_of_range(self, three_core_soc):
+        bad = InterconnectTopology(
+            nets=[Net(net_id=0, driver=(2, 9), receivers=(1,))]
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            bad.validate(three_core_soc)
+
+    def test_self_aggressor_rejected(self, three_core_soc):
+        bad = InterconnectTopology(
+            nets=[Net(net_id=0, driver=(1, 0), receivers=(2,))],
+            neighborhoods={0: (0,)},
+        )
+        with pytest.raises(ValueError, match="own aggressor"):
+            bad.validate(three_core_soc)
+
+    def test_unknown_bus_core(self, three_core_soc):
+        bad = InterconnectTopology(
+            nets=[Net(net_id=0, driver=(1, 0), receivers=(2,))],
+            bus=SharedBus(width=8, connected_cores=(1, 42)),
+        )
+        with pytest.raises(ValueError, match="bus"):
+            bad.validate(three_core_soc)
+
+    def test_aggressors_of(self, three_core_soc):
+        topology = random_topology(three_core_soc, locality=1, seed=3)
+        aggressors = topology.aggressors_of(0)
+        assert [net.net_id for net in aggressors] == [1]

@@ -1,0 +1,112 @@
+"""Tests for shift-vector emission — including the cross-validation of
+the timing model against the emitted stream lengths."""
+
+import pytest
+
+from repro.compaction.groups import SITestGroup
+from repro.core.scheduling import TamEvaluator
+from repro.sitest.patterns import FALL, RISE, SIPattern, STEADY_ONE, STEADY_ZERO
+from repro.sitest.vectors import expand_group, format_vectors
+from repro.soc.model import Soc
+from repro.tam.testrail import TestRail, TestRailArchitecture
+from tests.conftest import make_core
+
+
+@pytest.fixture
+def soc():
+    return Soc(
+        name="vec",
+        cores=(
+            make_core(1, outputs=5, patterns=1),
+            make_core(2, outputs=3, patterns=1),
+            make_core(3, outputs=4, patterns=1),
+        ),
+    )
+
+
+@pytest.fixture
+def architecture():
+    return TestRailArchitecture(
+        rails=(TestRail.of([1, 2], 2), TestRail.of([3], 2))
+    )
+
+
+@pytest.fixture
+def group():
+    return SITestGroup(group_id=0, cores=frozenset({1, 2, 3}), patterns=2)
+
+
+class TestExpandGroup:
+    def test_depth_matches_timing_model(self, soc, architecture, group):
+        # Rail 0: ceil(5/2) + ceil(3/2) = 3 + 2 = 5; rail 1: ceil(4/2) = 2.
+        vectors = expand_group(soc, architecture, group, [SIPattern()])
+        assert vectors.rail(0).depth == 5
+        assert vectors.rail(1).depth == 2
+
+    def test_cross_validates_evaluator(self, soc, architecture, group):
+        """The strongest check: emitted shift cycles equal the evaluator's
+        rail SI time minus its per-pattern capture overhead."""
+        patterns = [
+            SIPattern(cares={(1, 0): RISE}),
+            SIPattern(cares={(2, 1): FALL, (3, 0): RISE}),
+            SIPattern(cares={(3, 3): STEADY_ONE}),
+        ]
+        group3 = SITestGroup(group_id=0, cores=frozenset({1, 2, 3}),
+                             patterns=len(patterns))
+        evaluator = TamEvaluator(soc, (group3,), capture_cycles=1)
+        vectors = expand_group(soc, architecture, group3, patterns)
+        for rail_index, rail in enumerate(architecture.rails):
+            stats = evaluator.rail_stats(rail)
+            rail_vectors = vectors.rail(rail_index)
+            predicted_shift = stats.time_si - len(patterns)  # minus capture
+            assert rail_vectors.shift_cycles == predicted_shift
+
+    def test_target_bits_land_on_the_right_cells(self, soc, architecture,
+                                                 group):
+        pattern = SIPattern(
+            cares={
+                (1, 0): RISE,  # rail 0, wire 0, row 0
+                (1, 3): STEADY_ONE,  # rail 0, wire 1, row 1
+                (2, 0): STEADY_ZERO,  # rail 0, wire 0, row 3 (offset 3)
+            }
+        )
+        vectors = expand_group(soc, architecture, group, [pattern])
+        rows = vectors.rail(0).rows[0]
+        # Rows are emitted deepest-first: emitted index = depth-1 - row.
+        depth = vectors.rail(0).depth
+        assert rows[depth - 1 - 0][0] == 1  # RISE -> target 1
+        assert rows[depth - 1 - 1][1] == 1  # steady 1 -> 1
+        assert rows[depth - 1 - 3][0] == 0  # steady 0 -> 0
+
+    def test_dont_cares_shift_zero(self, soc, architecture, group):
+        vectors = expand_group(soc, architecture, group, [SIPattern()])
+        for rail_vectors in vectors.rails:
+            for rows in rail_vectors.rows:
+                assert all(bit == 0 for row in rows for bit in row)
+
+    def test_uninvolved_rail_absent(self, soc, architecture):
+        partial = SITestGroup(group_id=1, cores=frozenset({3}), patterns=1)
+        vectors = expand_group(soc, architecture, partial, [SIPattern()])
+        assert [rv.rail_index for rv in vectors.rails] == [1]
+        with pytest.raises(KeyError):
+            vectors.rail(0)
+
+    def test_bypassed_core_contributes_no_rows(self, soc, architecture):
+        partial = SITestGroup(group_id=1, cores=frozenset({1}), patterns=1)
+        vectors = expand_group(soc, architecture, partial, [SIPattern()])
+        assert vectors.rail(0).depth == 3  # only core 1's ceil(5/2)
+
+    def test_pattern_outside_group_rejected(self, soc, architecture):
+        partial = SITestGroup(group_id=1, cores=frozenset({1}), patterns=1)
+        bad = SIPattern(cares={(2, 0): RISE})
+        with pytest.raises(ValueError, match="outside"):
+            expand_group(soc, architecture, partial, [bad])
+
+
+class TestFormat:
+    def test_dump_structure(self, soc, architecture, group):
+        patterns = [SIPattern(cares={(1, 0): RISE})] * 6
+        vectors = expand_group(soc, architecture, group, patterns)
+        text = format_vectors(vectors, max_patterns=2)
+        assert "shift program" in text
+        assert "... 4 more" in text

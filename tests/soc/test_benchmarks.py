@@ -1,0 +1,68 @@
+"""Tests for the shipped benchmark SOCs."""
+
+import pytest
+
+from repro.soc.benchmarks import available_benchmarks, load_benchmark
+
+
+class TestAvailability:
+    def test_expected_benchmarks_shipped(self):
+        names = available_benchmarks()
+        for expected in ("d695", "p34392", "p93791", "t5"):
+            assert expected in names
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            load_benchmark("nope")
+
+    def test_every_listed_benchmark_loads(self):
+        for name in available_benchmarks():
+            soc = load_benchmark(name)
+            assert soc.name == name
+            assert len(soc) > 0
+
+
+class TestD695:
+    """d695 follows the published ITC'02 core table."""
+
+    def test_module_count(self, d695):
+        assert len(d695) == 10
+
+    def test_combinational_cores(self, d695):
+        comb = [core.name for core in d695 if core.is_combinational]
+        assert comb == ["c6288", "c7552"]
+
+    def test_s35932_chains(self, d695):
+        core = d695.core_by_id(9)
+        assert core.name == "s35932"
+        assert core.scan_chains == (54,) * 32
+        assert core.total_patterns == 12
+
+    def test_total_scan_cells(self, d695):
+        # 32 + 211 + 1426 + 638 + 534 + 179 + 1728 + 1636 FFs.
+        assert d695.total_scan_cells == 6384
+
+
+class TestSyntheticReconstructions:
+    def test_p34392_shape(self, p34392):
+        assert len(p34392) == 19
+
+    def test_p34392_has_dominant_core(self, p34392):
+        # The reconstruction preserves the published property that one core
+        # bounds the SOC InTest time from below at ~545k cycles.
+        from repro.wrapper.timing import core_test_time
+
+        floors = [core_test_time(core, 64) for core in p34392]
+        assert max(floors) > 500_000
+        others = sorted(floors)[:-1]
+        assert max(others) < max(floors) / 2
+
+    def test_p93791_shape(self, p93791):
+        assert len(p93791) == 32
+        assert p93791.total_scan_cells > 100_000
+
+    def test_terminal_counts_in_realistic_range(self, p34392, p93791):
+        # Paper, Section 2: "the sum of the numbers of all the core I/Os for
+        # a typical SOC is in the range of several thousand".
+        assert 2_000 < p34392.total_terminals < 10_000
+        assert 3_000 < p93791.total_terminals < 15_000

@@ -1,0 +1,118 @@
+"""Tests for hierarchy support."""
+
+import pytest
+
+from repro.soc.hierarchy import (
+    HierarchyError,
+    children_of,
+    flatten,
+    hierarchy_depth,
+    top_level_cores,
+    validate_hierarchy,
+)
+from repro.soc.itc02 import dumps, parse
+from repro.soc.model import Core, CoreTest, Soc
+
+
+def _core(core_id, level=1, parent=None):
+    return Core(
+        core_id=core_id,
+        name=f"c{core_id}",
+        inputs=4,
+        outputs=4,
+        bidirs=0,
+        tests=(CoreTest(patterns=5),),
+        level=level,
+        parent=parent,
+    )
+
+
+@pytest.fixture
+def two_level():
+    return Soc(
+        name="hier",
+        cores=(
+            _core(1, level=1),
+            _core(2, level=1),
+            _core(3, level=2, parent=1),
+            _core(4, level=2, parent=1),
+            _core(5, level=2, parent=2),
+        ),
+    )
+
+
+class TestValidate:
+    def test_valid_hierarchy(self, two_level):
+        validate_hierarchy(two_level)  # must not raise
+
+    def test_flat_soc_valid(self, t5):
+        validate_hierarchy(t5)
+
+    def test_unknown_parent(self):
+        soc = Soc(name="bad", cores=(_core(1, level=2, parent=9),))
+        with pytest.raises(HierarchyError, match="unknown parent"):
+            validate_hierarchy(soc)
+
+    def test_self_parent(self):
+        soc = Soc(name="bad", cores=(_core(1, level=2, parent=1),))
+        with pytest.raises(HierarchyError, match="itself"):
+            validate_hierarchy(soc)
+
+    def test_level_must_be_deeper(self):
+        soc = Soc(
+            name="bad",
+            cores=(_core(1, level=1), _core(2, level=1, parent=1)),
+        )
+        with pytest.raises(HierarchyError, match="deeper"):
+            validate_hierarchy(soc)
+
+
+class TestQueries:
+    def test_children_of(self, two_level):
+        assert [c.core_id for c in children_of(two_level, 1)] == [3, 4]
+        assert children_of(two_level, 3) == ()
+        with pytest.raises(KeyError):
+            children_of(two_level, 42)
+
+    def test_top_level(self, two_level):
+        assert [c.core_id for c in top_level_cores(two_level)] == [1, 2]
+
+    def test_depth(self, two_level, t5):
+        assert hierarchy_depth(two_level) == 2
+        assert hierarchy_depth(t5) == 1
+        assert hierarchy_depth(Soc(name="empty")) == 0
+
+
+class TestFlatten:
+    def test_flatten_promotes_everything(self, two_level):
+        flat = flatten(two_level)
+        assert all(core.parent is None for core in flat)
+        assert all(core.level == 1 for core in flat)
+        assert len(flat) == len(two_level)
+
+    def test_flatten_preserves_test_data(self, two_level):
+        flat = flatten(two_level)
+        for before, after in zip(two_level, flat):
+            assert before.scan_chains == after.scan_chains
+            assert before.tests == after.tests
+
+    def test_flat_soc_optimizes(self, two_level):
+        from repro.tam.tr_architect import tr_architect
+
+        result = tr_architect(flatten(two_level), 4)
+        assert result.t_total > 0
+
+    def test_flatten_refuses_broken_hierarchy(self):
+        soc = Soc(name="bad", cores=(_core(1, level=2, parent=7),))
+        with pytest.raises(HierarchyError):
+            flatten(soc)
+
+
+class TestItc02Hierarchy:
+    def test_parent_round_trips(self, two_level):
+        assert parse(dumps(two_level)) == two_level
+
+    def test_parent_line_optional(self):
+        text = dumps(Soc(name="flat", cores=(_core(1),)))
+        assert "Parent" not in text
+        assert parse(text).cores[0].parent is None

@@ -1,0 +1,96 @@
+"""Unit tests for the SOC data model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.soc.model import Core, CoreTest, Soc, SocModelError
+from tests.conftest import make_core
+
+
+class TestCoreTest:
+    def test_defaults(self):
+        test = CoreTest(patterns=5)
+        assert test.patterns == 5
+        assert test.scan_use
+        assert test.tam_use
+
+    def test_negative_patterns_rejected(self):
+        with pytest.raises(SocModelError):
+            CoreTest(patterns=-1)
+
+    def test_zero_patterns_allowed(self):
+        assert CoreTest(patterns=0).patterns == 0
+
+
+class TestCore:
+    def test_terminal_counts(self):
+        core = make_core(1, inputs=3, outputs=5, bidirs=2)
+        assert core.wic_count == 5
+        assert core.woc_count == 7
+        assert core.terminal_count == 10
+
+    def test_scan_cell_count(self):
+        core = make_core(1, scan_chains=(10, 20, 30))
+        assert core.scan_cell_count == 60
+        assert not core.is_combinational
+
+    def test_combinational(self):
+        assert make_core(1).is_combinational
+
+    def test_total_patterns_sums_tests(self):
+        core = Core(
+            core_id=1,
+            name="c",
+            inputs=1,
+            outputs=1,
+            bidirs=0,
+            tests=(CoreTest(patterns=10), CoreTest(patterns=7, scan_use=False)),
+        )
+        assert core.total_patterns == 17
+
+    @pytest.mark.parametrize("field", ["inputs", "outputs", "bidirs"])
+    def test_negative_terminals_rejected(self, field):
+        kwargs = dict(core_id=1, name="c", inputs=1, outputs=1, bidirs=0)
+        kwargs[field] = -1
+        with pytest.raises(SocModelError):
+            Core(**kwargs)
+
+    def test_nonpositive_scan_chain_rejected(self):
+        with pytest.raises(SocModelError):
+            make_core(1, scan_chains=(10, 0))
+
+    def test_core_is_hashable(self):
+        core = make_core(1, scan_chains=(4, 4))
+        assert hash(core) == hash(make_core(1, scan_chains=(4, 4)))
+
+
+class TestSoc:
+    def test_iteration_and_len(self, tiny_soc):
+        assert len(tiny_soc) == 3
+        assert [core.core_id for core in tiny_soc] == [1, 2, 3]
+
+    def test_core_by_id(self, tiny_soc):
+        assert tiny_soc.core_by_id(2).name == "core2"
+        with pytest.raises(KeyError):
+            tiny_soc.core_by_id(99)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(SocModelError):
+            Soc(name="bad", cores=(make_core(1), make_core(1)))
+
+    def test_totals(self, tiny_soc):
+        assert tiny_soc.total_terminals == 8 + 8 + 8
+        assert tiny_soc.total_scan_cells == 16 + 12
+
+    def test_describe_mentions_every_core(self, tiny_soc):
+        text = tiny_soc.describe()
+        for core in tiny_soc:
+            assert core.name in text
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=0,
+                    max_size=8))
+    def test_total_scan_cells_matches_sum(self, lengths):
+        chains = tuple(length for length in lengths if length > 0)
+        soc = Soc(name="h", cores=(make_core(1, scan_chains=chains),))
+        assert soc.total_scan_cells == sum(chains)

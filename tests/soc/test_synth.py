@@ -1,0 +1,81 @@
+"""Tests for the synthetic SOC generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.itc02 import dumps, parse
+from repro.soc.synth import (
+    CoreProfile,
+    DEFAULT_MIX,
+    GLUE,
+    LARGE,
+    synthesize_soc,
+)
+
+
+class TestCoreProfile:
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            CoreProfile(
+                name="bad", inputs=(5, 2), outputs=(0, 1), bidirs=(0, 0),
+                scan_chains=(0, 0), scan_cells=(0, 0), patterns=(1, 1),
+            )
+
+
+class TestSynthesizeSoc:
+    def test_core_count(self):
+        soc = synthesize_soc("s", 12, seed=1)
+        assert len(soc) == 12
+        assert soc.core_ids == tuple(range(1, 13))
+
+    def test_deterministic(self):
+        assert synthesize_soc("s", 10, seed=4) == synthesize_soc(
+            "s", 10, seed=4
+        )
+
+    def test_seed_matters(self):
+        assert synthesize_soc("s", 10, seed=4) != synthesize_soc(
+            "s", 10, seed=5
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            synthesize_soc("s", 0)
+        with pytest.raises(ValueError):
+            synthesize_soc("s", 3, mix=())
+        with pytest.raises(ValueError):
+            synthesize_soc("s", 3, mix=((GLUE, 0.0),))
+
+    def test_single_profile_mix(self):
+        soc = synthesize_soc("g", 6, mix=((GLUE, 1.0),), seed=2)
+        assert all(core.is_combinational for core in soc)
+
+    def test_large_profile_has_scan(self):
+        soc = synthesize_soc("l", 6, mix=((LARGE, 1.0),), seed=2)
+        for core in soc:
+            assert core.scan_cell_count >= 6_000
+            assert not core.tests[0].scan_use or core.scan_chains
+
+    def test_scan_chains_balanced(self):
+        soc = synthesize_soc("l", 8, mix=((LARGE, 1.0),), seed=3)
+        for core in soc:
+            assert max(core.scan_chains) - min(core.scan_chains) <= 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=24),
+           st.integers(min_value=0, max_value=50))
+    def test_itc02_round_trip(self, count, seed):
+        soc = synthesize_soc("rt", count, seed=seed)
+        assert parse(dumps(soc)) == soc
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=16),
+           st.integers(min_value=0, max_value=20))
+    def test_synthesized_socs_optimize(self, count, seed):
+        from repro.tam.tr_architect import tr_architect
+
+        soc = synthesize_soc("opt", count, mix=DEFAULT_MIX, seed=seed)
+        result = tr_architect(soc, 8)
+        assert result.architecture.total_width == 8
+        assert result.t_total > 0

@@ -1,0 +1,58 @@
+"""Tests for the ASCII Gantt renderer."""
+
+from repro.compaction.groups import SITestGroup
+from repro.core.scheduling import TamEvaluator
+from repro.tam.gantt import render_schedule
+from repro.tam.testrail import TestRail, TestRailArchitecture
+from repro.soc.model import Soc
+from tests.conftest import make_core
+
+
+def _setup():
+    soc = Soc(
+        name="g",
+        cores=(
+            make_core(1, inputs=8, outputs=8, patterns=20),
+            make_core(2, inputs=8, outputs=8, patterns=10),
+        ),
+    )
+    groups = (
+        SITestGroup(group_id=0, cores=frozenset({1, 2}), patterns=15),
+    )
+    arch = TestRailArchitecture(
+        rails=(TestRail.of([1], 2), TestRail.of([2], 2))
+    )
+    evaluation = TamEvaluator(soc, groups).evaluate(arch)
+    return soc, arch, evaluation
+
+
+class TestRenderSchedule:
+    def test_one_row_per_rail(self):
+        soc, arch, evaluation = _setup()
+        text = render_schedule(soc, arch, evaluation)
+        assert "TAM0" in text and "TAM1" in text
+
+    def test_header_carries_totals(self):
+        soc, arch, evaluation = _setup()
+        text = render_schedule(soc, arch, evaluation)
+        assert f"T_total={evaluation.t_total}" in text
+        assert f"T_in={evaluation.t_in}" in text
+
+    def test_si_group_labelled(self):
+        soc, arch, evaluation = _setup()
+        text = render_schedule(soc, arch, evaluation, columns=100)
+        assert "s0" in text
+
+    def test_respects_column_budget(self):
+        soc, arch, evaluation = _setup()
+        text = render_schedule(soc, arch, evaluation, columns=40)
+        rows = [line for line in text.splitlines() if line.startswith("TAM")]
+        assert rows
+        for line in rows:
+            assert len(line) <= 40 + 20  # label prefix + brackets
+
+    def test_empty_schedule(self):
+        soc = Soc(name="z", cores=(make_core(1, patterns=0),))
+        arch = TestRailArchitecture(rails=(TestRail.of([1], 1),))
+        evaluation = TamEvaluator(soc).evaluate(arch)
+        assert render_schedule(soc, arch, evaluation) == "(empty schedule)"

@@ -1,0 +1,117 @@
+"""Tests for abort-on-fail core ordering."""
+
+import itertools
+
+import pytest
+
+from repro.soc.model import Soc
+from repro.tam.ordering import (
+    YieldModel,
+    expected_rail_time,
+    optimal_rail_order,
+    order_architecture,
+)
+from repro.tam.testrail import TestRail, TestRailArchitecture
+from repro.wrapper.timing import core_test_time
+from tests.conftest import make_core
+
+
+@pytest.fixture
+def soc():
+    return Soc(
+        name="ord",
+        cores=(
+            make_core(1, inputs=8, outputs=8, patterns=100),  # slow
+            make_core(2, inputs=8, outputs=8, patterns=10),  # fast
+            make_core(3, inputs=8, outputs=8, patterns=40),
+        ),
+    )
+
+
+class TestYieldModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            YieldModel(pass_probability={1: 1.5})
+        with pytest.raises(ValueError):
+            YieldModel(default=-0.1)
+
+    def test_fallback(self):
+        model = YieldModel(pass_probability={1: 0.5}, default=0.9)
+        assert model.of(1) == 0.5
+        assert model.of(2) == 0.9
+
+
+class TestExpectedTime:
+    def test_certain_pass_gives_plain_sum(self, soc):
+        rail = TestRail.of([1, 2, 3], 4)
+        yields = YieldModel(default=1.0)
+        expected = expected_rail_time(soc, rail, rail.cores, yields)
+        plain = sum(
+            core_test_time(soc.core_by_id(c), 4) for c in rail.cores
+        )
+        assert expected == pytest.approx(plain)
+
+    def test_certain_fail_only_pays_first(self, soc):
+        rail = TestRail.of([1, 2], 4)
+        yields = YieldModel(default=0.0)
+        expected = expected_rail_time(soc, rail, (2, 1), yields)
+        assert expected == pytest.approx(
+            core_test_time(soc.core_by_id(2), 4)
+        )
+
+    def test_rejects_non_permutation(self, soc):
+        rail = TestRail.of([1, 2], 4)
+        with pytest.raises(ValueError):
+            expected_rail_time(soc, rail, (1, 1), YieldModel())
+
+    def test_hand_computed(self, soc):
+        rail = TestRail.of([1, 2], 4)
+        yields = YieldModel(pass_probability={1: 0.5, 2: 0.8})
+        t1 = core_test_time(soc.core_by_id(1), 4)
+        t2 = core_test_time(soc.core_by_id(2), 4)
+        expected = expected_rail_time(soc, rail, (1, 2), yields)
+        assert expected == pytest.approx(t1 + 0.5 * t2)
+
+
+class TestOptimalOrder:
+    def test_matches_brute_force(self, soc):
+        rail = TestRail.of([1, 2, 3], 4)
+        yields = YieldModel(
+            pass_probability={1: 0.7, 2: 0.95, 3: 0.5}
+        )
+        best = optimal_rail_order(soc, rail, yields)
+        best_time = expected_rail_time(soc, rail, best, yields)
+        for order in itertools.permutations(rail.cores):
+            assert best_time <= expected_rail_time(
+                soc, rail, order, yields
+            ) + 1e-9
+
+    def test_flaky_fast_core_first(self, soc):
+        rail = TestRail.of([1, 2], 4)
+        # Core 2 is fast and flaky: testing it first saves expected time.
+        yields = YieldModel(pass_probability={1: 0.99, 2: 0.5})
+        assert optimal_rail_order(soc, rail, yields)[0] == 2
+
+    def test_certain_cores_ordered_deterministically(self, soc):
+        rail = TestRail.of([1, 2, 3], 4)
+        yields = YieldModel(default=1.0)
+        assert optimal_rail_order(soc, rail, yields) == (1, 2, 3)
+
+
+class TestOrderArchitecture:
+    def test_gain_never_negative(self, soc):
+        architecture = TestRailArchitecture(
+            rails=(TestRail.of([1, 2], 4), TestRail.of([3], 2))
+        )
+        yields = YieldModel(pass_probability={1: 0.6, 2: 0.9, 3: 0.8})
+        report = order_architecture(soc, architecture, yields)
+        assert report.optimal_expected <= report.naive_expected
+        assert report.gain_pct >= 0.0
+        assert len(report.orders) == 2
+
+    def test_orders_are_permutations(self, soc):
+        architecture = TestRailArchitecture(
+            rails=(TestRail.of([1, 2, 3], 4),)
+        )
+        report = order_architecture(soc, architecture, YieldModel())
+        assert sorted(report.orders[0]) == [1, 2, 3]

@@ -1,0 +1,80 @@
+"""Tests for the utilization report."""
+
+import pytest
+
+from repro.compaction.groups import SITestGroup
+from repro.core.scheduling import TamEvaluator
+from repro.soc.model import Soc
+from repro.tam.report import format_utilization_report, rail_utilizations
+from repro.tam.testrail import TestRail, TestRailArchitecture
+from tests.conftest import make_core
+
+
+@pytest.fixture
+def setup():
+    soc = Soc(
+        name="util",
+        cores=(
+            make_core(1, inputs=8, outputs=8, patterns=40),
+            make_core(2, inputs=8, outputs=8, patterns=10),
+        ),
+    )
+    groups = (SITestGroup(group_id=0, cores=frozenset({1}), patterns=12),)
+    architecture = TestRailArchitecture(
+        rails=(TestRail.of([1], 2), TestRail.of([2], 2))
+    )
+    evaluation = TamEvaluator(soc, groups).evaluate(architecture)
+    return soc, architecture, evaluation
+
+
+class TestRailUtilizations:
+    def test_one_row_per_rail(self, setup):
+        _, architecture, evaluation = setup
+        rows = rail_utilizations(architecture, evaluation)
+        assert len(rows) == 2
+
+    def test_busy_matches_rail_stats(self, setup):
+        _, architecture, evaluation = setup
+        rows = rail_utilizations(architecture, evaluation)
+        for row, stats in zip(rows, evaluation.rail_stats):
+            assert row.in_busy == stats.time_in
+            assert row.si_busy == stats.time_si
+            assert row.busy == stats.time_in + stats.time_si
+
+    def test_idle_plus_busy_equals_makespan(self, setup):
+        _, architecture, evaluation = setup
+        for row in rail_utilizations(architecture, evaluation):
+            assert row.idle + row.busy >= evaluation.t_total
+            assert row.idle >= 0
+
+    def test_utilization_bounded(self, setup):
+        _, architecture, evaluation = setup
+        for row in rail_utilizations(architecture, evaluation):
+            assert 0.0 <= row.utilization <= 1.0
+
+    def test_bottleneck_rail_is_busiest(self, setup):
+        _, architecture, evaluation = setup
+        rows = rail_utilizations(architecture, evaluation)
+        # Rail 0 carries the heavy core and the SI group.
+        assert rows[0].utilization > rows[1].utilization
+
+    def test_idle_wire_cycles(self, setup):
+        _, architecture, evaluation = setup
+        for row in rail_utilizations(architecture, evaluation):
+            assert row.idle_wire_cycles == row.idle * row.width
+
+    def test_zero_makespan(self):
+        soc = Soc(name="z", cores=(make_core(1, patterns=0),))
+        architecture = TestRailArchitecture(rails=(TestRail.of([1], 1),))
+        evaluation = TamEvaluator(soc).evaluate(architecture)
+        rows = rail_utilizations(architecture, evaluation)
+        assert rows[0].utilization == 0.0
+
+
+class TestFormatReport:
+    def test_report_structure(self, setup):
+        soc, architecture, evaluation = setup
+        report = format_utilization_report(soc, architecture, evaluation)
+        assert "makespan" in report
+        assert "overall wire utilization" in report
+        assert len(report.splitlines()) == 2 + len(architecture.rails) + 1

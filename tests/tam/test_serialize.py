@@ -1,0 +1,94 @@
+"""Tests for architecture JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.core.optimizer import optimize_tam
+from repro.tam.serialize import (
+    architecture_from_dict,
+    architecture_to_dict,
+    load_architecture,
+    result_to_dict,
+    save_architecture,
+)
+from repro.tam.testrail import TestRail, TestRailArchitecture
+
+
+@pytest.fixture
+def architecture():
+    return TestRailArchitecture(
+        rails=(TestRail.of([1, 3], 4), TestRail.of([2], 2))
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, architecture):
+        assert architecture_from_dict(
+            architecture_to_dict(architecture)
+        ) == architecture
+
+    def test_file_round_trip(self, architecture, tmp_path):
+        path = tmp_path / "arch.json"
+        save_architecture(architecture, path)
+        assert load_architecture(path) == architecture
+
+    def test_json_is_plain(self, architecture):
+        # Must survive a JSON encode/decode cycle untouched.
+        data = json.loads(json.dumps(architecture_to_dict(architecture)))
+        assert architecture_from_dict(data) == architecture
+
+    def test_unsorted_cores_normalized(self):
+        data = {
+            "format": "repro-testrail-architecture",
+            "version": 1,
+            "rails": [{"cores": [3, 1], "width": 2}],
+        }
+        arch = architecture_from_dict(data)
+        assert arch.rails[0].cores == (1, 3)
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            architecture_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            architecture_from_dict(
+                {"format": "repro-testrail-architecture", "version": 99}
+            )
+
+    def test_invalid_rail_rejected(self):
+        data = {
+            "format": "repro-testrail-architecture",
+            "version": 1,
+            "rails": [{"cores": [1], "width": 0}],
+        }
+        with pytest.raises(ValueError):
+            architecture_from_dict(data)
+
+
+class TestResultSerialization:
+    def test_result_summary(self, t5):
+        result = optimize_tam(t5, 8)
+        data = json.loads(json.dumps(result_to_dict(result)))
+        assert data["w_max"] == 8
+        assert data["t_total"] == result.t_total
+        assert data["t_in"] + data["t_si"] == data["t_total"]
+        restored = architecture_from_dict(data["architecture"])
+        assert restored == result.architecture
+
+    def test_schedule_entries_serialized(self, t5):
+        from repro.compaction.groups import SITestGroup
+
+        groups = (
+            SITestGroup(group_id=0, cores=frozenset(t5.core_ids),
+                        patterns=10),
+        )
+        result = optimize_tam(t5, 8, groups)
+        data = result_to_dict(result)
+        assert len(data["schedule"]) == 1
+        entry = data["schedule"][0]
+        assert entry["end"] - entry["begin"] > 0
+        assert entry["bottleneck_rail"] in entry["rails"]

@@ -1,0 +1,87 @@
+"""Tests for the Test Bus architecture ablation."""
+
+import pytest
+
+from repro.compaction.groups import SITestGroup
+from repro.core.optimizer import optimize_tam
+from repro.core.scheduling import TamEvaluator
+from repro.soc.model import Soc
+from repro.tam.testbus import TestBusEvaluator, optimize_testbus
+from repro.tam.testrail import TestRail, TestRailArchitecture
+from tests.conftest import make_core
+
+
+@pytest.fixture
+def soc():
+    return Soc(
+        name="tb",
+        cores=tuple(
+            make_core(i, inputs=8, outputs=16, patterns=25)
+            for i in range(1, 5)
+        ),
+    )
+
+
+@pytest.fixture
+def disjoint_groups():
+    """Two groups on disjoint cores — TestRail can overlap them."""
+    return (
+        SITestGroup(group_id=0, cores=frozenset({1, 2}), patterns=40),
+        SITestGroup(group_id=1, cores=frozenset({3, 4}), patterns=40),
+    )
+
+
+class TestTestBusEvaluator:
+    def test_serializes_disjoint_groups(self, soc, disjoint_groups):
+        architecture = TestRailArchitecture(
+            rails=(TestRail.of([1, 2], 4), TestRail.of([3, 4], 4))
+        )
+        testrail = TamEvaluator(soc, disjoint_groups).evaluate(architecture)
+        testbus = TestBusEvaluator(soc, disjoint_groups).evaluate(architecture)
+        # Same per-group times...
+        assert {e.group_id: e.time_si for e in testrail.schedule} == {
+            e.group_id: e.time_si for e in testbus.schedule
+        }
+        # ...but the bus applies them back to back.
+        assert testbus.t_si == sum(e.time_si for e in testbus.schedule)
+        assert testrail.t_si < testbus.t_si
+
+    def test_intest_time_identical(self, soc, disjoint_groups):
+        architecture = TestRailArchitecture(
+            rails=(TestRail.of([1, 2], 4), TestRail.of([3, 4], 4))
+        )
+        testrail = TamEvaluator(soc, disjoint_groups).evaluate(architecture)
+        testbus = TestBusEvaluator(soc, disjoint_groups).evaluate(architecture)
+        assert testrail.t_in == testbus.t_in
+
+    def test_schedule_is_gapless(self, soc, disjoint_groups):
+        architecture = TestRailArchitecture(
+            rails=(TestRail.of([1, 2, 3, 4], 8),)
+        )
+        evaluation = TestBusEvaluator(soc, disjoint_groups).evaluate(
+            architecture
+        )
+        ordered = sorted(evaluation.schedule, key=lambda e: e.begin)
+        clock = 0
+        for entry in ordered:
+            assert entry.begin == clock
+            clock = entry.end
+
+
+class TestOptimizeTestBus:
+    def test_budget_and_cores(self, soc, disjoint_groups):
+        result = optimize_testbus(soc, 8, disjoint_groups)
+        assert result.architecture.total_width == 8
+        assert result.architecture.core_ids == {1, 2, 3, 4}
+
+    def test_testrail_wins_the_ablation(self, soc, disjoint_groups):
+        """The paper's architectural argument: TestRail's parallel external
+        test beats the Test Bus when SI groups can overlap."""
+        rail = optimize_tam(soc, 8, disjoint_groups)
+        bus = optimize_testbus(soc, 8, disjoint_groups)
+        assert rail.t_total <= bus.t_total
+
+    def test_equal_without_si_tests(self, soc):
+        rail = optimize_tam(soc, 8, ())
+        bus = optimize_testbus(soc, 8, ())
+        assert rail.t_total == bus.t_total

@@ -1,0 +1,125 @@
+"""Tests for TestRail architecture data structures."""
+
+import pytest
+
+from repro.tam.testrail import (
+    TestRail,
+    TestRailArchitecture,
+    initial_architecture,
+)
+
+
+class TestTestRail:
+    def test_of_sorts_cores(self):
+        rail = TestRail.of([3, 1, 2], width=4)
+        assert rail.cores == (1, 2, 3)
+
+    def test_unsorted_cores_rejected(self):
+        with pytest.raises(ValueError):
+            TestRail(cores=(2, 1), width=1)
+
+    def test_duplicate_cores_rejected(self):
+        with pytest.raises(ValueError):
+            TestRail.of([1, 1], width=1)
+
+    def test_empty_rail_rejected(self):
+        with pytest.raises(ValueError):
+            TestRail(cores=(), width=1)
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(ValueError):
+            TestRail(cores=(1,), width=0)
+
+    def test_widened(self):
+        rail = TestRail.of([1], width=2).widened(3)
+        assert rail.width == 5
+
+    def test_merged_with(self):
+        merged = TestRail.of([1, 3], 2).merged_with(TestRail.of([2], 4), 5)
+        assert merged.cores == (1, 2, 3)
+        assert merged.width == 5
+
+    def test_hashable(self):
+        assert TestRail.of([1], 2) == TestRail.of([1], 2)
+        assert hash(TestRail.of([1], 2)) == hash(TestRail.of([1], 2))
+
+
+class TestArchitecture:
+    def test_duplicate_core_across_rails_rejected(self):
+        with pytest.raises(ValueError):
+            TestRailArchitecture(
+                rails=(TestRail.of([1], 1), TestRail.of([1, 2], 1))
+            )
+
+    def test_total_width(self):
+        arch = TestRailArchitecture(
+            rails=(TestRail.of([1], 3), TestRail.of([2], 5))
+        )
+        assert arch.total_width == 8
+
+    def test_rail_index_of(self):
+        arch = TestRailArchitecture(
+            rails=(TestRail.of([1, 4], 1), TestRail.of([2], 1))
+        )
+        assert arch.rail_index_of(4) == 0
+        assert arch.rail_index_of(2) == 1
+        with pytest.raises(KeyError):
+            arch.rail_index_of(9)
+
+    def test_merged_keeps_position_and_drops_second(self):
+        arch = TestRailArchitecture(
+            rails=(TestRail.of([1], 2), TestRail.of([2], 3), TestRail.of([3], 1))
+        )
+        merged = arch.merged(0, 2, width=3)
+        assert len(merged) == 2
+        assert merged.rails[0].cores == (1, 3)
+        assert merged.rails[0].width == 3
+        assert merged.rails[1].cores == (2,)
+
+    def test_merged_with_later_first_index(self):
+        arch = TestRailArchitecture(
+            rails=(TestRail.of([1], 2), TestRail.of([2], 3), TestRail.of([3], 1))
+        )
+        merged = arch.merged(2, 0, width=2)
+        assert [rail.cores for rail in merged.rails] == [(2,), (1, 3)]
+
+    def test_merge_with_itself_rejected(self):
+        arch = initial_architecture([1, 2])
+        with pytest.raises(ValueError):
+            arch.merged(0, 0, 1)
+
+    def test_with_core_moved(self):
+        arch = TestRailArchitecture(
+            rails=(TestRail.of([1, 2], 2), TestRail.of([3], 1))
+        )
+        moved = arch.with_core_moved(2, 0, 1)
+        assert moved.rails[0].cores == (1,)
+        assert moved.rails[1].cores == (2, 3)
+        # Widths preserved.
+        assert [rail.width for rail in moved.rails] == [2, 1]
+
+    def test_cannot_empty_rail_by_move(self):
+        arch = TestRailArchitecture(
+            rails=(TestRail.of([1], 1), TestRail.of([2], 1))
+        )
+        with pytest.raises(ValueError):
+            arch.with_core_moved(1, 0, 1)
+
+    def test_move_of_absent_core_rejected(self):
+        arch = TestRailArchitecture(
+            rails=(TestRail.of([1, 2], 1), TestRail.of([3], 1))
+        )
+        with pytest.raises(ValueError):
+            arch.with_core_moved(3, 0, 1)
+
+    def test_initial_architecture(self):
+        arch = initial_architecture([5, 3, 8])
+        assert len(arch) == 3
+        assert all(rail.width == 1 for rail in arch)
+        assert arch.core_ids == {3, 5, 8}
+
+    def test_with_rail_replaces(self):
+        arch = initial_architecture([1, 2])
+        replaced = arch.with_rail(1, TestRail.of([2], 7))
+        assert replaced.rails[1].width == 7
+        assert arch.rails[1].width == 1  # original untouched

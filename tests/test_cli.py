@@ -1,0 +1,242 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("d695", "p34392", "p93791", "t5"):
+            assert name in out
+
+
+class TestDescribe:
+    def test_describe_benchmark(self, capsys):
+        assert main(["describe", "d695"]) == 0
+        assert "s38584" in capsys.readouterr().out
+
+    def test_describe_file(self, capsys, tmp_path, t5):
+        from repro.soc.itc02 import dump_file
+
+        path = tmp_path / "copy.soc"
+        dump_file(t5, path)
+        assert main(["describe", str(path)]) == 0
+        assert "alpha" in capsys.readouterr().out
+
+
+class TestCompact:
+    def test_compact_reports_groups(self, capsys):
+        assert main(
+            ["compact", "t5", "--patterns", "300", "--parts", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out
+        assert "group 0" in out
+
+
+class TestOptimize:
+    def test_intest_only(self, capsys):
+        assert main(["optimize", "t5", "--wmax", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "T_si = 0" in out
+        assert "TAM0" in out
+
+    def test_with_si_patterns(self, capsys):
+        assert main(
+            ["optimize", "t5", "--wmax", "8", "--patterns", "200",
+             "--parts", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "T_total" in out
+        assert "T_si = 0" not in out
+
+
+class TestTable:
+    def test_table_runs_and_writes_json(self, capsys, tmp_path):
+        json_path = tmp_path / "out.json"
+        assert main(
+            [
+                "table", "t5",
+                "--patterns", "200",
+                "--widths", "4", "8",
+                "--parts", "1", "2",
+                "--json", str(json_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "T_g1" in out
+        data = json.loads(json_path.read_text())
+        assert [row["w_max"] for row in data["rows"]] == [4, 8]
+
+
+class TestSaveEvaluate:
+    def test_save_and_evaluate_round_trip(self, capsys, tmp_path):
+        arch_path = tmp_path / "arch.json"
+        assert main(
+            ["optimize", "t5", "--wmax", "8", "--patterns", "150",
+             "--save-arch", str(arch_path)]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(
+            ["evaluate", "t5", "--arch", str(arch_path),
+             "--patterns", "150"]
+        ) == 0
+        second = capsys.readouterr().out
+        # Same architecture, same test set: same total.
+        total = next(l for l in first.splitlines() if "T_total" in l)
+        assert total.split("cc")[0] in second
+
+    def test_utilization_flag(self, capsys):
+        assert main(
+            ["optimize", "t5", "--wmax", "8", "--utilization"]
+        ) == 0
+        assert "wire utilization" in capsys.readouterr().out
+
+
+class TestPareto:
+    def test_prints_knee(self, capsys):
+        assert main(
+            ["pareto", "t5", "--widths", "2", "4", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "<- knee" in out
+
+
+class TestScaling:
+    def test_runs_tiny_sweep(self, capsys):
+        assert main(
+            ["scaling", "--cores", "3", "--wmax", "8",
+             "--patterns", "100", "--parts", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bound gap" in out
+
+
+class TestBounds:
+    def test_reports_gap(self, capsys):
+        assert main(
+            ["bounds", "t5", "--wmax", "8", "--patterns", "200"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "optimality gap" in out
+        assert "T_total bound" in out
+
+
+class TestOverhead:
+    def test_reports_area(self, capsys):
+        assert main(["overhead", "t5"]) == 0
+        out = capsys.readouterr().out
+        assert "SI share" in out
+        assert "um^2" in out
+
+
+class TestSvg:
+    def test_writes_svg(self, capsys, tmp_path):
+        out_path = tmp_path / "sched.svg"
+        assert main(
+            ["svg", "t5", "--wmax", "8", "--patterns", "150",
+             "--out", str(out_path)]
+        ) == 0
+        assert out_path.read_text().startswith("<svg")
+
+
+class TestSynth:
+    def test_writes_soc_file(self, capsys, tmp_path):
+        out_path = tmp_path / "gen.soc"
+        assert main(
+            ["synth", "generated", "--cores", "6", "--out", str(out_path)]
+        ) == 0
+        from repro.soc.itc02 import parse_file
+
+        soc = parse_file(out_path)
+        assert soc.name == "generated"
+        assert len(soc) == 6
+
+
+class TestVolume:
+    def test_reports_factors(self, capsys):
+        assert main(
+            ["volume", "t5", "--patterns", "400", "--parts", "1", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "volume" in out
+        assert "residual" in out
+
+
+class TestCoverage:
+    def test_reports_curve(self, capsys):
+        assert main(
+            ["coverage", "t5", "--patterns", "400"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MA" in out
+        assert "after" in out
+
+
+class TestWhatIf:
+    def test_reports_marginals(self, capsys):
+        assert main(
+            ["whatif", "t5", "--wmax", "8", "--patterns", "150",
+             "--parts", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "one extra pin" in out
+        assert "single-core move" in out
+
+
+class TestCompare:
+    def test_reports_contenders(self, capsys):
+        assert main(
+            ["compare", "t5", "--wmax", "6", "--patterns", "150",
+             "--parts", "2", "--sa-steps", "300"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Algorithm 2" in out
+        assert "<- best" in out
+        assert "exact enumeration" in out  # t5 is small enough
+
+
+class TestMultisite:
+    def test_reports_best_site_count(self, capsys):
+        assert main(
+            ["multisite", "t5", "--channels", "8", "--patterns", "200"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "<- best" in out
+        assert "dies/kcc" in out
+
+
+class TestSensitivity:
+    def test_reports_variants(self, capsys):
+        assert main(
+            ["sensitivity", "t5", "--wmax", "8", "--patterns", "200",
+             "--parts", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "paper defaults" in out
+        assert "bus always" in out
+
+
+class TestStability:
+    def test_reports_spread(self, capsys):
+        assert main(
+            ["stability", "t5", "--wmax", "8", "--patterns", "150",
+             "--seeds", "1", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "spread" in out
+
+
+class TestErrors:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_optimize_requires_wmax(self):
+        with pytest.raises(SystemExit):
+            main(["optimize", "t5"])

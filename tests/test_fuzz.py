@@ -1,0 +1,112 @@
+"""Property-based fuzzing of the full pipeline on synthesized SOCs.
+
+Hypothesis drives random SOCs, pattern sets and budgets through
+generation → compaction → optimization → scheduling and checks the
+invariants that must hold regardless of the heuristics' choices.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compaction.horizontal import build_si_test_groups
+from repro.core.bounds import bound_report
+from repro.core.optimizer import evaluate_architecture, optimize_tam
+from repro.sitest.generator import generate_random_patterns
+from repro.soc.synth import DEFAULT_MIX, GLUE, SMALL, synthesize_soc
+from repro.tam.tr_architect import tr_architect
+
+# Small, fast profile mix for fuzzing.
+FUZZ_MIX = ((GLUE, 0.5), (SMALL, 0.5))
+
+soc_st = st.builds(
+    synthesize_soc,
+    name=st.just("fuzz"),
+    core_count=st.integers(min_value=2, max_value=8),
+    mix=st.just(FUZZ_MIX),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+fuzz_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestPipelineInvariants:
+    @fuzz_settings
+    @given(
+        soc=soc_st,
+        w_max=st.integers(min_value=1, max_value=24),
+        pattern_count=st.integers(min_value=0, max_value=400),
+        parts=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_invariants(self, soc, w_max, pattern_count, parts, seed):
+        patterns = generate_random_patterns(soc, pattern_count, seed=seed)
+        parts = min(parts, len(soc))
+        grouping = build_si_test_groups(soc, patterns, parts=parts,
+                                        seed=seed)
+        result = optimize_tam(soc, w_max, groups=grouping.groups)
+
+        architecture = result.architecture
+        evaluation = result.evaluation
+
+        # 1. Budget exactly used; every core on exactly one rail.
+        assert architecture.total_width == w_max
+        assert architecture.core_ids == set(soc.core_ids)
+
+        # 2. T_soc = T_in + T_si and both phases non-negative.
+        assert evaluation.t_total == evaluation.t_in + evaluation.t_si
+        assert evaluation.t_in >= 0 and evaluation.t_si >= 0
+
+        # 3. Every non-empty group appears exactly once in the schedule.
+        scheduled = sorted(entry.group_id for entry in evaluation.schedule)
+        expected = sorted(
+            group.group_id for group in grouping.groups if not group.is_empty
+        )
+        assert scheduled == expected
+
+        # 4. The schedule is rail-conflict-free.
+        for a in evaluation.schedule:
+            for b in evaluation.schedule:
+                if a.group_id < b.group_id and (
+                    a.begin < b.end and b.begin < a.end
+                ):
+                    assert a.rails.isdisjoint(b.rails)
+
+        # 5. Lower bounds hold.
+        report = bound_report(soc, w_max, grouping.groups)
+        assert result.t_total >= report.t_total_bound
+
+        # 6. Re-evaluation of the final architecture is reproducible.
+        again = evaluate_architecture(soc, architecture, grouping.groups)
+        assert again.t_total == result.t_total
+
+    @fuzz_settings
+    @given(
+        soc=soc_st,
+        w_max=st.integers(min_value=1, max_value=16),
+    )
+    def test_baseline_equivalence_without_groups(self, soc, w_max):
+        # With no SI tests the SI-aware optimizer IS TR-Architect.
+        assert (
+            optimize_tam(soc, w_max, ()).t_total
+            == tr_architect(soc, w_max).t_total
+        )
+
+    @fuzz_settings
+    @given(
+        soc=soc_st,
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_grouping_conserves_patterns(self, soc, seed):
+        patterns = generate_random_patterns(soc, 200, seed=seed)
+        for parts in (1, min(2, len(soc))):
+            grouping = build_si_test_groups(soc, patterns, parts=parts,
+                                            seed=seed)
+            assert sum(
+                group.original_patterns for group in grouping.groups
+            ) == len(patterns)
+            assert grouping.total_compacted_patterns <= len(patterns)

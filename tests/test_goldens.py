@@ -1,0 +1,68 @@
+"""Golden regression values for the deterministic pipeline.
+
+Every algorithm in the library is deterministic for fixed seeds, so these
+exact values pin the current behaviour: an unintended change to the
+wrapper model, the compactor, the partitioner or the optimizer shows up
+here immediately.  When a change is *intended* (e.g. an improved
+heuristic), regenerate the constants with the snippet in each test.
+
+The random module's generator (Mersenne Twister) and our usage of it are
+stable across CPython versions, so these values are portable.
+"""
+
+import pytest
+
+from repro.compaction.horizontal import build_si_test_groups
+from repro.core.optimizer import optimize_tam
+from repro.sitest.generator import generate_random_patterns
+from repro.tam.tr_architect import tr_architect
+
+
+class TestInTestGoldens:
+    @pytest.mark.parametrize(
+        "w_max,expected",
+        [(8, 85_233), (16, 43_085), (32, 21_518), (64, 11_034)],
+    )
+    def test_tr_architect_d695(self, d695, w_max, expected):
+        assert tr_architect(d695, w_max).t_total == expected
+
+    def test_tr_architect_reconstructions(self, p34392, p93791):
+        assert tr_architect(p34392, 16).t_total == 998_205
+        assert tr_architect(p93791, 16).t_total == 1_798_677
+
+
+class TestCompactionGoldens:
+    @pytest.fixture(scope="class")
+    def patterns(self, d695):
+        return generate_random_patterns(d695, 2_000, seed=7)
+
+    def test_vertical_compaction_count(self, d695, patterns):
+        grouping = build_si_test_groups(d695, patterns, parts=1, seed=7)
+        assert grouping.groups[0].patterns == 75
+
+    def test_grouped_compaction_counts(self, d695, patterns):
+        grouping = build_si_test_groups(d695, patterns, parts=4, seed=7)
+        assert [group.patterns for group in grouping.groups] == (
+            [41, 5, 12, 4, 40]
+        )
+        assert grouping.cut_patterns == 815
+
+
+class TestOptimizerGoldens:
+    def test_si_aware_d695(self, d695):
+        patterns = generate_random_patterns(d695, 2_000, seed=7)
+        grouping = build_si_test_groups(d695, patterns, parts=4, seed=7)
+        result = optimize_tam(d695, 24, groups=grouping.groups)
+        assert result.t_total == 34_492
+        assert result.evaluation.t_in == 30_188
+        assert result.evaluation.t_si == 4_304
+
+    def test_t5_architecture_shape(self, t5):
+        patterns = generate_random_patterns(t5, 500, seed=7)
+        grouping = build_si_test_groups(t5, patterns, parts=2, seed=7)
+        result = optimize_tam(t5, 8, groups=grouping.groups)
+        assert result.t_total == 18_828
+        shape = sorted(
+            (rail.cores, rail.width) for rail in result.architecture.rails
+        )
+        assert shape == [((1,), 1), ((2, 3, 5), 4), ((4,), 3)]

@@ -1,0 +1,160 @@
+"""Cross-cutting hardening tests: edge cases that belong to no single
+module's happy path."""
+
+import pytest
+
+from repro.compaction.groups import SITestGroup
+from repro.core.optimizer import evaluate_architecture, optimize_tam
+from repro.core.scheduling import TamEvaluator
+from repro.soc.model import Soc
+from repro.tam.gantt import render_schedule
+from repro.tam.testrail import TestRail, TestRailArchitecture
+from tests.conftest import make_core
+
+
+class TestZeroWorkSoCs:
+    def test_all_zero_pattern_cores(self):
+        soc = Soc(
+            name="idle",
+            cores=(make_core(1, patterns=0), make_core(2, patterns=0)),
+        )
+        result = optimize_tam(soc, 4)
+        assert result.t_total == 0
+        assert result.architecture.total_width == 4
+
+    def test_zero_output_cores_with_si_groups(self):
+        # Cores without WOCs cannot carry SI tests; a group over them is
+        # effectively free.
+        soc = Soc(
+            name="inonly",
+            cores=(
+                make_core(1, inputs=8, outputs=0, patterns=5),
+                make_core(2, inputs=8, outputs=4, patterns=5),
+            ),
+        )
+        groups = (
+            SITestGroup(group_id=0, cores=frozenset({1}), patterns=10),
+        )
+        result = optimize_tam(soc, 4, groups)
+        assert result.evaluation.t_si == 0
+
+    def test_gantt_with_zero_time_core(self):
+        soc = Soc(
+            name="mix",
+            cores=(make_core(1, patterns=0), make_core(2, patterns=9)),
+        )
+        result = optimize_tam(soc, 4)
+        text = render_schedule(soc, result.architecture, result.evaluation)
+        assert "T_total" in text
+
+
+class TestExtremeWidths:
+    def test_width_far_beyond_useful(self):
+        soc = Soc(name="wide", cores=(make_core(1, inputs=4, outputs=4,
+                                                patterns=3),))
+        result = optimize_tam(soc, 500)
+        assert result.architecture.total_width == 500
+        # Time saturates at the single-cell floor.
+        assert result.t_total == optimize_tam(soc, 8).t_total
+
+    def test_more_groups_than_rails(self):
+        soc = Soc(
+            name="g",
+            cores=(make_core(1, outputs=8, patterns=5),
+                   make_core(2, outputs=8, patterns=5)),
+        )
+        groups = tuple(
+            SITestGroup(group_id=index, cores=frozenset({1 + index % 2}),
+                        patterns=3)
+            for index in range(6)
+        )
+        result = optimize_tam(soc, 4, groups)
+        assert len(result.evaluation.schedule) == 6
+
+
+class TestEvaluationConsistency:
+    def test_capture_cycles_scale_si_linearly(self):
+        soc = Soc(name="cc", cores=(make_core(1, outputs=8, patterns=2),))
+        group = SITestGroup(group_id=0, cores=frozenset({1}), patterns=10)
+        architecture = TestRailArchitecture(rails=(TestRail.of([1], 2),))
+        times = [
+            TamEvaluator(soc, (group,), capture_cycles=cycles)
+            .evaluate(architecture).t_si
+            for cycles in (0, 1, 2, 3)
+        ]
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert len(set(deltas)) == 1  # each extra cycle costs p per rail
+        assert deltas[0] == 10
+
+    def test_groups_order_does_not_change_totals(self, d695):
+        groups_a = (
+            SITestGroup(group_id=0, cores=frozenset({1, 2}), patterns=10),
+            SITestGroup(group_id=1, cores=frozenset({3, 4}), patterns=20),
+        )
+        groups_b = tuple(reversed(groups_a))
+        architecture = TestRailArchitecture(
+            rails=(TestRail.of([1, 2, 3, 4], 4),
+                   TestRail.of([5, 6, 7, 8, 9, 10], 4))
+        )
+        total_a = evaluate_architecture(d695, architecture, groups_a)
+        total_b = evaluate_architecture(d695, architecture, groups_b)
+        assert total_a.t_total == total_b.t_total
+
+    def test_disjoint_subsets_of_groups_compose(self):
+        # T_si of groups on disjoint rails equals the max of their
+        # individual schedules.
+        soc = Soc(
+            name="comp",
+            cores=(make_core(1, outputs=8, patterns=1),
+                   make_core(2, outputs=8, patterns=1)),
+        )
+        group_a = SITestGroup(group_id=0, cores=frozenset({1}), patterns=7)
+        group_b = SITestGroup(group_id=1, cores=frozenset({2}), patterns=4)
+        architecture = TestRailArchitecture(
+            rails=(TestRail.of([1], 2), TestRail.of([2], 2))
+        )
+        t_a = evaluate_architecture(soc, architecture, (group_a,)).t_si
+        t_b = evaluate_architecture(soc, architecture, (group_b,)).t_si
+        t_both = evaluate_architecture(
+            soc, architecture, (group_a, group_b)
+        ).t_si
+        assert t_both == max(t_a, t_b)
+
+
+class TestParserRobustness:
+    @pytest.mark.parametrize("garbage", [
+        "",
+        "garbage",
+        "SocName",
+        "SocName x\nTotalModules notanumber",
+        "SocName x\nTotalModules 0\nModule 1",
+    ])
+    def test_malformed_inputs_raise_cleanly(self, garbage):
+        from repro.soc.itc02 import Itc02ParseError, parse
+
+        with pytest.raises(Itc02ParseError):
+            parse(garbage)
+
+    def test_unicode_names_round_trip(self):
+        from repro.soc.itc02 import dumps, parse
+        from repro.soc.model import Core, CoreTest, Soc
+
+        soc = Soc(
+            name="uni",
+            cores=(
+                Core(core_id=1, name="core_ü", inputs=1, outputs=1,
+                     bidirs=0, tests=(CoreTest(patterns=1),)),
+            ),
+        )
+        assert parse(dumps(soc)) == soc
+
+
+class TestArchitecturePersistenceRobustness:
+    def test_loading_architecture_for_wrong_soc_detected_on_evaluate(self):
+        from repro.core.scheduling import TamEvaluator
+
+        soc = Soc(name="small", cores=(make_core(1),))
+        foreign = TestRailArchitecture(rails=(TestRail.of([99], 2),))
+        evaluator = TamEvaluator(soc)
+        with pytest.raises(KeyError):
+            evaluator.evaluate(foreign)

@@ -1,0 +1,104 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+import pytest
+
+from repro import (
+    build_si_test_groups,
+    evaluate_architecture,
+    generate_random_patterns,
+    load_benchmark,
+    optimize_tam,
+    render_schedule,
+    si_oblivious_total,
+    tr_architect,
+)
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        soc = load_benchmark("d695")
+        patterns = generate_random_patterns(soc, 1_000, seed=3)
+        grouping = build_si_test_groups(soc, patterns, parts=4, seed=3)
+        result = optimize_tam(soc, 24, groups=grouping.groups)
+        return soc, patterns, grouping, result
+
+    def test_architecture_is_valid(self, pipeline):
+        soc, _, _, result = pipeline
+        arch = result.architecture
+        assert arch.total_width == 24
+        assert arch.core_ids == set(soc.core_ids)
+
+    def test_total_is_sum_of_phases(self, pipeline):
+        _, _, _, result = pipeline
+        evaluation = result.evaluation
+        assert evaluation.t_total == evaluation.t_in + evaluation.t_si
+
+    def test_every_si_group_scheduled(self, pipeline):
+        _, _, grouping, result = pipeline
+        scheduled = {entry.group_id for entry in result.evaluation.schedule}
+        expected = {
+            group.group_id for group in grouping.groups if not group.is_empty
+        }
+        assert scheduled == expected
+
+    def test_schedule_is_conflict_free(self, pipeline):
+        _, _, _, result = pipeline
+        schedule = result.evaluation.schedule
+        for a in schedule:
+            for b in schedule:
+                if a.group_id >= b.group_id:
+                    continue
+                if a.begin < b.end and b.begin < a.end:
+                    assert a.rails.isdisjoint(b.rails)
+
+    def test_si_aware_not_worse_than_oblivious(self, pipeline):
+        soc, _, grouping, result = pipeline
+        oblivious = si_oblivious_total(soc, 24, grouping.groups)
+        assert result.t_total <= oblivious.t_total * 1.001
+
+    def test_schedule_renders(self, pipeline):
+        soc, _, _, result = pipeline
+        text = render_schedule(soc, result.architecture, result.evaluation)
+        assert "T_total" in text
+
+    def test_reevaluation_is_stable(self, pipeline):
+        soc, _, grouping, result = pipeline
+        again = evaluate_architecture(soc, result.architecture,
+                                      grouping.groups)
+        assert again.t_total == result.t_total
+
+
+class TestCompactionEffectiveness:
+    """Section 3's headline: two-dimensional compaction reduces test data
+    volume significantly."""
+
+    def test_vertical_compaction_is_substantial(self):
+        soc = load_benchmark("d695")
+        patterns = generate_random_patterns(soc, 5_000, seed=9)
+        grouping = build_si_test_groups(soc, patterns, parts=1)
+        assert grouping.total_compacted_patterns < len(patterns) / 5
+
+    def test_grouping_reduces_si_time_for_large_sets(self):
+        soc = load_benchmark("d695")
+        patterns = generate_random_patterns(soc, 5_000, seed=9)
+        flat = build_si_test_groups(soc, patterns, parts=1)
+        grouped = build_si_test_groups(soc, patterns, parts=4)
+        t_flat = optimize_tam(soc, 32, groups=flat.groups).t_total
+        t_grouped = optimize_tam(soc, 32, groups=grouped.groups).t_total
+        # 2-D compaction must not lose to 1-D by more than noise.
+        assert t_grouped <= t_flat * 1.05
+
+
+class TestCrossBenchmark:
+    @pytest.mark.parametrize("name", ["t5", "d695"])
+    def test_pipeline_runs_on_all_benchmarks(self, name):
+        soc = load_benchmark(name)
+        patterns = generate_random_patterns(soc, 300, seed=1)
+        grouping = build_si_test_groups(soc, patterns, parts=2, seed=1)
+        result = optimize_tam(soc, 8, groups=grouping.groups)
+        assert result.t_total > 0
+
+    def test_intest_results_independent_of_si_seed(self):
+        soc = load_benchmark("d695")
+        assert tr_architect(soc, 16).t_total == tr_architect(soc, 16).t_total

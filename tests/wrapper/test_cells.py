@@ -1,0 +1,80 @@
+"""Tests for the wrapper cell hardware / area model."""
+
+import pytest
+
+from repro.wrapper.cells import (
+    CellLibrary,
+    core_wrapper_overhead,
+    format_overhead_report,
+    soc_si_area_um2,
+    soc_wrapper_overhead,
+)
+from tests.conftest import make_core
+
+
+class TestCellLibrary:
+    def test_defaults_valid(self):
+        library = CellLibrary()
+        assert library.standard_cell_gates > 0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CellLibrary(ils_sensor_gates=-1)
+
+
+class TestCoreOverhead:
+    def test_hand_checked(self):
+        core = make_core(1, inputs=10, outputs=6, bidirs=2)
+        library = CellLibrary(
+            standard_cell_gates=10,
+            transition_generator_gates=5,
+            ils_sensor_gates=20,
+        )
+        overhead = core_wrapper_overhead(core, library)
+        # 18 terminals standard; WOC = 8 generators; WIC = 12 sensors.
+        assert overhead.standard == 180
+        assert overhead.si_extra == 8 * 5 + 12 * 20
+        assert overhead.total == overhead.standard + overhead.si_extra
+
+    def test_bidirs_pay_both_roles(self):
+        plain = core_wrapper_overhead(make_core(1, inputs=4, outputs=4))
+        bidir = core_wrapper_overhead(
+            make_core(1, inputs=4, outputs=4, bidirs=1)
+        )
+        library = CellLibrary()
+        assert bidir.si_extra - plain.si_extra == (
+            library.transition_generator_gates + library.ils_sensor_gates
+        )
+
+    def test_si_fraction(self):
+        core = make_core(1, inputs=1, outputs=0)
+        library = CellLibrary(
+            standard_cell_gates=10, ils_sensor_gates=10,
+            transition_generator_gates=0,
+        )
+        overhead = core_wrapper_overhead(core, library)
+        assert overhead.si_fraction == pytest.approx(0.5)
+
+    def test_zero_terminal_core(self):
+        overhead = core_wrapper_overhead(make_core(1, inputs=0, outputs=0))
+        assert overhead.total == 0
+        assert overhead.si_fraction == 0.0
+
+
+class TestSocOverhead:
+    def test_per_core_entries(self, t5):
+        overheads = soc_wrapper_overhead(t5)
+        assert len(overheads) == len(t5)
+        assert [o.core_id for o in overheads] == list(t5.core_ids)
+
+    def test_area_scales_with_gate_area(self, t5):
+        small = soc_si_area_um2(t5, CellLibrary(gate_area_um2=1.0))
+        large = soc_si_area_um2(t5, CellLibrary(gate_area_um2=2.0))
+        assert large == pytest.approx(2 * small)
+
+    def test_report_mentions_every_core(self, t5):
+        report = format_overhead_report(t5)
+        for core in t5:
+            assert f"\n{core.core_id:>5} " in "\n" + report
+        assert "total" in report
+        assert "um^2" in report

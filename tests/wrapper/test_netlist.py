@@ -1,0 +1,122 @@
+"""Tests for the structural wrapper netlist generator."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wrapper.design import design_wrapper
+from repro.wrapper.netlist import (
+    build_wrapper_netlist,
+    format_wrapper_summary,
+    save_wrapper_netlist,
+)
+from tests.conftest import make_core
+
+
+class TestStructure:
+    def test_cell_counts_match_core(self):
+        core = make_core(1, inputs=7, outputs=5, bidirs=2,
+                         scan_chains=(10, 8))
+        netlist = build_wrapper_netlist(core, 3)
+        wics = sum(
+            1 for chain in netlist.chains for cell in chain.cells
+            if cell.cell_type == "WIC"
+        )
+        wocs = sum(
+            1 for chain in netlist.chains for cell in chain.cells
+            if cell.cell_type == "WOC"
+        )
+        scan = sum(
+            cell.length for chain in netlist.chains for cell in chain.cells
+            if cell.cell_type == "SCAN"
+        )
+        assert wics == core.wic_count
+        assert wocs == core.woc_count
+        assert scan == core.scan_cell_count
+        assert netlist.boundary_cell_count == wics + wocs
+
+    def test_chain_count_equals_width(self):
+        core = make_core(1, inputs=10, outputs=10, scan_chains=(5, 5))
+        assert len(build_wrapper_netlist(core, 4).chains) == 4
+
+    def test_lengths_match_design(self):
+        core = make_core(1, inputs=13, outputs=9, scan_chains=(20, 15, 7))
+        for width in (1, 2, 3, 5, 8):
+            design = design_wrapper(core, width)
+            netlist = build_wrapper_netlist(core, width)
+            assert max(
+                chain.scan_in_length for chain in netlist.chains
+            ) == design.max_scan_in
+            assert max(
+                chain.scan_out_length for chain in netlist.chains
+            ) == design.max_scan_out
+
+    def test_cell_names_unique(self):
+        core = make_core(1, inputs=20, outputs=20, scan_chains=(6, 6, 6))
+        netlist = build_wrapper_netlist(core, 4)
+        names = [
+            cell.name for chain in netlist.chains for cell in chain.cells
+        ]
+        assert len(names) == len(set(names))
+
+    def test_chain_order_wic_scan_woc(self):
+        core = make_core(1, inputs=4, outputs=4, scan_chains=(8,))
+        netlist = build_wrapper_netlist(core, 1)
+        kinds = [cell.cell_type for cell in netlist.chains[0].cells]
+        # Input cells precede scan segments precede output cells.
+        assert kinds == sorted(
+            kinds, key=lambda kind: {"WIC": 0, "SCAN": 1, "WOC": 2}[kind]
+        )
+
+    def test_si_flags(self):
+        core = make_core(1, inputs=2, outputs=2)
+        si = build_wrapper_netlist(core, 1, si_capable=True)
+        plain = build_wrapper_netlist(core, 1, si_capable=False)
+        for chain in si.chains:
+            for cell in chain.cells:
+                if cell.cell_type == "WIC":
+                    assert cell.ils
+                if cell.cell_type == "WOC":
+                    assert cell.transition_generator
+        for chain in plain.chains:
+            for cell in chain.cells:
+                assert not cell.ils
+                assert not cell.transition_generator
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        inputs=st.integers(min_value=0, max_value=40),
+        outputs=st.integers(min_value=0, max_value=40),
+        bidirs=st.integers(min_value=0, max_value=10),
+        chains=st.lists(st.integers(min_value=1, max_value=50), max_size=5),
+        width=st.integers(min_value=1, max_value=8),
+    )
+    def test_fuzz_audit_always_passes(self, inputs, outputs, bidirs,
+                                      chains, width):
+        # build_wrapper_netlist raises AssertionError when its structure
+        # diverges from the timing model — it never may.
+        core = make_core(1, inputs=inputs, outputs=outputs, bidirs=bidirs,
+                         scan_chains=tuple(chains))
+        netlist = build_wrapper_netlist(core, width)
+        assert netlist.cell_count >= 0
+
+
+class TestSerialization:
+    def test_json_round_trip_of_summary_fields(self, tmp_path):
+        core = make_core(1, inputs=5, outputs=5, scan_chains=(9,))
+        netlist = build_wrapper_netlist(core, 2)
+        path = tmp_path / "wrapper.json"
+        save_wrapper_netlist(netlist, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-wrapper-netlist"
+        assert data["width"] == 2
+        assert len(data["chains"]) == 2
+
+    def test_summary_text(self):
+        core = make_core(1, inputs=5, outputs=5, scan_chains=(9,))
+        netlist = build_wrapper_netlist(core, 2)
+        text = format_wrapper_summary(netlist)
+        assert "chain 0" in text and "chain 1" in text
+        assert "WIR" in text

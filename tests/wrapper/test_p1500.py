@@ -1,0 +1,104 @@
+"""Tests for the IEEE 1500 session-overhead model."""
+
+import pytest
+
+from repro.compaction.groups import SITestGroup
+from repro.core.scheduling import TamEvaluator
+from repro.soc.model import Soc
+from repro.tam.testrail import TestRail, TestRailArchitecture
+from repro.wrapper.p1500 import (
+    WirConfig,
+    core_wir_length,
+    overhead_report,
+    session_overhead,
+)
+from tests.conftest import make_core
+
+
+@pytest.fixture
+def soc():
+    return Soc(
+        name="wir",
+        cores=(
+            make_core(1, inputs=8, outputs=8, patterns=50),
+            make_core(2, inputs=8, outputs=8, patterns=50),
+            make_core(3, inputs=8, outputs=8, patterns=50),
+        ),
+    )
+
+
+@pytest.fixture
+def architecture():
+    return TestRailArchitecture(
+        rails=(TestRail.of([1, 2], 2), TestRail.of([3], 2))
+    )
+
+
+class TestWirConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WirConfig(instruction_bits=0)
+        with pytest.raises(ValueError):
+            WirConfig(update_cycles=-1)
+
+    def test_core_wir_length(self, soc):
+        assert core_wir_length(soc.cores[0], WirConfig(instruction_bits=5)) == 5
+
+
+class TestSessionOverhead:
+    def test_intest_only(self, soc, architecture):
+        config = WirConfig(instruction_bits=4, update_cycles=2)
+        overhead = session_overhead(soc, architecture, (), config)
+        # Per rail: enter InTest + final bypass = 2 loads.
+        assert overhead.instruction_loads == 4
+        # Rail 0: chain 8 bits + 2 update = 10/load; rail 1: 4 + 2 = 6.
+        assert overhead.total_cycles == 2 * 10 + 2 * 6
+
+    def test_si_groups_add_loads(self, soc, architecture):
+        groups = (
+            SITestGroup(group_id=0, cores=frozenset({1, 2, 3}), patterns=5),
+            SITestGroup(group_id=1, cores=frozenset({3}), patterns=5),
+        )
+        base = session_overhead(soc, architecture, ())
+        with_si = session_overhead(soc, architecture, groups)
+        # Rail 0 serves group 0 only (+1 load); rail 1 serves both (+2).
+        assert with_si.instruction_loads == base.instruction_loads + 3
+
+    def test_empty_groups_ignored(self, soc, architecture):
+        empty = SITestGroup(group_id=0, cores=frozenset(), patterns=0)
+        assert session_overhead(soc, architecture, (empty,)) == (
+            session_overhead(soc, architecture, ())
+        )
+
+    def test_relative_to(self, soc, architecture):
+        overhead = session_overhead(soc, architecture, ())
+        assert overhead.relative_to(overhead.total_cycles * 100) == (
+            pytest.approx(0.01)
+        )
+        with pytest.raises(ValueError):
+            overhead.relative_to(0)
+
+
+class TestReport:
+    def test_negligible_verdict_on_real_soc(self, d695):
+        from repro.tam.tr_architect import tr_architect
+
+        result = tr_architect(d695, 16)
+        report = overhead_report(
+            d695, result.architecture, result.evaluation, ()
+        )
+        assert "negligible" in report
+        assert "NOT negligible" not in report
+
+    def test_not_negligible_with_many_groups_tiny_tests(self, soc):
+        groups = tuple(
+            SITestGroup(group_id=index, cores=frozenset({1, 2, 3}),
+                        patterns=1)
+            for index in range(200)
+        )
+        architecture = TestRailArchitecture(
+            rails=(TestRail.of([1, 2, 3], 64),)
+        )
+        evaluation = TamEvaluator(soc, groups).evaluate(architecture)
+        report = overhead_report(soc, architecture, evaluation, groups)
+        assert "NOT negligible" in report

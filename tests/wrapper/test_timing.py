@@ -1,0 +1,87 @@
+"""Tests for the InTest timing model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.soc.model import Core, CoreTest
+from repro.wrapper.timing import core_test_time, core_time_table, pareto_widths
+from tests.conftest import make_core
+
+
+class TestCoreTestTime:
+    def test_formula_hand_checked(self):
+        # inputs=4, outputs=2, one chain of 6, width 1:
+        # s_i = 4 + 6 = 10, s_o = 2 + 6 = 8, p = 3
+        # T = (1 + 10) * 3 + 8 = 41.
+        core = make_core(1, inputs=4, outputs=2, scan_chains=(6,), patterns=3)
+        assert core_test_time(core, 1) == 41
+
+    def test_combinational_core(self):
+        # inputs=8, outputs=4, width 4: s_i = 2, s_o = 1, p = 5
+        # T = (1 + 2) * 5 + 1 = 16.
+        core = make_core(1, inputs=8, outputs=4, patterns=5)
+        assert core_test_time(core, 4) == 16
+
+    def test_zero_patterns_cost_nothing(self):
+        core = make_core(1, inputs=8, outputs=4, patterns=0)
+        assert core_test_time(core, 2) == 0
+
+    def test_multiple_tests_add_up(self):
+        core = Core(
+            core_id=1, name="c", inputs=8, outputs=4, bidirs=0,
+            tests=(CoreTest(patterns=5), CoreTest(patterns=3)),
+        )
+        single_five = make_core(1, inputs=8, outputs=4, patterns=5)
+        single_three = make_core(1, inputs=8, outputs=4, patterns=3)
+        assert core_test_time(core, 4) == (
+            core_test_time(single_five, 4) + core_test_time(single_three, 4)
+        )
+
+    @given(st.integers(min_value=1, max_value=63))
+    def test_time_never_increases_with_width(self, width):
+        core = make_core(1, inputs=40, outputs=30,
+                         scan_chains=(25, 20, 15, 10), patterns=50)
+        assert core_test_time(core, width + 1) <= core_test_time(core, width)
+
+    def test_floor_set_by_longest_chain(self):
+        core = make_core(1, inputs=2, outputs=2, scan_chains=(100,),
+                         patterns=10)
+        # (1 + s) * p + s with s >= 100 regardless of width.
+        assert core_test_time(core, 64) >= (1 + 100) * 10 + 100
+
+
+class TestCoreTimeTable:
+    def test_matches_pointwise(self):
+        core = make_core(1, inputs=10, outputs=10, scan_chains=(8, 8),
+                         patterns=20)
+        table = core_time_table(core, 6)
+        assert len(table) == 6
+        for width, value in enumerate(table, start=1):
+            assert value == core_test_time(core, width)
+
+    def test_rejects_nonpositive_max_width(self):
+        with pytest.raises(ValueError):
+            core_time_table(make_core(1), 0)
+
+
+class TestParetoWidths:
+    def test_starts_at_one(self):
+        core = make_core(1, inputs=16, outputs=16, patterns=5)
+        assert pareto_widths(core, 8)[0] == 1
+
+    def test_strictly_improving(self):
+        core = make_core(1, inputs=37, outputs=11, scan_chains=(9, 8, 8),
+                         patterns=13)
+        widths = pareto_widths(core, 32)
+        times = [core_test_time(core, w) for w in widths]
+        assert times == sorted(times, reverse=True)
+        assert len(set(times)) == len(times)
+
+    def test_saturates(self):
+        # Once wrapper chains hit the longest-internal-chain floor, wider
+        # TAMs stop appearing in the Pareto set.
+        core = make_core(1, inputs=2, outputs=2, scan_chains=(30, 30),
+                         patterns=5)
+        widths = pareto_widths(core, 64)
+        assert max(widths) <= 4

@@ -1,0 +1,179 @@
+"""Regenerate the synthetic p34392 / p93791 benchmark reconstructions.
+
+The original ITC'02 files are not redistributable offline, so this script
+synthesizes module sets with a fixed seed and calibrates their pattern
+counts so that the TR-Architect InTest times land near the published
+results (see DESIGN.md §4):
+
+* p34392 — 19 modules, one dominant core bounding the SOC test time from
+  below (published floor ~544,579 cc); target ~998,733 cc at W=16.
+* p93791 — 32 modules, no dominant core; target ~1,791,638 cc at W=16.
+
+Run from the repository root::
+
+    python tools/generate_benchmarks.py
+
+The output files land in ``src/repro/soc/data/`` and are committed; the
+library never runs this script at import time.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.soc.itc02 import dump_file
+from repro.soc.model import Core, CoreTest, Soc
+from repro.tam.tr_architect import tr_architect
+
+
+def _scan_chains(rng: random.Random, chains: int, total_cells: int) -> tuple[int, ...]:
+    base = total_cells // chains
+    remainder = total_cells - base * chains
+    lengths = [base + 1] * remainder + [base] * (chains - remainder)
+    return tuple(lengths)
+
+
+def _make_core(
+    rng: random.Random,
+    core_id: int,
+    kind: str,
+) -> Core:
+    if kind == "comb":
+        inputs = rng.randint(30, 180)
+        outputs = rng.randint(20, 140)
+        bidirs = rng.choice((0, 0, 0, rng.randint(4, 32)))
+        chains: tuple[int, ...] = ()
+        patterns = rng.randint(40, 300)
+    elif kind == "small":
+        inputs = rng.randint(20, 90)
+        outputs = rng.randint(20, 90)
+        bidirs = rng.choice((0, 0, rng.randint(4, 24)))
+        chains = _scan_chains(rng, rng.randint(1, 8), rng.randint(100, 900))
+        patterns = rng.randint(60, 400)
+    elif kind == "medium":
+        inputs = rng.randint(40, 200)
+        outputs = rng.randint(40, 220)
+        bidirs = rng.choice((0, 0, rng.randint(8, 72)))
+        chains = _scan_chains(rng, rng.randint(8, 24), rng.randint(1_000, 5_000))
+        patterns = rng.randint(150, 900)
+    elif kind == "large":
+        inputs = rng.randint(100, 420)
+        outputs = rng.randint(100, 350)
+        bidirs = rng.choice((0, rng.randint(16, 72)))
+        chains = _scan_chains(rng, rng.randint(16, 46), rng.randint(6_000, 24_000))
+        patterns = rng.randint(150, 700)
+    else:
+        raise ValueError(kind)
+    return Core(
+        core_id=core_id,
+        name=f"synth{core_id}",
+        inputs=inputs,
+        outputs=outputs,
+        bidirs=bidirs,
+        scan_chains=chains,
+        tests=(CoreTest(patterns=patterns, scan_use=bool(chains)),),
+    )
+
+
+def _dominant_core(core_id: int, floor: int) -> Core:
+    """A core whose minimum test time (at any width) is ~``floor`` cycles.
+
+    With a longest internal scan chain of length L the wrapper scan-in can
+    never go below L, so T >= (1 + L) * p + L for every width.
+    """
+    length = 640
+    patterns = round((floor - length) / (1 + length))
+    chains = (length, length - 1, length - 2, length - 2)
+    return Core(
+        core_id=core_id,
+        name=f"synth{core_id}_dom",
+        inputs=165,
+        outputs=263,
+        bidirs=0,
+        scan_chains=chains,
+        tests=(CoreTest(patterns=patterns),),
+    )
+
+
+def _rescale_patterns(soc: Soc, factor: float, keep: frozenset[int]) -> Soc:
+    cores = []
+    for core in soc:
+        if core.core_id in keep:
+            cores.append(core)
+            continue
+        tests = tuple(
+            CoreTest(
+                patterns=max(1, round(test.patterns * factor)),
+                scan_use=test.scan_use,
+                tam_use=test.tam_use,
+            )
+            for test in core.tests
+        )
+        cores.append(
+            Core(
+                core_id=core.core_id,
+                name=core.name,
+                inputs=core.inputs,
+                outputs=core.outputs,
+                bidirs=core.bidirs,
+                scan_chains=core.scan_chains,
+                tests=tests,
+                level=core.level,
+            )
+        )
+    return Soc(name=soc.name, cores=tuple(cores))
+
+
+def _calibrate(soc: Soc, target_w16: int, keep: frozenset[int]) -> Soc:
+    for _ in range(4):
+        measured = tr_architect(soc, 16).t_total
+        error = measured / target_w16
+        print(f"  {soc.name}: W=16 -> {measured} cc (target {target_w16})")
+        if abs(error - 1.0) < 0.02:
+            break
+        soc = _rescale_patterns(soc, 1.0 / error, keep)
+    return soc
+
+
+def build_p34392() -> Soc:
+    rng = random.Random(34392)
+    kinds = ["comb"] * 3 + ["small"] * 6 + ["medium"] * 8 + ["large"] * 1
+    rng.shuffle(kinds)
+    cores = [
+        _make_core(rng, core_id, kind)
+        for core_id, kind in enumerate(kinds, start=1)
+    ]
+    cores.append(_dominant_core(19, floor=544_579))
+    soc = Soc(name="p34392", cores=tuple(cores))
+    return _calibrate(soc, target_w16=998_733, keep=frozenset({19}))
+
+
+def build_p93791() -> Soc:
+    rng = random.Random(93791)
+    kinds = ["comb"] * 8 + ["small"] * 8 + ["medium"] * 10 + ["large"] * 6
+    rng.shuffle(kinds)
+    cores = [
+        _make_core(rng, core_id, kind)
+        for core_id, kind in enumerate(kinds, start=1)
+    ]
+    soc = Soc(name="p93791", cores=tuple(cores))
+    return _calibrate(soc, target_w16=1_791_638, keep=frozenset())
+
+
+def main() -> None:
+    data_dir = Path(__file__).resolve().parent.parent / "src" / "repro" / "soc" / "data"
+    for soc in (build_p34392(), build_p93791()):
+        path = data_dir / f"{soc.name}.soc"
+        dump_file(soc, path)
+        print(f"wrote {path} ({len(soc)} modules, {soc.total_scan_cells} FFs, "
+              f"{soc.total_terminals} terminals)")
+        for w in (8, 16, 24, 32, 40, 48, 56, 64):
+            print(f"    TR-Architect W={w}: {tr_architect(soc, w).t_total} cc")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Run the full-scale Table 2 / Table 3 sweeps and save the results.
+
+This is the run recorded in EXPERIMENTS.md: both benchmark SOCs, the full
+width sweep (8..64 step 8), group counts {1, 2, 4, 8} and the paper's
+pattern counts N_r in {10,000, 100,000}.  Takes on the order of 15 minutes.
+
+Usage::
+
+    python tools/run_experiments.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.reporting import render_table, save_result
+from repro.experiments.table_runner import run_table_experiment
+from repro.soc.benchmarks import load_benchmark
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    out_dir.mkdir(exist_ok=True)
+    table_of = {"p34392": "table2", "p93791": "table3"}
+    for soc_name in ("p34392", "p93791"):
+        soc = load_benchmark(soc_name)
+        for pattern_count in (10_000, 100_000):
+            start = time.perf_counter()
+            result = run_table_experiment(
+                soc, pattern_count, seed=1, verbose=True
+            )
+            stem = f"{table_of[soc_name]}_{soc_name}_nr{pattern_count}"
+            save_result(result, out_dir / f"{stem}.json")
+            table = render_table(result)
+            (out_dir / f"{stem}.txt").write_text(table + "\n")
+            print(table)
+            print(f"[{stem}] done in {time.perf_counter() - start:.0f}s\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+"""Installation self-check: exercise every subsystem once.
+
+A user-facing smoke test for fresh installs (no pytest required):
+
+    python tools/selfcheck.py
+
+Prints a checklist; exits non-zero if anything fails.
+"""
+
+from __future__ import annotations
+
+import sys
+import traceback
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+_CHECKS = []
+
+
+def check(label):
+    def wrap(function):
+        _CHECKS.append((label, function))
+        return function
+    return wrap
+
+
+@check("benchmarks load")
+def _benchmarks():
+    from repro.soc.benchmarks import available_benchmarks, load_benchmark
+
+    names = available_benchmarks()
+    assert {"d695", "p34392", "p93791", "t5"} <= set(names)
+    assert len(load_benchmark("d695")) == 10
+
+
+@check("wrapper design + timing")
+def _wrapper():
+    from repro.soc.benchmarks import load_benchmark
+    from repro.wrapper.timing import core_test_time
+
+    soc = load_benchmark("d695")
+    assert core_test_time(soc.core_by_id(5), 16) > 0
+
+
+@check("SI pattern generation + compaction")
+def _compaction():
+    from repro.compaction.horizontal import build_si_test_groups
+    from repro.sitest.generator import generate_random_patterns
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    patterns = generate_random_patterns(soc, 300, seed=1)
+    grouping = build_si_test_groups(soc, patterns, parts=2, seed=1)
+    assert 0 < grouping.total_compacted_patterns < 300
+
+
+@check("hypergraph partitioner")
+def _partitioner():
+    from repro.hypergraph.hypergraph import build_hypergraph
+    from repro.hypergraph.multilevel import partition
+
+    graph = build_hypergraph(
+        [1] * 6, {frozenset({i, i + 1}): 1 for i in range(5)}
+    )
+    result = partition(graph, 2, seed=0)
+    assert set(result.assignment) == {0, 1}
+
+
+@check("TAM optimization (Algorithm 2)")
+def _optimizer():
+    from repro.compaction.horizontal import build_si_test_groups
+    from repro.core.optimizer import optimize_tam
+    from repro.sitest.generator import generate_random_patterns
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    patterns = generate_random_patterns(soc, 200, seed=1)
+    grouping = build_si_test_groups(soc, patterns, parts=2, seed=1)
+    result = optimize_tam(soc, 8, groups=grouping.groups)
+    assert result.architecture.total_width == 8
+
+
+@check("session simulation cross-check")
+def _simulation():
+    from repro.core.optimizer import optimize_tam
+    from repro.core.session_sim import simulate_session
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    result = optimize_tam(soc, 8)
+    trace = simulate_session(soc, result.architecture, result.evaluation)
+    assert trace.makespan == result.t_total
+
+
+@check("fault simulator + diagnosis")
+def _simulator():
+    from repro.sitest.diagnosis import build_dictionary
+    from repro.sitest.faults import generate_ma_patterns
+    from repro.sitest.simulator import simulate
+    from repro.sitest.topology import random_topology
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    topology = random_topology(soc, locality=1, seed=1)
+    patterns = list(generate_ma_patterns(topology))
+    assert simulate(topology, patterns).coverage == 1.0
+    assert build_dictionary(topology, patterns[:50]).faults
+
+
+@check("CLI entry point")
+def _cli():
+    from repro.cli import main
+
+    assert main(["list"]) == 0
+
+
+@check("rendering (ASCII + SVG)")
+def _rendering():
+    from repro.core.optimizer import optimize_tam
+    from repro.soc.benchmarks import load_benchmark
+    from repro.tam.gantt import render_schedule
+    from repro.tam.svg import render_schedule_svg
+
+    soc = load_benchmark("t5")
+    result = optimize_tam(soc, 8)
+    assert "TAM0" in render_schedule(soc, result.architecture,
+                                     result.evaluation)
+    assert render_schedule_svg(
+        soc, result.architecture, result.evaluation
+    ).startswith("<svg")
+
+
+def main() -> int:
+    failures = 0
+    for label, function in _CHECKS:
+        try:
+            function()
+            print(f"  [ok]   {label}")
+        except Exception:
+            failures += 1
+            print(f"  [FAIL] {label}")
+            traceback.print_exc()
+    total = len(_CHECKS)
+    print(f"\n{total - failures}/{total} checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
