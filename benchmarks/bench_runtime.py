@@ -1,0 +1,82 @@
+"""Benchmarks of the experiment runtime: executor fan-out, cache traffic.
+
+These quantify the machinery itself — pool fan-out overhead vs serial
+execution, warm-vs-cold cache speedup, key computation and codec costs —
+on sweeps small enough to finish quickly but large enough to measure.
+On a single-core runner the parallel bench measures pure overhead (the
+correctness invariant is pinned by tests/runtime/, not here).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimizer import optimize_tam
+from repro.experiments.pareto import sweep_widths
+from repro.experiments.table_runner import run_table_experiment
+from repro.runtime.cache import EvaluationCache, optimize_cache_key
+from repro.runtime.codec import optimization_from_dict, optimization_to_dict
+
+WIDTHS = (8, 16, 24)
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def bench_pareto_sweep_fanout(benchmark, d695, jobs):
+    curve = benchmark.pedantic(
+        sweep_widths,
+        args=(d695, WIDTHS),
+        kwargs={"jobs": jobs},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(curve.points) == len(WIDTHS)
+
+
+def bench_table_cold_vs_warm_cache(benchmark, d695, tmp_path):
+    cache = EvaluationCache(store_dir=tmp_path)
+    cold = run_table_experiment(
+        d695, 300, widths=(8, 16), group_counts=(1, 2), seed=3, cache=cache
+    )
+    warm = benchmark.pedantic(
+        run_table_experiment,
+        args=(d695, 300),
+        kwargs={
+            "widths": (8, 16),
+            "group_counts": (1, 2),
+            "seed": 3,
+            "cache": cache,
+        },
+        rounds=3,
+        iterations=1,
+    )
+    assert [row.t_baseline for row in warm.rows] == [
+        row.t_baseline for row in cold.rows
+    ]
+    assert cache.stats()["hits"] > 0
+    print(f"\nwarm run: {warm.elapsed_seconds * 1000:.1f} ms, "
+          f"cache {cache.stats()}")
+
+
+def bench_cache_key_computation(benchmark, p93791):
+    key = benchmark(optimize_cache_key, p93791, 32, ())
+    assert key.startswith("optimize-")
+
+
+def bench_optimization_codec_round_trip(benchmark, d695):
+    result = optimize_tam(d695, 16)
+
+    def round_trip():
+        return optimization_from_dict(optimization_to_dict(result))
+
+    assert benchmark(round_trip) == result
+
+
+def bench_disk_store_hit(benchmark, d695, tmp_path):
+    result = optimize_tam(d695, 16)
+    key = optimize_cache_key(d695, 16, ())
+    EvaluationCache(store_dir=tmp_path).put(key, result)
+
+    def disk_hit():
+        return EvaluationCache(store_dir=tmp_path).get(key)
+
+    assert benchmark(disk_hit) == result

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.compaction.horizontal import build_si_test_groups
 from repro.core.optimizer import optimize_tam
@@ -49,6 +50,68 @@ def _load_soc(name: str) -> Soc:
     if name in available_benchmarks():
         return load_benchmark(name)
     return parse_file(name)
+
+
+def _make_cache(args: argparse.Namespace):
+    """Build the evaluation cache requested by ``--cache``, or ``None``."""
+    store_dir = getattr(args, "cache", None)
+    if store_dir is None:
+        return None
+    from repro.runtime import EvaluationCache
+
+    return EvaluationCache(store_dir=store_dir)
+
+
+def _emit_profile(
+    args: argparse.Namespace,
+    command: str,
+    arguments: dict,
+    wall_seconds: float,
+    instrumentation,
+    cache,
+) -> None:
+    """Write (or print) the ``--profile`` JSON run report."""
+    destination = getattr(args, "profile", None)
+    if destination is None:
+        return
+    from repro.runtime import RunReport
+
+    report = RunReport.build(
+        command=command,
+        arguments=arguments,
+        wall_seconds=wall_seconds,
+        instrumentation=instrumentation,
+        cache=cache,
+    )
+    if destination == "-":
+        print()
+        print(report.summary())
+    else:
+        report.save(destination)
+        print(f"run report written to {destination}")
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser,
+                       with_cache: bool = False) -> None:
+    """The shared ``--jobs`` / ``--cache`` / ``--profile`` options."""
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep cells (1 = serial)",
+    )
+    if with_cache:
+        from repro.runtime.cache import DEFAULT_STORE_DIR
+
+        parser.add_argument(
+            "--cache", nargs="?", const=str(DEFAULT_STORE_DIR), default=None,
+            metavar="DIR",
+            help="memoize evaluation cells on disk "
+            f"(default directory: {DEFAULT_STORE_DIR})",
+        )
+    parser.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit a JSON run report (counters, timers, cache statistics); "
+        "without PATH, print a summary to stdout",
+    )
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -138,11 +201,32 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_pareto(args: argparse.Namespace) -> int:
     from repro.experiments.pareto import format_curve, sweep_widths
+    from repro.runtime import Instrumentation, use_instrumentation
 
     soc = _load_soc(args.soc)
-    groups = _si_groups_for(args, soc)
-    curve = sweep_widths(soc, tuple(args.widths), groups=groups)
+    instrumentation = Instrumentation()
+    start = time.perf_counter()
+    with use_instrumentation(instrumentation):
+        groups = _si_groups_for(args, soc)
+        curve = sweep_widths(
+            soc, tuple(args.widths), groups=groups, jobs=args.jobs
+        )
     print(format_curve(curve))
+    _emit_profile(
+        args,
+        "pareto",
+        {
+            "soc": args.soc,
+            "widths": list(args.widths),
+            "patterns": args.patterns,
+            "parts": args.parts,
+            "seed": args.seed,
+            "jobs": args.jobs,
+        },
+        time.perf_counter() - start,
+        instrumentation,
+        None,
+    )
     return 0
 
 
@@ -164,20 +248,44 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.runtime import Instrumentation, use_instrumentation
+
     soc = _load_soc(args.soc)
-    result = run_table_experiment(
-        soc,
-        args.patterns,
-        widths=tuple(args.widths),
-        group_counts=tuple(args.parts),
-        seed=args.seed,
-        verbose=args.verbose,
-    )
+    cache = _make_cache(args)
+    instrumentation = Instrumentation()
+    start = time.perf_counter()
+    with use_instrumentation(instrumentation):
+        result = run_table_experiment(
+            soc,
+            args.patterns,
+            widths=tuple(args.widths),
+            group_counts=tuple(args.parts),
+            seed=args.seed,
+            verbose=args.verbose,
+            jobs=args.jobs,
+            cache=cache,
+        )
     print(render_table(result))
     print(f"(elapsed: {result.elapsed_seconds:.1f}s)")
     if args.json:
         save_result(result, args.json)
         print(f"JSON written to {args.json}")
+    _emit_profile(
+        args,
+        "table",
+        {
+            "soc": args.soc,
+            "patterns": args.patterns,
+            "widths": list(args.widths),
+            "parts": list(args.parts),
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "cache": getattr(args, "cache", None),
+        },
+        time.perf_counter() - start,
+        instrumentation,
+        cache,
+    )
     return 0
 
 
@@ -244,7 +352,7 @@ def _cmd_volume(args: argparse.Namespace) -> int:
     soc = _load_soc(args.soc)
     patterns = generate_random_patterns(soc, args.patterns, seed=args.seed)
     volumes = measure_compaction(
-        soc, patterns, tuple(args.parts), seed=args.seed
+        soc, patterns, tuple(args.parts), seed=args.seed, jobs=args.jobs
     )
     print(format_volume_report(volumes))
     return 0
@@ -393,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
     pareto.add_argument("--patterns", type=int, default=0)
     pareto.add_argument("--parts", type=int, default=4)
     pareto.add_argument("--seed", type=int, default=1)
+    _add_runtime_flags(pareto)
     pareto.set_defaults(func=_cmd_pareto)
 
     scaling = sub.add_parser(
@@ -416,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--seed", type=int, default=1)
     table.add_argument("--json", help="also write a JSON summary here")
     table.add_argument("--verbose", action="store_true")
+    _add_runtime_flags(table, with_cache=True)
     table.set_defaults(func=_cmd_table)
 
     bounds = sub.add_parser("bounds",
@@ -456,6 +566,10 @@ def build_parser() -> argparse.ArgumentParser:
     volume.add_argument("--patterns", type=int, default=5_000)
     volume.add_argument("--parts", type=int, nargs="+", default=[1, 2, 4, 8])
     volume.add_argument("--seed", type=int, default=1)
+    volume.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep cells (1 = serial)",
+    )
     volume.set_defaults(func=_cmd_volume)
 
     coverage = sub.add_parser(

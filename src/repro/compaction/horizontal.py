@@ -17,6 +17,7 @@ from repro.compaction.groups import SITestGroup
 from repro.compaction.vertical import CompactionResult, greedy_compact
 from repro.hypergraph.hypergraph import build_hypergraph
 from repro.hypergraph.multilevel import partition
+from repro.runtime.instrumentation import get_instrumentation, incr
 from repro.sitest.patterns import SIPattern
 from repro.soc.model import Soc
 
@@ -71,6 +72,17 @@ def build_si_test_groups(
     """
     if parts <= 0:
         raise ValueError("parts must be positive")
+    with get_instrumentation().timeit("compaction.build_si_test_groups"):
+        return _build_si_test_groups(soc, patterns, parts, epsilon, seed)
+
+
+def _build_si_test_groups(
+    soc: Soc,
+    patterns: list[SIPattern],
+    parts: int,
+    epsilon: float,
+    seed: int,
+) -> GroupingResult:
     host_ids = [core.core_id for core in soc if core.woc_count > 0]
     if parts > len(host_ids):
         raise ValueError(
@@ -128,6 +140,11 @@ def build_si_test_groups(
         )
         compactions.append(compaction)
 
+    incr("compaction.groupings")
+    incr("compaction.patterns_in", len(patterns))
+    incr("compaction.patterns_out",
+         sum(group.patterns for group in groups))
+    incr("compaction.residual_patterns", len(residual))
     return GroupingResult(
         groups=tuple(groups),
         part_of_core=part_of_core,

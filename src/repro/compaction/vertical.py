@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.runtime.instrumentation import incr
 from repro.sitest.patterns import SIPattern
 
 
@@ -95,6 +96,8 @@ def greedy_compact(patterns: list[SIPattern]) -> CompactionResult:
         compacted.append(SIPattern(cares=cares, bus_claims=bus_claims))
         members.append(tuple(absorbed))
 
+    incr("compaction.greedy_runs")
+    incr("compaction.patterns_merged_away", n - len(compacted))
     return CompactionResult(
         compacted=tuple(compacted),
         members=tuple(members),

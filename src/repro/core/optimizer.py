@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.compaction.groups import SITestGroup
 from repro.core.scheduling import Evaluation, TamEvaluator
+from repro.runtime.instrumentation import get_instrumentation, incr
 from repro.soc.model import Soc
 from repro.tam.testrail import TestRailArchitecture, initial_architecture
 
@@ -80,6 +81,7 @@ def distribute_free_wires(
     Rail statistics (and therefore the bottleneck set) are recomputed after
     every assignment, as required by the paper.
     """
+    incr("optimizer.wires_distributed", free_wires)
     for _ in range(free_wires):
         evaluation = evaluator.evaluate(architecture)
         candidates = bottleneck_rails(evaluator, architecture, evaluation)
@@ -122,6 +124,7 @@ def merge_tams(
         width_sum = base.width + partner.width
         width_min = max(base.width, partner.width)
         for width in range(width_min, width_sum + 1):
+            incr("optimizer.merges_tried")
             merged = architecture.merged(rail_index, partner_index, width)
             leftover = width_sum - width
             if leftover:
@@ -155,6 +158,7 @@ def core_reshuffle(
                 for destination in range(len(architecture.rails)):
                     if destination == source:
                         continue
+                    incr("optimizer.core_moves_tried")
                     candidate = architecture.with_core_moved(
                         core_id, source, destination
                     )
@@ -240,6 +244,18 @@ def optimize_tam(
     if not len(soc):
         raise ValueError(f"SOC {soc.name} has no cores")
 
+    incr("optimizer.runs")
+    with get_instrumentation().timeit("optimizer.optimize_tam"):
+        return _optimize_tam(soc, w_max, groups, capture_cycles, evaluator)
+
+
+def _optimize_tam(
+    soc: Soc,
+    w_max: int,
+    groups: tuple[SITestGroup, ...],
+    capture_cycles: int,
+    evaluator: TamEvaluator | None,
+) -> OptimizationResult:
     if evaluator is None:
         evaluator = TamEvaluator(soc, groups, capture_cycles=capture_cycles)
     architecture = _start_solution(evaluator, soc, w_max)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.compaction.groups import SITestGroup
+from repro.runtime.instrumentation import incr
 from repro.soc.model import Soc
 from repro.tam.testrail import TestRail, TestRailArchitecture
 from repro.wrapper.timing import core_test_time
@@ -130,6 +131,7 @@ class TamEvaluator:
         stats = self._rail_cache.get(rail)
         if stats is not None:
             return stats
+        incr("evaluator.rail_stats_computed")
         width = rail.width
         time_in = 0
         for core_id in rail.cores:
@@ -203,12 +205,14 @@ class TamEvaluator:
         if self.exact_schedule:
             from repro.core.exact_schedule import exact_si_schedule
 
+            incr("scheduler.exact_runs")
             result = exact_si_schedule(entries)
             return result.schedule, result.t_si
         return schedule_si_tests(entries)
 
     def evaluate(self, architecture: TestRailArchitecture) -> Evaluation:
         """Full evaluation: InTest time, scheduled SI time, per-rail stats."""
+        incr("evaluator.evaluations")
         all_stats = tuple(self.rail_stats(rail) for rail in architecture.rails)
         t_in = max((stats.time_in for stats in all_stats), default=0)
         entries = self.calculate_si_test_times(architecture)
@@ -235,6 +239,7 @@ def schedule_si_tests(
     Returns the scheduled entries (with ``begin``/``end`` filled in) and
     ``T_soc_si``.
     """
+    incr("scheduler.greedy_runs")
     unscheduled = sorted(entries, key=lambda e: (-e.time_si, e.group_id))
     running: list[SIScheduleEntry] = []
     scheduled: list[SIScheduleEntry] = []

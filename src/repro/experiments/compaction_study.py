@@ -16,6 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.compaction.horizontal import build_si_test_groups
+from repro.runtime.executor import run_cells
+from repro.runtime.instrumentation import (
+    absorb_snapshot,
+    call_with_instrumentation,
+)
 from repro.sitest.patterns import SIPattern
 from repro.soc.model import Soc
 
@@ -54,13 +59,25 @@ class CompactionVolume:
         return self.volume_after / self.volume_before
 
 
+def _grouping_cell(spec):
+    """Sweep cell: one grouping (two-dimensional compaction) run."""
+    soc, patterns, parts, seed = spec
+    return call_with_instrumentation(
+        build_si_test_groups, soc, patterns, parts=parts, seed=seed
+    )
+
+
 def measure_compaction(
     soc: Soc,
     patterns: list[SIPattern],
     group_counts: tuple[int, ...] = (1, 2, 4, 8),
     seed: int = 0,
+    jobs: int = 1,
 ) -> tuple[CompactionVolume, ...]:
     """Measure data volume across grouping choices.
+
+    Group counts are independent, so ``jobs > 1`` fans them out over
+    worker processes without changing the reported volumes.
 
     Raises:
         ValueError: If ``group_counts`` is empty.
@@ -71,10 +88,14 @@ def measure_compaction(
     full_length = sum(woc_of.values())
     volume_before = len(patterns) * full_length
 
+    cells = run_cells(
+        _grouping_cell,
+        [(soc, patterns, parts, seed) for parts in group_counts],
+        jobs=jobs,
+    )
     results = []
-    for parts in group_counts:
-        grouping = build_si_test_groups(soc, patterns, parts=parts,
-                                        seed=seed)
+    for parts, (grouping, snapshot) in zip(group_counts, cells):
+        absorb_snapshot(snapshot)
         volume_after = 0
         residual = 0
         for group in grouping.groups:

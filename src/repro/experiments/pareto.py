@@ -14,6 +14,11 @@ from dataclasses import dataclass
 
 from repro.compaction.groups import SITestGroup
 from repro.core.optimizer import optimize_tam
+from repro.runtime.executor import run_cells
+from repro.runtime.instrumentation import (
+    absorb_snapshot,
+    call_with_instrumentation,
+)
 from repro.soc.model import Soc
 
 
@@ -77,13 +82,25 @@ class ParetoCurve:
         return tuple(dominated)
 
 
+def _pareto_cell(spec):
+    """Sweep cell: one budget of the trade-off curve."""
+    soc, w_max, groups, capture_cycles = spec
+    return call_with_instrumentation(
+        optimize_tam, soc, w_max, groups=groups, capture_cycles=capture_cycles
+    )
+
+
 def sweep_widths(
     soc: Soc,
     widths: tuple[int, ...],
     groups: tuple[SITestGroup, ...] = (),
     capture_cycles: int = 1,
+    jobs: int = 1,
 ) -> ParetoCurve:
     """Optimize the SOC at each budget and collect the trade-off curve.
+
+    Budgets are independent, so ``jobs > 1`` fans them out over worker
+    processes; the curve is identical to a serial sweep.
 
     Raises:
         ValueError: If ``widths`` is empty or not strictly increasing.
@@ -92,11 +109,14 @@ def sweep_widths(
         raise ValueError("need at least one width")
     if list(widths) != sorted(set(widths)):
         raise ValueError("widths must be strictly increasing")
+    cells = run_cells(
+        _pareto_cell,
+        [(soc, w_max, groups, capture_cycles) for w_max in widths],
+        jobs=jobs,
+    )
     points = []
-    for w_max in widths:
-        result = optimize_tam(
-            soc, w_max, groups=groups, capture_cycles=capture_cycles
-        )
+    for w_max, (result, snapshot) in zip(widths, cells):
+        absorb_snapshot(snapshot)
         points.append(
             ParetoPoint(
                 w_max=w_max,

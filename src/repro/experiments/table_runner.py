@@ -16,6 +16,16 @@ reports:
 
 Groupings depend only on (SOC, pattern seed, ``N_r``, group count), so they
 are computed once per experiment and shared across the width sweep.
+
+The sweep decomposes into independent cells — one grouping per group
+count, one optimizer run per (``W_max``, group count) pair plus the
+InTest-only baseline per width — which ``jobs > 1`` fans out over worker
+processes via :mod:`repro.runtime.executor`.  Cell results are reassembled
+in deterministic (width, group count) order, so the produced table is
+byte-identical to the serial one.  An optional
+:class:`~repro.runtime.cache.EvaluationCache` memoizes grouping and
+optimization cells across runs; a grouping restored from the cache
+carries an empty ``compactions`` tuple (see :mod:`repro.runtime.codec`).
 """
 
 from __future__ import annotations
@@ -25,6 +35,18 @@ from dataclasses import dataclass, field
 
 from repro.compaction.horizontal import GroupingResult, build_si_test_groups
 from repro.core.optimizer import evaluate_architecture, optimize_tam
+from repro.runtime.cache import (
+    EvaluationCache,
+    baseline_cache_key,
+    grouping_cache_key,
+    groups_fingerprint,
+    optimize_cache_key,
+)
+from repro.runtime.executor import run_cells
+from repro.runtime.instrumentation import (
+    absorb_snapshot,
+    call_with_instrumentation,
+)
 from repro.sitest.generator import GeneratorConfig, generate_random_patterns
 from repro.soc.model import Soc
 from repro.tam.tr_architect import tr_architect
@@ -78,6 +100,21 @@ class TableResult:
     elapsed_seconds: float = 0.0
 
 
+def _grouping_cell(spec) -> tuple[GroupingResult, dict]:
+    """Sweep cell: one two-dimensional compaction run (one group count)."""
+    soc, patterns, parts, seed = spec
+    return call_with_instrumentation(
+        build_si_test_groups, soc, patterns, parts=parts, seed=seed
+    )
+
+
+def _optimize_cell(spec) -> tuple[object, dict]:
+    """Sweep cell: one ``TAM_Optimization`` run (one width, one grouping;
+    an empty group tuple is the TR-Architect baseline)."""
+    soc, w_max, groups = spec
+    return call_with_instrumentation(optimize_tam, soc, w_max, groups=groups)
+
+
 def run_table_experiment(
     soc: Soc,
     pattern_count: int,
@@ -86,6 +123,8 @@ def run_table_experiment(
     seed: int = 1,
     generator_config: GeneratorConfig = GeneratorConfig(),
     verbose: bool = False,
+    jobs: int = 1,
+    cache: EvaluationCache | None = None,
 ) -> TableResult:
     """Run the full Table 2/3 experiment for one SOC and one ``N_r``.
 
@@ -97,11 +136,12 @@ def run_table_experiment(
         seed: Seed for the random SI pattern set.
         generator_config: Pattern generator knobs (paper defaults).
         verbose: Print progress lines while running.
+        jobs: Worker processes for the sweep cells (1 = serial; the table
+            is identical either way).
+        cache: Optional evaluation cache memoizing grouping and optimizer
+            cells across runs.
     """
     start = time.perf_counter()
-    patterns = generate_random_patterns(
-        soc, pattern_count, seed=seed, config=generator_config
-    )
 
     result = TableResult(
         soc_name=soc.name,
@@ -109,10 +149,43 @@ def run_table_experiment(
         seed=seed,
         group_counts=tuple(group_counts),
     )
-    for parts in group_counts:
-        grouping = build_si_test_groups(soc, patterns, parts=parts, seed=seed)
-        result.groupings[parts] = grouping
-        if verbose:
+
+    # --- Groupings: one cell per group count, cached and parallel. -------
+    grouping_keys = {
+        parts: grouping_cache_key(
+            soc, seed, pattern_count, parts, config=generator_config
+        )
+        for parts in group_counts
+    }
+    pending_parts = list(group_counts)
+    if cache is not None:
+        still_pending = []
+        for parts in pending_parts:
+            hit = cache.get(grouping_keys[parts])
+            if hit is not None:
+                result.groupings[parts] = hit
+            else:
+                still_pending.append(parts)
+        pending_parts = still_pending
+
+    if pending_parts:
+        patterns = generate_random_patterns(
+            soc, pattern_count, seed=seed, config=generator_config
+        )
+        cells = run_cells(
+            _grouping_cell,
+            [(soc, patterns, parts, seed) for parts in pending_parts],
+            jobs=jobs,
+        )
+        for parts, (grouping, snapshot) in zip(pending_parts, cells):
+            absorb_snapshot(snapshot)
+            result.groupings[parts] = grouping
+            if cache is not None:
+                cache.put(grouping_keys[parts], grouping)
+
+    if verbose:
+        for parts in group_counts:
+            grouping = result.groupings[parts]
             sizes = [group.patterns for group in grouping.groups]
             print(
                 f"[{soc.name} N_r={pattern_count}] grouping i={parts}: "
@@ -120,21 +193,86 @@ def run_table_experiment(
                 "originals)"
             )
 
-    for w_max in widths:
-        baseline = tr_architect(soc, w_max)
-        t_baseline = min(
-            evaluate_architecture(
-                soc, baseline.architecture, result.groupings[parts].groups
-            ).t_total
-            for parts in group_counts
+    # --- Optimizer cells: per width, the baseline plus one run per -------
+    # --- grouping; only cache misses are fanned out.                -------
+    all_groupings = [
+        groups_fingerprint(result.groupings[parts].groups)
+        for parts in group_counts
+    ]
+    baseline_keys = {
+        w_max: baseline_cache_key(soc, w_max, all_groupings)
+        for w_max in widths
+    }
+    optimize_keys = {
+        (w_max, parts): optimize_cache_key(
+            soc,
+            w_max,
+            () if parts is None else result.groupings[parts].groups,
         )
-        t_grouped = {}
-        for parts in group_counts:
-            optimized = optimize_tam(
-                soc, w_max, groups=result.groupings[parts].groups
+        for w_max in widths
+        for parts in (None, *group_counts)
+    }
+
+    t_baseline_of: dict[int, int] = {}
+    optimized_of: dict[tuple[int, int | None], object] = {}
+    specs: list[tuple[int, int | None]] = []
+    for w_max in widths:
+        cached_baseline = (
+            cache.get(baseline_keys[w_max]) if cache is not None else None
+        )
+        if cached_baseline is not None:
+            t_baseline_of[w_max] = cached_baseline["t_baseline"]
+            baseline_parts = ()  # baseline architecture not needed
+        else:
+            baseline_parts = (None,)
+        for parts in (*baseline_parts, *group_counts):
+            if cache is not None:
+                hit = cache.get(optimize_keys[(w_max, parts)])
+                if hit is not None:
+                    optimized_of[(w_max, parts)] = hit
+                    continue
+            specs.append((w_max, parts))
+
+    cell_args = [
+        (
+            soc,
+            w_max,
+            () if parts is None else result.groupings[parts].groups,
+        )
+        for w_max, parts in specs
+    ]
+    for (w_max, parts), (optimized, snapshot) in zip(
+        specs, run_cells(_optimize_cell, cell_args, jobs=jobs)
+    ):
+        absorb_snapshot(snapshot)
+        optimized_of[(w_max, parts)] = optimized
+        if cache is not None:
+            cache.put(optimize_keys[(w_max, parts)], optimized)
+
+    # --- Assemble rows in deterministic width order. ---------------------
+    for w_max in widths:
+        if w_max not in t_baseline_of:
+            baseline = optimized_of[(w_max, None)]
+            t_baseline_of[w_max] = min(
+                evaluate_architecture(
+                    soc,
+                    baseline.architecture,
+                    result.groupings[parts].groups,
+                ).t_total
+                for parts in group_counts
             )
-            t_grouped[parts] = optimized.t_total
-        row = TableRow(w_max=w_max, t_baseline=t_baseline, t_grouped=t_grouped)
+            if cache is not None:
+                cache.put(
+                    baseline_keys[w_max],
+                    {"t_baseline": t_baseline_of[w_max]},
+                )
+        t_grouped = {
+            parts: optimized_of[(w_max, parts)].t_total
+            for parts in group_counts
+        }
+        row = TableRow(
+            w_max=w_max, t_baseline=t_baseline_of[w_max], t_grouped=t_grouped
+        )
         result.rows.append(row)
         if verbose:
             grouped = " ".join(
@@ -142,7 +280,7 @@ def run_table_experiment(
             )
             print(
                 f"[{soc.name} N_r={pattern_count}] W={w_max}: "
-                f"T_[8]={t_baseline} {grouped} "
+                f"T_[8]={row.t_baseline} {grouped} "
                 f"dT8={row.delta_baseline_pct:.2f}% "
                 f"dTg={row.delta_grouping_pct:.2f}%"
             )

@@ -149,7 +149,10 @@ def _fm_pass(
             for pin in graph.edges[edge_index]:
                 if not locked[pin]:
                     touched.add(pin)
-        for pin in touched:
+        # Sorted so heap pushes happen in a set-iteration-independent
+        # order; (-gain, pin) entries are totally ordered anyway, but this
+        # keeps the pass bit-reproducible under any hash seed.
+        for pin in sorted(touched):
             gain = _gain(graph, incident, in0, in1, pin, assignment[pin])
             if gain != current_gain[pin]:
                 current_gain[pin] = gain

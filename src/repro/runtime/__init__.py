@@ -1,0 +1,56 @@
+"""Execution runtime: parallel sweeps, evaluation caching, instrumentation.
+
+The experiments of the paper (Tables 2-3, the Pareto sweep, the volume
+study) decompose into independent *cells* — one ``TAM_Optimization`` or
+grouping run per (``W_max``, group count) pair.  This package provides the
+machinery to run those cells fast and observably:
+
+* :mod:`repro.runtime.executor` — a process-pool sweep executor with
+  deterministic result ordering, per-cell timeout, retry-once fault
+  handling and a graceful serial fallback.
+* :mod:`repro.runtime.cache` — a keyed evaluation cache (in-memory LRU
+  plus an optional on-disk JSON store) memoizing grouping results and
+  architecture optimizations by a stable content hash of their inputs.
+* :mod:`repro.runtime.instrumentation` — counters and wall/CPU timers
+  threaded through the optimizer, the compactor and the schedulers,
+  emitted as a structured JSON run report.
+* :mod:`repro.runtime.codec` — exact JSON round-trips for the cached
+  result objects.
+"""
+
+from repro.runtime.cache import (
+    EvaluationCache,
+    grouping_cache_key,
+    optimize_cache_key,
+    soc_fingerprint,
+    stable_hash,
+    verify_store,
+)
+from repro.runtime.executor import CellError, run_cells
+from repro.runtime.instrumentation import (
+    Instrumentation,
+    RunReport,
+    absorb_snapshot,
+    call_with_instrumentation,
+    get_instrumentation,
+    incr,
+    use_instrumentation,
+)
+
+__all__ = [
+    "CellError",
+    "EvaluationCache",
+    "Instrumentation",
+    "RunReport",
+    "absorb_snapshot",
+    "call_with_instrumentation",
+    "get_instrumentation",
+    "grouping_cache_key",
+    "incr",
+    "optimize_cache_key",
+    "run_cells",
+    "soc_fingerprint",
+    "stable_hash",
+    "use_instrumentation",
+    "verify_store",
+]

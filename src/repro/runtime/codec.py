@@ -1,0 +1,159 @@
+"""Exact JSON round-trips for the objects held by the evaluation cache.
+
+Unlike :mod:`repro.tam.serialize` (a one-way, human-oriented summary),
+these codecs reconstruct results *exactly*: a cache hit loaded from disk
+compares equal to the object a cold run would have produced, which is the
+invariant the runtime test suite pins down.
+
+``GroupingResult`` is stored in reduced form: the per-group vertical
+compaction details (the merged patterns themselves) are dropped because
+they are large and nothing downstream of the experiment harness reads
+them.  A grouping restored from cache therefore carries an empty
+``compactions`` tuple — its ``groups``, ``part_of_core`` and
+``cut_patterns`` round-trip exactly.
+"""
+
+from __future__ import annotations
+
+from repro.compaction.groups import SITestGroup
+from repro.compaction.horizontal import GroupingResult
+from repro.core.optimizer import OptimizationResult
+from repro.core.scheduling import Evaluation, RailStats, SIScheduleEntry
+from repro.tam.testrail import TestRail, TestRailArchitecture
+
+
+def group_to_dict(group: SITestGroup) -> dict:
+    return {
+        "group_id": group.group_id,
+        "cores": sorted(group.cores),
+        "patterns": group.patterns,
+        "original_patterns": group.original_patterns,
+        "is_residual": group.is_residual,
+    }
+
+
+def group_from_dict(data: dict) -> SITestGroup:
+    return SITestGroup(
+        group_id=data["group_id"],
+        cores=frozenset(data["cores"]),
+        patterns=data["patterns"],
+        original_patterns=data["original_patterns"],
+        is_residual=data["is_residual"],
+    )
+
+
+def groups_to_list(groups: tuple[SITestGroup, ...]) -> list[dict]:
+    return [group_to_dict(group) for group in groups]
+
+
+def groups_from_list(data: list[dict]) -> tuple[SITestGroup, ...]:
+    return tuple(group_from_dict(entry) for entry in data)
+
+
+def grouping_to_dict(grouping: GroupingResult) -> dict:
+    return {
+        "groups": groups_to_list(grouping.groups),
+        "part_of_core": {
+            str(core_id): part
+            for core_id, part in sorted(grouping.part_of_core.items())
+        },
+        "cut_patterns": grouping.cut_patterns,
+    }
+
+
+def grouping_from_dict(data: dict) -> GroupingResult:
+    return GroupingResult(
+        groups=groups_from_list(data["groups"]),
+        part_of_core={
+            int(core_id): part
+            for core_id, part in data["part_of_core"].items()
+        },
+        cut_patterns=data["cut_patterns"],
+        compactions=(),
+    )
+
+
+def architecture_to_dict(architecture: TestRailArchitecture) -> dict:
+    return {
+        "rails": [
+            {"cores": list(rail.cores), "width": rail.width}
+            for rail in architecture.rails
+        ]
+    }
+
+
+def architecture_from_dict(data: dict) -> TestRailArchitecture:
+    return TestRailArchitecture(
+        rails=tuple(
+            TestRail(cores=tuple(entry["cores"]), width=entry["width"])
+            for entry in data["rails"]
+        )
+    )
+
+
+def evaluation_to_dict(evaluation: Evaluation) -> dict:
+    return {
+        "t_in": evaluation.t_in,
+        "t_si": evaluation.t_si,
+        "schedule": [
+            {
+                "group_id": entry.group_id,
+                "time_si": entry.time_si,
+                "rails": sorted(entry.rails),
+                "bottleneck_rail": entry.bottleneck_rail,
+                "begin": entry.begin,
+                "end": entry.end,
+            }
+            for entry in evaluation.schedule
+        ],
+        "rail_stats": [
+            {
+                "time_in": stats.time_in,
+                "si_depths": list(stats.si_depths),
+                "time_si": stats.time_si,
+            }
+            for stats in evaluation.rail_stats
+        ],
+    }
+
+
+def evaluation_from_dict(data: dict) -> Evaluation:
+    return Evaluation(
+        t_in=data["t_in"],
+        t_si=data["t_si"],
+        schedule=tuple(
+            SIScheduleEntry(
+                group_id=entry["group_id"],
+                time_si=entry["time_si"],
+                rails=frozenset(entry["rails"]),
+                bottleneck_rail=entry["bottleneck_rail"],
+                begin=entry["begin"],
+                end=entry["end"],
+            )
+            for entry in data["schedule"]
+        ),
+        rail_stats=tuple(
+            RailStats(
+                time_in=stats["time_in"],
+                si_depths=tuple(stats["si_depths"]),
+                time_si=stats["time_si"],
+            )
+            for stats in data["rail_stats"]
+        ),
+    )
+
+
+def optimization_to_dict(result: OptimizationResult) -> dict:
+    return {
+        "architecture": architecture_to_dict(result.architecture),
+        "evaluation": evaluation_to_dict(result.evaluation),
+        "w_max": result.w_max,
+    }
+
+
+def optimization_from_dict(data: dict) -> OptimizationResult:
+    return OptimizationResult(
+        architecture=architecture_from_dict(data["architecture"]),
+        evaluation=evaluation_from_dict(data["evaluation"]),
+        w_max=data["w_max"],
+    )

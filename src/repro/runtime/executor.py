@@ -1,0 +1,145 @@
+"""Process-pool sweep executor with deterministic ordering and fallback.
+
+Experiment sweeps decompose into independent *cells* — one optimizer or
+grouping run per parameter combination.  :func:`run_cells` fans a list of
+cell specs over a :class:`concurrent.futures.ProcessPoolExecutor` and
+returns the results **in input order**, so a parallel sweep is
+indistinguishable from a serial one to the caller.
+
+Fault handling, in order of escalation:
+
+* ``jobs <= 1``, a single cell, or a pool that cannot be created (e.g.
+  a sandbox without process support) → plain serial execution;
+* a cell that raises, times out, or dies with its worker process → one
+  serial retry in the parent process (covers transient faults such as an
+  OOM-killed worker — and a hard bug reproduces identically in the
+  parent, where it is debuggable);
+* a cell that fails its serial retry → :class:`CellError` carrying the
+  cell index and the original failure.
+
+Workers must be module-level callables and specs picklable; both are
+standard :mod:`multiprocessing` constraints.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Callable, Sequence
+
+from repro.runtime.instrumentation import incr
+
+
+class CellError(RuntimeError):
+    """A sweep cell failed in the pool *and* in its serial retry."""
+
+    def __init__(self, index: int, spec, cause: BaseException) -> None:
+        super().__init__(
+            f"sweep cell {index} failed after parallel attempt and serial "
+            f"retry: {cause!r}"
+        )
+        self.index = index
+        self.spec = spec
+
+
+def run_cells(
+    worker: Callable,
+    specs: Sequence,
+    jobs: int = 1,
+    timeout: float | None = None,
+    retry: bool = True,
+) -> list:
+    """Run ``worker(spec)`` for every spec, possibly in parallel.
+
+    Args:
+        worker: Module-level callable applied to each spec.
+        specs: The cell specs, one per cell.
+        jobs: Worker process count; ``<= 1`` means serial in-process.
+        timeout: Per-cell budget in seconds to wait for a result once
+            submitted (``None`` = unbounded).  A cell that exceeds it is
+            abandoned in the pool and retried serially.
+        retry: Retry failed/timed-out cells serially in the parent before
+            giving up.  With ``retry=False`` the first failure raises.
+
+    Returns:
+        Results in the order of ``specs``.
+
+    Raises:
+        CellError: When a cell fails its serial retry (or, with
+            ``retry=False``, its first attempt).
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    if jobs <= 1 or len(specs) == 1:
+        return _run_serial(worker, specs, retry)
+
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(specs)))
+    except (OSError, ValueError, NotImplementedError):
+        # No process support here (restricted sandbox); degrade gracefully.
+        incr("executor.serial_fallbacks")
+        return _run_serial(worker, specs, retry)
+
+    results: list = [None] * len(specs)
+    needs_retry: list[tuple[int, BaseException]] = []
+    pool_broken = False
+    timed_out = False
+    try:
+        futures = [pool.submit(worker, spec) for spec in specs]
+        incr("executor.cells_submitted", len(specs))
+        for index, future in enumerate(futures):
+            try:
+                # Once the pool is known dead, only harvest what already
+                # finished — never wait on it again.
+                results[index] = future.result(
+                    timeout=0 if pool_broken else timeout
+                )
+            except FutureTimeoutError:
+                future.cancel()
+                timed_out = True
+                incr("executor.cell_timeouts")
+                needs_retry.append(
+                    (index, TimeoutError(f"cell exceeded {timeout}s"))
+                )
+            except (Exception, CancelledError) as error:
+                if _is_pool_death(error):
+                    pool_broken = True
+                    incr("executor.pool_failures")
+                needs_retry.append((index, error))
+    finally:
+        # A timed-out or broken pool may hold hung workers; do not block
+        # shutdown on them.
+        pool.shutdown(wait=not (timed_out or pool_broken), cancel_futures=True)
+
+    for index, cause in needs_retry:
+        if not retry:
+            raise CellError(index, specs[index], cause) from cause
+        incr("executor.cell_retries")
+        try:
+            results[index] = worker(specs[index])
+        except Exception as error:
+            raise CellError(index, specs[index], error) from error
+    return results
+
+
+def _run_serial(worker: Callable, specs: list, retry: bool) -> list:
+    results = []
+    for index, spec in enumerate(specs):
+        try:
+            results.append(worker(spec))
+        except Exception as error:
+            if not retry:
+                raise CellError(index, spec, error) from error
+            incr("executor.cell_retries")
+            try:
+                results.append(worker(spec))
+            except Exception as second:
+                raise CellError(index, spec, second) from second
+    return results
+
+
+def _is_pool_death(error: BaseException) -> bool:
+    from concurrent.futures.process import BrokenProcessPool
+
+    return isinstance(error, BrokenProcessPool)

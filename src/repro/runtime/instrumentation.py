@@ -1,0 +1,220 @@
+"""Run instrumentation: counters, wall/CPU timers and the JSON run report.
+
+A single :class:`Instrumentation` object is *current* per process at any
+time (module global, swapped with :func:`use_instrumentation`).  Hot paths
+call :func:`incr` — one dict increment, cheap relative to the evaluation
+work they count — so the optimizer, the compactor and the schedulers are
+always observable without a recompile or a flag.
+
+Parallel sweep workers run in their own processes; each wraps its cell in
+:func:`call_with_instrumentation`, ships the resulting snapshot back with
+the cell value, and the parent folds it into its own current object with
+:func:`absorb_snapshot`.  Counter totals are therefore identical whether a
+sweep ran serially or fanned out (timer totals sum worker wall time and
+thus exceed elapsed wall time under parallelism — that is the point).
+
+Counter names are dotted: ``evaluator.evaluations``,
+``optimizer.merges_tried``, ``compaction.patterns_in``,
+``scheduler.greedy_runs``, ``cache.hits`` and so on; see docs/runtime.md
+for the full vocabulary.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPORT_FORMAT = "repro-run-report"
+REPORT_VERSION = 1
+
+
+class Instrumentation:
+    """A bag of named counters and accumulated wall/CPU timers."""
+
+    __slots__ = ("counters", "timers")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, dict[str, float]] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    @contextmanager
+    def timeit(self, name: str):
+        """Accumulate wall and CPU seconds of the ``with`` body under
+        ``name``; one timer may be entered many times."""
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        try:
+            yield
+        finally:
+            self._add_time(
+                name,
+                time.perf_counter() - wall_start,
+                time.process_time() - cpu_start,
+            )
+
+    def _add_time(self, name: str, wall: float, cpu: float) -> None:
+        entry = self.timers.setdefault(
+            name, {"wall_seconds": 0.0, "cpu_seconds": 0.0, "calls": 0}
+        )
+        entry["wall_seconds"] += wall
+        entry["cpu_seconds"] += cpu
+        entry["calls"] += 1
+
+    def snapshot(self) -> dict:
+        """JSON-ready copy of the current counters and timers."""
+        return {
+            "counters": dict(self.counters),
+            "timers": {name: dict(entry) for name, entry in self.timers.items()},
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this
+        object; counters and timer accumulations add up."""
+        for name, amount in snapshot.get("counters", {}).items():
+            self.incr(name, amount)
+        for name, entry in snapshot.get("timers", {}).items():
+            target = self.timers.setdefault(
+                name, {"wall_seconds": 0.0, "cpu_seconds": 0.0, "calls": 0}
+            )
+            target["wall_seconds"] += entry.get("wall_seconds", 0.0)
+            target["cpu_seconds"] += entry.get("cpu_seconds", 0.0)
+            target["calls"] += entry.get("calls", 0)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+
+#: The per-process current instrumentation; always a live object so hot
+#: paths never need a None check.
+_CURRENT = Instrumentation()
+
+
+def get_instrumentation() -> Instrumentation:
+    """The process-current :class:`Instrumentation`."""
+    return _CURRENT
+
+
+def incr(name: str, amount: int = 1) -> None:
+    """Increment a counter on the current instrumentation."""
+    counters = _CURRENT.counters
+    counters[name] = counters.get(name, 0) + amount
+
+
+@contextmanager
+def use_instrumentation(instrumentation: Instrumentation):
+    """Make ``instrumentation`` current for the ``with`` body."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = instrumentation
+    try:
+        yield instrumentation
+    finally:
+        _CURRENT = previous
+
+
+def call_with_instrumentation(function, /, *args, **kwargs) -> tuple:
+    """Run ``function`` under a fresh instrumentation object.
+
+    Returns ``(value, snapshot)``.  This is the worker-side half of the
+    parallel accounting protocol; the parent passes the snapshot to
+    :func:`absorb_snapshot`.
+    """
+    instrumentation = Instrumentation()
+    with use_instrumentation(instrumentation):
+        value = function(*args, **kwargs)
+    return value, instrumentation.snapshot()
+
+
+def absorb_snapshot(snapshot: dict) -> None:
+    """Fold a worker snapshot into the current instrumentation."""
+    _CURRENT.merge(snapshot)
+
+
+@dataclass
+class RunReport:
+    """Structured summary of one experiment run.
+
+    Attributes:
+        command: What ran (e.g. ``"table"``, ``"run_experiments"``).
+        arguments: The run's parameters (SOC, seed, widths, jobs, ...).
+        wall_seconds: End-to-end elapsed time of the run.
+        counters: Counter totals (serial-equivalent, see module docstring).
+        timers: Accumulated timer figures.
+        cache: Cache statistics (hits/misses/...), empty when no cache.
+    """
+
+    command: str
+    arguments: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    counters: dict = field(default_factory=dict)
+    timers: dict = field(default_factory=dict)
+    cache: dict = field(default_factory=dict)
+
+    @staticmethod
+    def build(
+        command: str,
+        arguments: dict,
+        wall_seconds: float,
+        instrumentation: Instrumentation | None = None,
+        cache=None,
+    ) -> "RunReport":
+        """Assemble a report from the run's instrumentation and cache."""
+        snapshot = (instrumentation or _CURRENT).snapshot()
+        return RunReport(
+            command=command,
+            arguments=arguments,
+            wall_seconds=wall_seconds,
+            counters=snapshot["counters"],
+            timers=snapshot["timers"],
+            cache=cache.stats() if cache is not None else {},
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "format": REPORT_FORMAT,
+            "version": REPORT_VERSION,
+            "command": self.command,
+            "arguments": self.arguments,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "counters": dict(sorted(self.counters.items())),
+            "timers": {
+                name: {
+                    "wall_seconds": round(entry["wall_seconds"], 6),
+                    "cpu_seconds": round(entry["cpu_seconds"], 6),
+                    "calls": entry["calls"],
+                }
+                for name, entry in sorted(self.timers.items())
+            },
+            "cache": self.cache,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    def summary(self) -> str:
+        """One-paragraph human rendering for ``--profile`` console output."""
+        lines = [f"run report: {self.command} ({self.wall_seconds:.2f}s wall)"]
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"  {name:<34} {value}")
+        for name, entry in sorted(self.timers.items()):
+            lines.append(
+                f"  {name:<34} {entry['wall_seconds']:.2f}s wall / "
+                f"{entry['cpu_seconds']:.2f}s cpu / {entry['calls']} calls"
+            )
+        if self.cache:
+            stats = ", ".join(
+                f"{key}={value}" for key, value in sorted(self.cache.items())
+            )
+            lines.append(f"  cache: {stats}")
+        return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Property-based tests (Hypothesis) of vertical SI compaction.
+
+Three paper-level invariants, checked over generated pattern sets:
+
+* compaction never grows the pattern count;
+* every input pattern lands in exactly one merged pattern, and the merge
+  is consistent with each member (symbols and the shared-bus-line driver
+  rule — two claims of one line from different core boundaries never end
+  up in the same merged pattern);
+* MA fault coverage per :mod:`repro.sitest` is preserved: whatever the
+  original set detects, the compacted set detects.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compaction.vertical import color_compact, greedy_compact
+from repro.sitest.faults import generate_ma_patterns
+from repro.sitest.patterns import SIPattern, SYMBOLS
+from repro.sitest.simulator import simulate
+from repro.sitest.topology import random_topology
+from repro.soc.model import Soc
+from tests.conftest import make_core
+
+_SOC = Soc(
+    name="props", cores=tuple(make_core(i, outputs=6) for i in range(1, 4))
+)
+_TOPOLOGY = random_topology(_SOC, fanouts_per_core=2, locality=2, seed=9)
+_MA_PATTERNS = list(generate_ma_patterns(_TOPOLOGY))
+
+_TERMINALS = [(core_id, index) for core_id in (1, 2, 3) for index in range(4)]
+
+_patterns = st.lists(
+    st.builds(
+        lambda cares, bus_claims: SIPattern(
+            cares=cares, bus_claims=bus_claims
+        ),
+        st.dictionaries(
+            st.sampled_from(_TERMINALS),
+            st.sampled_from(SYMBOLS),
+            min_size=1,
+            max_size=6,
+        ),
+        st.dictionaries(
+            st.integers(min_value=0, max_value=3),
+            st.sampled_from((1, 2, 3)),
+            max_size=3,
+        ),
+    ),
+    max_size=30,
+)
+
+_ma_subsets = st.lists(st.sampled_from(_MA_PATTERNS), max_size=40)
+
+_COMPACTORS = (greedy_compact, color_compact)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_patterns)
+def test_never_grows_pattern_count(patterns):
+    for compact in _COMPACTORS:
+        result = compact(patterns)
+        assert result.compacted_count <= len(patterns)
+        assert result.original_count == len(patterns)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_patterns)
+def test_members_partition_the_input(patterns):
+    for compact in _COMPACTORS:
+        result = compact(patterns)
+        flat = sorted(
+            index for members in result.members for index in members
+        )
+        assert flat == list(range(len(patterns)))
+        assert len(result.members) == result.compacted_count
+
+
+@settings(max_examples=60, deadline=None)
+@given(_patterns)
+def test_merges_consistent_with_members(patterns):
+    for compact in _COMPACTORS:
+        result = compact(patterns)
+        for merged, members in zip(result.compacted, result.members):
+            for index in members:
+                original = patterns[index]
+                # Symbol rule: a merge never overwrites a member's care.
+                for terminal, symbol in original.cares.items():
+                    assert merged.cares[terminal] == symbol
+                # Bus rule: the merge carries each member's line claims.
+                for line, driver in original.bus_claims.items():
+                    assert merged.bus_claims[line] == driver
+
+
+@settings(max_examples=60, deadline=None)
+@given(_patterns)
+def test_shared_bus_line_conflicts_never_merge(patterns):
+    for compact in _COMPACTORS:
+        result = compact(patterns)
+        for members in result.members:
+            drivers_of: dict[int, set[int]] = {}
+            for index in members:
+                for line, driver in patterns[index].bus_claims.items():
+                    drivers_of.setdefault(line, set()).add(driver)
+            for line, drivers in drivers_of.items():
+                assert len(drivers) == 1, (
+                    f"line {line} merged with drivers {sorted(drivers)}"
+                )
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ma_subsets)
+def test_ma_fault_coverage_preserved(patterns):
+    before = simulate(_TOPOLOGY, patterns).detected
+    for compact in _COMPACTORS:
+        compacted = list(compact(patterns).compacted)
+        after = simulate(_TOPOLOGY, compacted).detected
+        assert after >= before
+
+
+@settings(max_examples=40, deadline=None)
+@given(_patterns)
+def test_compaction_is_idempotent_for_greedy(patterns):
+    once = list(greedy_compact(patterns).compacted)
+    twice = greedy_compact(once)
+    assert twice.compacted_count == len(once)

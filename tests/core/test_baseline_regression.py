@@ -1,0 +1,52 @@
+"""Regression: ``optimize_tam`` with zero SI groups IS TR-Architect.
+
+The paper's Algorithm 2 generalizes TR-Architect; with an empty SI group
+set the generalization must collapse to the baseline *exactly* — same
+architecture, same evaluation, zero SI time — on every bundled benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimizer import optimize_tam
+from repro.soc.benchmarks import available_benchmarks, load_benchmark
+from repro.tam.tr_architect import tr_architect
+
+SMALL_SOCS = ("t5", "d695")
+
+
+@pytest.mark.parametrize("name", sorted(available_benchmarks()))
+def test_degenerate_objective_matches_baseline(name):
+    soc = load_benchmark(name)
+    proposed = optimize_tam(soc, 8, groups=())
+    baseline = tr_architect(soc, 8)
+    assert proposed.architecture == baseline.architecture
+    assert proposed.evaluation == baseline.evaluation
+    assert proposed.t_total == baseline.t_total
+    assert proposed.evaluation.t_si == 0
+
+
+@pytest.mark.parametrize("name", SMALL_SOCS)
+@pytest.mark.parametrize("w_max", (16, 24))
+def test_degenerate_objective_matches_baseline_wider(name, w_max):
+    soc = load_benchmark(name)
+    proposed = optimize_tam(soc, w_max, groups=())
+    baseline = tr_architect(soc, w_max)
+    assert proposed.architecture == baseline.architecture
+    assert proposed.t_total == baseline.t_total
+
+
+def test_empty_pattern_groups_equal_no_groups(d695):
+    """Groups that carry zero patterns are inert: the optimizer must
+    produce the TR-Architect result."""
+    from repro.compaction.groups import SITestGroup
+
+    empty_groups = (
+        SITestGroup(group_id=0, cores=frozenset({1, 2}), patterns=0),
+    )
+    with_empty = optimize_tam(d695, 16, groups=empty_groups)
+    baseline = tr_architect(d695, 16)
+    assert with_empty.architecture == baseline.architecture
+    assert with_empty.t_total == baseline.t_total
+    assert with_empty.evaluation.t_si == 0

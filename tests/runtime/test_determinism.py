@@ -1,0 +1,84 @@
+"""Determinism of the grouping pipeline and the FM partitioner.
+
+The group-assignment path (pattern routing, hypergraph construction, FM
+refinement) must not depend on dict/set iteration order, so its results
+are identical across processes regardless of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+# Emits a compact fingerprint of the grouping pipeline's observable
+# output: the partition assignment and the per-group pattern counts.
+_FINGERPRINT_SCRIPT = """
+import json, sys
+from repro.compaction.horizontal import build_si_test_groups
+from repro.sitest.generator import generate_random_patterns
+from repro.soc.benchmarks import load_benchmark
+
+soc = load_benchmark("d695")
+patterns = generate_random_patterns(soc, 400, seed=5)
+grouping = build_si_test_groups(soc, patterns, parts=4, seed=5)
+print(json.dumps({
+    "part_of_core": sorted(grouping.part_of_core.items()),
+    "groups": [
+        [g.group_id, sorted(g.cores), g.patterns, g.original_patterns]
+        for g in grouping.groups
+    ],
+    "cut_patterns": grouping.cut_patterns,
+}, sort_keys=True))
+"""
+
+
+def _fingerprint(hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = str(SRC)
+    result = subprocess.run(
+        [sys.executable, "-c", _FINGERPRINT_SCRIPT],
+        capture_output=True, text=True, env=env, check=True, timeout=300,
+    )
+    return result.stdout.strip()
+
+
+class TestHashSeedIndependence:
+    def test_grouping_identical_across_hash_seeds(self):
+        assert _fingerprint("0") == _fingerprint("1")
+
+
+class TestRunToRunAgreement:
+    def test_two_grouping_runs_agree(self, d695):
+        from repro.compaction.horizontal import build_si_test_groups
+        from repro.sitest.generator import generate_random_patterns
+
+        patterns = generate_random_patterns(d695, 300, seed=7)
+        first = build_si_test_groups(d695, patterns, parts=4, seed=7)
+        second = build_si_test_groups(d695, patterns, parts=4, seed=7)
+        assert first.groups == second.groups
+        assert first.part_of_core == second.part_of_core
+
+    def test_two_partitioner_runs_agree(self):
+        from repro.hypergraph.hypergraph import build_hypergraph
+        from repro.hypergraph.multilevel import partition
+
+        edges = {
+            frozenset({i, (i * 3 + 1) % 12}): (i % 4) + 1 for i in range(12)
+        }
+        graph = build_hypergraph([1] * 12, edges)
+        first = partition(graph, 3, seed=11)
+        second = partition(graph, 3, seed=11)
+        assert first.assignment == second.assignment
+        assert first.cut == second.cut
+
+    def test_pattern_generation_agrees(self, d695):
+        from repro.sitest.generator import generate_random_patterns
+
+        first = generate_random_patterns(d695, 100, seed=3)
+        second = generate_random_patterns(d695, 100, seed=3)
+        assert first == second

@@ -1,0 +1,131 @@
+"""Tests of counters, timers, the worker snapshot protocol and the report."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.optimizer import optimize_tam
+from repro.runtime.instrumentation import (
+    Instrumentation,
+    RunReport,
+    absorb_snapshot,
+    call_with_instrumentation,
+    get_instrumentation,
+    incr,
+    use_instrumentation,
+)
+
+
+class TestCounters:
+    def test_incr_accumulates(self):
+        instrumentation = Instrumentation()
+        instrumentation.incr("x")
+        instrumentation.incr("x", 4)
+        assert instrumentation.counters == {"x": 5}
+
+    def test_module_incr_targets_current(self):
+        instrumentation = Instrumentation()
+        with use_instrumentation(instrumentation):
+            incr("y", 2)
+            assert get_instrumentation() is instrumentation
+        assert instrumentation.counters == {"y": 2}
+        # Restored: further increments do not leak into the local object.
+        incr("y")
+        assert instrumentation.counters == {"y": 2}
+
+    def test_use_instrumentation_restores_on_error(self):
+        before = get_instrumentation()
+        try:
+            with use_instrumentation(Instrumentation()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_instrumentation() is before
+
+
+class TestTimers:
+    def test_timeit_accumulates_calls(self):
+        instrumentation = Instrumentation()
+        for _ in range(3):
+            with instrumentation.timeit("t"):
+                pass
+        entry = instrumentation.timers["t"]
+        assert entry["calls"] == 3
+        assert entry["wall_seconds"] >= 0.0
+        assert entry["cpu_seconds"] >= 0.0
+
+
+class TestSnapshotProtocol:
+    def test_call_with_instrumentation_isolates(self):
+        parent = Instrumentation()
+        with use_instrumentation(parent):
+            value, snapshot = call_with_instrumentation(
+                lambda: (incr("inner"), 42)[1]
+            )
+        assert value == 42
+        assert snapshot["counters"] == {"inner": 1}
+        # The worker-side increments did NOT hit the parent directly...
+        assert "inner" not in parent.counters
+        # ...until explicitly absorbed.
+        with use_instrumentation(parent):
+            absorb_snapshot(snapshot)
+        assert parent.counters == {"inner": 1}
+
+    def test_merge_adds_counters_and_timers(self):
+        a = Instrumentation()
+        a.incr("n", 1)
+        with a.timeit("t"):
+            pass
+        b = Instrumentation()
+        b.incr("n", 2)
+        with b.timeit("t"):
+            pass
+        a.merge(b.snapshot())
+        assert a.counters["n"] == 3
+        assert a.timers["t"]["calls"] == 2
+
+    def test_serial_equals_absorbed_parallel_totals(self, t5):
+        # The invariant the protocol exists for: counters are identical
+        # whether work ran under the current object or was absorbed from
+        # worker snapshots.
+        serial = Instrumentation()
+        with use_instrumentation(serial):
+            optimize_tam(t5, 8)
+            optimize_tam(t5, 16)
+
+        fanned = Instrumentation()
+        with use_instrumentation(fanned):
+            for w_max in (8, 16):
+                _, snapshot = call_with_instrumentation(optimize_tam, t5, w_max)
+                absorb_snapshot(snapshot)
+
+        assert serial.counters == fanned.counters
+
+
+class TestRunReport:
+    def test_build_and_json_round_trip(self, t5):
+        instrumentation = Instrumentation()
+        with use_instrumentation(instrumentation):
+            optimize_tam(t5, 8)
+        report = RunReport.build(
+            command="test", arguments={"soc": "t5"}, wall_seconds=1.5,
+            instrumentation=instrumentation, cache=None,
+        )
+        data = json.loads(report.to_json())
+        assert data["format"] == "repro-run-report"
+        assert data["command"] == "test"
+        assert data["arguments"] == {"soc": "t5"}
+        assert data["counters"]["optimizer.runs"] == 1
+        assert data["counters"]["evaluator.evaluations"] > 0
+        assert data["timers"]["optimizer.optimize_tam"]["calls"] == 1
+        assert data["cache"] == {}
+
+    def test_save(self, tmp_path):
+        report = RunReport(command="x")
+        path = tmp_path / "report.json"
+        report.save(path)
+        assert json.loads(path.read_text())["command"] == "x"
+
+    def test_summary_mentions_cache(self):
+        report = RunReport(command="x", cache={"hits": 3, "misses": 1})
+        assert "hits=3" in report.summary()

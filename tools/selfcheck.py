@@ -108,6 +108,56 @@ def _simulator():
     assert build_dictionary(topology, patterns[:50]).faults
 
 
+@check("parallel sweep executor")
+def _executor():
+    from repro.experiments.pareto import sweep_widths
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    serial = sweep_widths(soc, (8, 16), jobs=1)
+    parallel = sweep_widths(soc, (8, 16), jobs=2)
+    assert serial == parallel
+
+
+@check("evaluation cache round-trip + store integrity")
+def _cache():
+    import tempfile
+
+    from repro.runtime import EvaluationCache, optimize_cache_key, verify_store
+    from repro.core.optimizer import optimize_tam
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    result = optimize_tam(soc, 8)
+    key = optimize_cache_key(soc, 8, ())
+    with tempfile.TemporaryDirectory() as store_dir:
+        cache = EvaluationCache(store_dir=store_dir)
+        cache.put(key, result)
+        fresh = EvaluationCache(store_dir=store_dir)
+        assert fresh.get(key) == result
+        assert verify_store(store_dir) == []
+
+
+@check("instrumentation + run report")
+def _instrumentation():
+    import json
+
+    from repro.core.optimizer import optimize_tam
+    from repro.runtime import Instrumentation, RunReport, use_instrumentation
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    instrumentation = Instrumentation()
+    with use_instrumentation(instrumentation):
+        optimize_tam(soc, 8)
+    assert instrumentation.counters["optimizer.runs"] == 1
+    report = RunReport.build(
+        command="selfcheck", arguments={}, wall_seconds=0.0,
+        instrumentation=instrumentation, cache=None,
+    )
+    assert json.loads(report.to_json())["counters"]["optimizer.runs"] == 1
+
+
 @check("CLI entry point")
 def _cli():
     from repro.cli import main
