@@ -1,12 +1,26 @@
-"""Benchmark for the Section 3 compaction claims.
+"""Benchmarks for the Section 3 compaction claims and the bitset kernel.
 
 The paper states that the greedy clique-cover heuristic "achieves similar
 compaction ratios as approximation algorithms for the clique covering
-problem with significantly less computation time".  This bench times both
+problem with significantly less computation time".  The pytest benches time
 :func:`greedy_compact` (the paper's heuristic) and :func:`color_compact`
-(Welsh–Powell coloring of the conflict graph, the classical approximation)
-on the same pattern set and compares counts.
+(Welsh–Powell coloring, the classical approximation) on the same pattern
+set — on both the reference and the packed-bitset backend, asserting the
+two stay bit-identical.
+
+Run as a script to measure the kernel speedup at a chosen scale and write
+a results JSON (the committed ``results/compaction_speedup_p93791.json``
+is the paper-scale 100,000-pattern run)::
+
+    PYTHONPATH=src python benchmarks/bench_compaction.py \
+        --soc p93791 --patterns 100000 --seed 7 \
+        --out benchmarks/results/compaction_speedup_p93791.json
 """
+
+import argparse
+import json
+import time
+from pathlib import Path
 
 import pytest
 
@@ -15,31 +29,49 @@ from repro.sitest.generator import generate_random_patterns
 
 PATTERN_COUNT = 2_000
 
+RESULT_FORMAT = "repro-compaction-benchmark"
+RESULT_VERSION = 1
+
 
 @pytest.fixture(scope="module")
-def patterns(request):
-    from repro.soc.benchmarks import load_benchmark
-
-    soc = load_benchmark("d695")
-    return generate_random_patterns(soc, PATTERN_COUNT, seed=7)
+def patterns(d695):
+    return generate_random_patterns(d695, PATTERN_COUNT, seed=7)
 
 
-def bench_greedy_compaction(benchmark, patterns):
-    result = benchmark(greedy_compact, patterns)
+def bench_greedy_reference(benchmark, patterns):
+    result = benchmark(greedy_compact, patterns, backend="reference")
     print(
-        f"\ngreedy: {result.original_count} -> {result.compacted_count} "
-        f"(ratio {result.ratio:.1f}x)"
+        f"\ngreedy/reference: {result.original_count} -> "
+        f"{result.compacted_count} (ratio {result.ratio:.1f}x)"
     )
     assert result.compacted_count < PATTERN_COUNT / 5
 
 
-def bench_coloring_compaction(benchmark, patterns):
-    result = benchmark(color_compact, patterns)
+def bench_greedy_bitset(benchmark, patterns):
+    result = benchmark(greedy_compact, patterns, backend="bitset")
     print(
-        f"\ncoloring: {result.original_count} -> {result.compacted_count} "
-        f"(ratio {result.ratio:.1f}x)"
+        f"\ngreedy/bitset: {result.original_count} -> "
+        f"{result.compacted_count} (ratio {result.ratio:.1f}x)"
+    )
+    assert result == greedy_compact(patterns, backend="reference")
+
+
+def bench_coloring_reference(benchmark, patterns):
+    result = benchmark(color_compact, patterns, backend="reference")
+    print(
+        f"\ncoloring/reference: {result.original_count} -> "
+        f"{result.compacted_count} (ratio {result.ratio:.1f}x)"
     )
     assert result.compacted_count < PATTERN_COUNT / 5
+
+
+def bench_coloring_bitset(benchmark, patterns):
+    result = benchmark(color_compact, patterns, backend="bitset")
+    print(
+        f"\ncoloring/bitset: {result.original_count} -> "
+        f"{result.compacted_count} (ratio {result.ratio:.1f}x)"
+    )
+    assert result == color_compact(patterns, backend="reference")
 
 
 def bench_compaction_quality_parity(benchmark, patterns):
@@ -56,3 +88,77 @@ def bench_compaction_quality_parity(benchmark, patterns):
     )
     print(f"\ngreedy={greedy_count} coloring={colored_count}")
     assert greedy_count <= colored_count * 1.5
+
+
+def _time_backend(patterns, backend: str, repeats: int):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = greedy_compact(patterns, backend=backend)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure the bitset kernel speedup over the reference "
+        "greedy compactor and write a results JSON."
+    )
+    parser.add_argument("--soc", default="p93791",
+                        help="benchmark SOC name (default: p93791)")
+    parser.add_argument("--patterns", type=int, default=100_000,
+                        help="SI pattern count N_r (default: 100000)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per backend (best is kept)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the results JSON here")
+    args = parser.parse_args(argv)
+
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark(args.soc)
+    patterns = generate_random_patterns(soc, args.patterns, seed=args.seed)
+    # Warm up allocator/caches on a small run so neither backend pays
+    # first-touch costs inside its timed window.
+    warmup = patterns[: min(500, len(patterns))]
+    greedy_compact(warmup, backend="reference")
+    greedy_compact(warmup, backend="bitset")
+
+    bitset_seconds, bitset = _time_backend(patterns, "bitset", args.repeats)
+    reference_seconds, reference = _time_backend(
+        patterns, "reference", args.repeats
+    )
+    identical = reference == bitset
+    speedup = reference_seconds / bitset_seconds if bitset_seconds else 0.0
+
+    result = {
+        "format": RESULT_FORMAT,
+        "version": RESULT_VERSION,
+        "soc": args.soc,
+        "patterns": args.patterns,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "reference_seconds": round(reference_seconds, 3),
+        "bitset_seconds": round(bitset_seconds, 3),
+        "speedup": round(speedup, 2),
+        "compacted_count": bitset.compacted_count,
+        "compaction_ratio": round(bitset.ratio, 2),
+        "identical": identical,
+    }
+    print(
+        f"{args.soc} N={args.patterns}: reference {reference_seconds:.2f}s, "
+        f"bitset {bitset_seconds:.2f}s -> {speedup:.1f}x speedup "
+        f"({bitset.original_count} -> {bitset.compacted_count} patterns, "
+        f"identical={identical})"
+    )
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"results written to {args.out}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,7 @@ import sys
 import time
 
 from repro.compaction.horizontal import build_si_test_groups
+from repro.compaction.vertical import BACKENDS
 from repro.core.optimizer import optimize_tam
 from repro.experiments.reporting import render_table, save_result
 from repro.experiments.table_runner import (
@@ -114,6 +115,15 @@ def _add_runtime_flags(parser: argparse.ArgumentParser,
     )
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--compaction-backend", choices=BACKENDS, default="auto",
+        help="vertical compaction implementation: the plain reference, the "
+        "packed-bitset kernel, or auto-select by pattern count (results "
+        "are identical either way)",
+    )
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for name in available_benchmarks():
         soc = load_benchmark(name)
@@ -134,7 +144,9 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     soc = _load_soc(args.soc)
     patterns = generate_random_patterns(soc, args.patterns, seed=args.seed)
     grouping = build_si_test_groups(soc, patterns, parts=args.parts,
-                                    seed=args.seed)
+                                    seed=args.seed,
+                                    backend=args.compaction_backend,
+                                    jobs=args.jobs)
     print(
         f"{len(patterns)} patterns -> "
         f"{grouping.total_compacted_patterns} compacted in "
@@ -352,7 +364,8 @@ def _cmd_volume(args: argparse.Namespace) -> int:
     soc = _load_soc(args.soc)
     patterns = generate_random_patterns(soc, args.patterns, seed=args.seed)
     volumes = measure_compaction(
-        soc, patterns, tuple(args.parts), seed=args.seed, jobs=args.jobs
+        soc, patterns, tuple(args.parts), seed=args.seed, jobs=args.jobs,
+        backend=args.compaction_backend,
     )
     print(format_volume_report(volumes))
     return 0
@@ -465,6 +478,11 @@ def build_parser() -> argparse.ArgumentParser:
     compact.add_argument("--parts", type=int, default=4,
                          help="number of core groups")
     compact.add_argument("--seed", type=int, default=1)
+    compact.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the per-group compactions (1 = serial)",
+    )
+    _add_backend_flag(compact)
     compact.set_defaults(func=_cmd_compact)
 
     optimize = sub.add_parser("optimize", help="optimize a test architecture")
@@ -570,6 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the sweep cells (1 = serial)",
     )
+    _add_backend_flag(volume)
     volume.set_defaults(func=_cmd_volume)
 
     coverage = sub.add_parser(

@@ -1,0 +1,376 @@
+"""Optional C scan engine for the greedy bitset kernel.
+
+:func:`repro.compaction.kernel.greedy_compact_bitset` spends its time in
+two bit-parallel inner loops: building the conflict index and pruning the
+candidate bitset as the merge acquires cares.  Both are pure word-level
+AND/OR sweeps, so this module carries a small, dependency-free C
+translation of the scan (same algorithm, same visit order, same dedup
+rules — see the kernel docstring for the equivalence argument) that is
+compiled on demand with whatever ``cc``/``gcc``/``clang`` the host
+provides and loaded through :mod:`ctypes`.
+
+The engine is strictly optional: if no compiler is present, compilation
+fails, the smoke check fails, or ``REPRO_COMPACTION_CSCAN=0`` is set, the
+kernel silently falls back to its pure-Python big-int scan.  Compiled
+objects are cached in the system temp directory keyed by a hash of the C
+source, so the (sub-second) compile happens once per source revision per
+machine, not once per process.
+
+The C side works on flattened integer streams only — pattern cares as
+dense ``(terminal, symbol)`` ids in CSR layout, bus claims likewise — and
+returns the merge cycles as a flat member array plus cycle offsets.  All
+symbol/terminal semantics stay in Python; the C code never sees a pattern
+object.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from array import array
+
+__all__ = ["available", "greedy_scan"]
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* Greedy clique-cover scan over packed bitsets.
+ *
+ * Pattern i owns bit i.  Per cycle the lowest remaining pattern seeds the
+ * merge, then candidates are absorbed in ascending index order; whenever
+ * the merge acquires a care (terminal, symbol) or bus claim it has not
+ * seen this cycle, that key's conflict mask is cleared out of the
+ * eligible set.  Conflict masks are derived in place from the occupancy
+ * masks: conflict = (OR of the terminal's symbol slices) & ~own slice.
+ *
+ * Masks are sparse, so build passes skip zero words: untouched words
+ * stay on the OS zero page and the scan reads them at cache speed.
+ */
+int64_t repro_greedy_scan(
+    int64_t n,
+    const int32_t *care_flat, const int64_t *care_off,
+    const int32_t *tid_of, int64_t n_care_ids, int64_t n_tids,
+    const int32_t *bus_flat, const int64_t *bus_off,
+    const int32_t *line_of, int64_t n_bus_ids, int64_t n_lines,
+    int32_t *members_out, int64_t *cycle_off_out, int64_t *stats_out)
+{
+    stats_out[0] = 0;
+    stats_out[1] = 0;
+    cycle_off_out[0] = 0;
+    if (n == 0)
+        return 0;
+    const int64_t W = (n + 63) >> 6;
+    uint64_t *masks = calloc((size_t)(n_care_ids + n_bus_ids) * W, 8);
+    uint64_t *totals = calloc((size_t)(n_tids + n_lines) * W, 8);
+    uint64_t *avail = malloc((size_t)W * 8);
+    uint64_t *eligible = malloc((size_t)W * 8);
+    uint32_t *epochs = calloc((size_t)(n_tids + n_lines) + 1, 4);
+    if (!masks || !totals || !avail || !eligible || !epochs) {
+        free(masks); free(totals); free(avail); free(eligible); free(epochs);
+        return -1;
+    }
+    uint64_t *bus_masks = masks + (size_t)n_care_ids * W;
+    uint64_t *line_totals = totals + (size_t)n_tids * W;
+    uint32_t *tid_epoch = epochs;
+    uint32_t *line_epoch = epochs + n_tids;
+
+    /* occupancy fill from the CSR streams */
+    for (int64_t i = 0; i < n; i++) {
+        const uint64_t word = 1ULL << (i & 63);
+        const int64_t w = i >> 6;
+        for (int64_t k = care_off[i]; k < care_off[i + 1]; k++)
+            masks[(size_t)care_flat[k] * W + w] |= word;
+        for (int64_t k = bus_off[i]; k < bus_off[i + 1]; k++)
+            bus_masks[(size_t)bus_flat[k] * W + w] |= word;
+    }
+    /* per-terminal / per-line totals (symbol slices are disjoint) */
+    for (int64_t c = 0; c < n_care_ids; c++) {
+        uint64_t *t = totals + (size_t)tid_of[c] * W;
+        const uint64_t *m = masks + (size_t)c * W;
+        for (int64_t w = 0; w < W; w++) {
+            const uint64_t mw = m[w];
+            if (mw) t[w] |= mw;
+        }
+    }
+    for (int64_t b = 0; b < n_bus_ids; b++) {
+        uint64_t *t = line_totals + (size_t)line_of[b] * W;
+        const uint64_t *m = bus_masks + (size_t)b * W;
+        for (int64_t w = 0; w < W; w++) {
+            const uint64_t mw = m[w];
+            if (mw) t[w] |= mw;
+        }
+    }
+    /* occupancy -> conflict masks, in place (mask is a subset of total) */
+    for (int64_t c = 0; c < n_care_ids; c++) {
+        const uint64_t *t = totals + (size_t)tid_of[c] * W;
+        uint64_t *m = masks + (size_t)c * W;
+        for (int64_t w = 0; w < W; w++) {
+            const uint64_t tw = t[w];
+            if (tw) m[w] = tw & ~m[w];
+        }
+    }
+    for (int64_t b = 0; b < n_bus_ids; b++) {
+        const uint64_t *t = line_totals + (size_t)line_of[b] * W;
+        uint64_t *m = bus_masks + (size_t)b * W;
+        for (int64_t w = 0; w < W; w++) {
+            const uint64_t tw = t[w];
+            if (tw) m[w] = tw & ~m[w];
+        }
+    }
+
+    memset(avail, 0xff, (size_t)W * 8);
+    if (n & 63)
+        avail[W - 1] = (1ULL << (n & 63)) - 1;
+
+    int64_t pruned = 0, words = 0, m_count = 0, cycles = 0;
+    int64_t cursor = 0;  /* lowest possibly-nonzero avail word */
+    int64_t live = n;    /* popcount of avail */
+    uint32_t epoch = 0;
+    while (live) {
+        while (!avail[cursor]) cursor++;
+        const int64_t seed =
+            (cursor << 6) + (int64_t)__builtin_ctzll(avail[cursor]);
+        avail[cursor] &= avail[cursor] - 1;  /* clear lowest set bit */
+        live--;
+        const int64_t candidates = live;
+        int64_t absorbed = 1;
+        members_out[m_count++] = (int32_t)seed;
+        epoch++;
+        memset(eligible, 0, (size_t)cursor * 8);
+        memcpy(eligible + cursor, avail + cursor, (size_t)(W - cursor) * 8);
+        for (int64_t k = care_off[seed]; k < care_off[seed + 1]; k++) {
+            const int32_t cid = care_flat[k];
+            const int32_t tid = tid_of[cid];
+            if (tid_epoch[tid] != epoch) {
+                tid_epoch[tid] = epoch;
+                const uint64_t *c = masks + (size_t)cid * W;
+                for (int64_t w = cursor; w < W; w++) eligible[w] &= ~c[w];
+                words += W - cursor;
+            }
+        }
+        for (int64_t k = bus_off[seed]; k < bus_off[seed + 1]; k++) {
+            const int32_t bid = bus_flat[k];
+            const int32_t line = line_of[bid];
+            if (line_epoch[line] != epoch) {
+                line_epoch[line] = epoch;
+                const uint64_t *c = bus_masks + (size_t)bid * W;
+                for (int64_t w = cursor; w < W; w++) eligible[w] &= ~c[w];
+                words += W - cursor;
+            }
+        }
+        for (int64_t jw = cursor; jw < W; ) {
+            const uint64_t wval = eligible[jw];
+            if (!wval) { jw++; continue; }
+            const int64_t j = (jw << 6) + (int64_t)__builtin_ctzll(wval);
+            eligible[jw] = wval & (wval - 1);
+            avail[jw] &= ~(1ULL << (j & 63));
+            live--;
+            absorbed++;
+            members_out[m_count++] = (int32_t)j;
+            for (int64_t k = care_off[j]; k < care_off[j + 1]; k++) {
+                const int32_t cid = care_flat[k];
+                const int32_t tid = tid_of[cid];
+                if (tid_epoch[tid] != epoch) {
+                    tid_epoch[tid] = epoch;
+                    const uint64_t *c = masks + (size_t)cid * W;
+                    /* bits at or below j are already decided: prune from
+                     * the current word up only */
+                    for (int64_t w = jw; w < W; w++) eligible[w] &= ~c[w];
+                    words += W - jw;
+                }
+            }
+            for (int64_t k = bus_off[j]; k < bus_off[j + 1]; k++) {
+                const int32_t bid = bus_flat[k];
+                const int32_t line = line_of[bid];
+                if (line_epoch[line] != epoch) {
+                    line_epoch[line] = epoch;
+                    const uint64_t *c = bus_masks + (size_t)bid * W;
+                    for (int64_t w = jw; w < W; w++) eligible[w] &= ~c[w];
+                    words += W - jw;
+                }
+            }
+        }
+        pruned += candidates - (absorbed - 1);
+        cycle_off_out[++cycles] = m_count;
+    }
+    free(masks); free(totals); free(avail); free(eligible); free(epochs);
+    stats_out[0] = pruned;
+    stats_out[1] = words;
+    return cycles;
+}
+"""
+
+_DISABLE_VALUES = ("0", "off", "no", "false")
+
+#: Cached load result: ``None`` = not attempted, ``False`` = unavailable.
+_engine = None
+
+
+def _compile() -> str | None:
+    """Compile the C source into a cached shared object; return its path."""
+    compiler = (shutil.which("cc") or shutil.which("gcc")
+                or shutil.which("clang"))
+    if compiler is None:
+        return None
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    so_path = os.path.join(tempfile.gettempdir(),
+                           f"repro-cscan-{digest}.so")
+    if os.path.exists(so_path):
+        return so_path
+    try:
+        with tempfile.TemporaryDirectory() as workdir:
+            source = os.path.join(workdir, "cscan.c")
+            with open(source, "w", encoding="ascii") as handle:
+                handle.write(_SOURCE)
+            built = os.path.join(workdir, "cscan.so")
+            subprocess.run(
+                [compiler, "-O3", "-shared", "-fPIC", "-o", built, source],
+                check=True, capture_output=True, timeout=120,
+            )
+            os.replace(built, so_path)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return so_path
+
+
+def _bind(so_path: str):
+    lib = ctypes.CDLL(so_path)
+    fn = lib.repro_greedy_scan
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [
+        ctypes.c_int64,                    # n
+        ctypes.c_void_p, ctypes.c_void_p,  # care_flat, care_off
+        ctypes.c_void_p,                   # tid_of
+        ctypes.c_int64, ctypes.c_int64,    # n_care_ids, n_tids
+        ctypes.c_void_p, ctypes.c_void_p,  # bus_flat, bus_off
+        ctypes.c_void_p,                   # line_of
+        ctypes.c_int64, ctypes.c_int64,    # n_bus_ids, n_lines
+        ctypes.c_void_p, ctypes.c_void_p,  # members_out, cycle_off_out
+        ctypes.c_void_p,                   # stats_out
+    ]
+    return fn
+
+
+def _addr(buffer: array) -> int:
+    return buffer.buffer_info()[0]
+
+
+def _run(fn, n, care_flat, care_off, tid_of, n_care_ids, n_tids,
+         bus_flat, bus_off, line_of, n_bus_ids, n_lines):
+    members = array("i", bytes(4 * n))
+    cycle_off = array("q", bytes(8 * (n + 1)))
+    stats = array("q", (0, 0))
+    cycles = fn(
+        n, _addr(care_flat), _addr(care_off), _addr(tid_of),
+        n_care_ids, n_tids,
+        _addr(bus_flat), _addr(bus_off), _addr(line_of),
+        n_bus_ids, n_lines,
+        _addr(members), _addr(cycle_off), _addr(stats),
+    )
+    if cycles < 0:
+        return None
+    member_lists = [
+        list(members[cycle_off[c]:cycle_off[c + 1]]) for c in range(cycles)
+    ]
+    return member_lists, stats[0], stats[1]
+
+
+def _smoke(fn) -> bool:
+    """One hand-rolled call guarding against ABI/layout mishaps.
+
+    Three patterns on one terminal: 0 and 1 assign different symbols
+    (mutual conflict), 2 assigns nothing.  The greedy scan must merge
+    {0, 2} and leave {1}, pruning pattern 1 from cycle 0.
+    """
+    out = _run(
+        fn, 3,
+        array("i", (0, 1)), array("q", (0, 1, 2, 2)),   # care CSR
+        array("i", (0, 0)), 2, 1,                        # tid_of
+        array("i"), array("q", (0, 0, 0, 0)),            # bus CSR (empty)
+        array("i"), 0, 0,
+    )
+    return out == ([[0, 2], [1]], 1, 2)
+
+
+def available() -> bool:
+    """Whether the C scan engine compiled, loaded, and passed its smoke."""
+    global _engine
+    if _engine is None:
+        _engine = False
+        toggle = os.environ.get("REPRO_COMPACTION_CSCAN", "").strip().lower()
+        if toggle not in _DISABLE_VALUES:
+            so_path = _compile()
+            if so_path is not None:
+                try:
+                    fn = _bind(so_path)
+                except OSError:
+                    fn = None
+                if fn is not None and _smoke(fn):
+                    _engine = fn
+    return _engine is not False
+
+
+def greedy_scan(patterns):
+    """Run the greedy scan in C; ``None`` when the engine is unavailable.
+
+    Returns ``(member_lists, pruned, words)``: the merge cycles as lists
+    of original pattern indices in absorption order, plus the two
+    instrumentation totals (candidates pruned, 64-bit words touched).
+    """
+    if not available():
+        return None
+    n = len(patterns)
+    if n == 0:
+        return [], 0, 0
+    from repro.compaction.kernel import SYMBOL_IDS
+
+    symbol_ids = SYMBOL_IDS
+    terminal_ids: dict = {}
+    care_ids: dict[int, int] = {}
+    bus_ids: dict[tuple[int, int], int] = {}
+    line_ids: dict[int, int] = {}
+    tid_get = terminal_ids.get
+    cid_get = care_ids.get
+    bid_get = bus_ids.get
+    care_flat = array("i")
+    care_off = array("q", (0,))
+    bus_flat = array("i")
+    bus_off = array("q", (0,))
+    tid_of = array("i")
+    line_of = array("i")
+    care_append = care_flat.append
+    bus_append = bus_flat.append
+    for pattern in patterns:
+        for terminal, symbol in pattern.cares.items():
+            tid = tid_get(terminal)
+            if tid is None:
+                tid = terminal_ids[terminal] = len(terminal_ids)
+            key = tid * 4 + symbol_ids[symbol]
+            cid = cid_get(key)
+            if cid is None:
+                cid = care_ids[key] = len(care_ids)
+                tid_of.append(tid)
+            care_append(cid)
+        care_off.append(len(care_flat))
+        for claim in pattern.bus_claims.items():
+            bid = bid_get(claim)
+            if bid is None:
+                bid = bus_ids[claim] = len(bus_ids)
+                line = claim[0]
+                lid = line_ids.get(line)
+                if lid is None:
+                    lid = line_ids[line] = len(line_ids)
+                line_of.append(lid)
+            bus_append(bid)
+        bus_off.append(len(bus_flat))
+    return _run(
+        _engine, n,
+        care_flat, care_off, tid_of, len(care_ids), len(terminal_ids),
+        bus_flat, bus_off, line_of, len(bus_ids), len(line_ids),
+    )

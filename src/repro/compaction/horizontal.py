@@ -17,7 +17,13 @@ from repro.compaction.groups import SITestGroup
 from repro.compaction.vertical import CompactionResult, greedy_compact
 from repro.hypergraph.hypergraph import build_hypergraph
 from repro.hypergraph.multilevel import partition
-from repro.runtime.instrumentation import get_instrumentation, incr
+from repro.runtime.executor import run_cells
+from repro.runtime.instrumentation import (
+    absorb_snapshot,
+    call_with_instrumentation,
+    get_instrumentation,
+    incr,
+)
 from repro.sitest.patterns import SIPattern
 from repro.soc.model import Soc
 
@@ -47,12 +53,20 @@ class GroupingResult:
         return sum(group.patterns for group in self.groups)
 
 
+def _vertical_cell(spec):
+    """Sweep cell: vertical compaction of one group's pattern bucket."""
+    bucket, backend = spec
+    return call_with_instrumentation(greedy_compact, bucket, backend=backend)
+
+
 def build_si_test_groups(
     soc: Soc,
     patterns: list[SIPattern],
     parts: int,
     epsilon: float = 0.10,
     seed: int = 0,
+    backend: str = "auto",
+    jobs: int = 1,
 ) -> GroupingResult:
     """Run two-dimensional compaction: partition cores, split the pattern
     set, and vertically compact each group.
@@ -65,6 +79,10 @@ def build_si_test_groups(
             compaction over all cores.
         epsilon: Partitioner balance tolerance.
         seed: Partitioner seed.
+        backend: Vertical compaction backend, forwarded to
+            :func:`repro.compaction.vertical.greedy_compact`.
+        jobs: Worker processes for the per-group compactions; groups are
+            independent, so fanning out never changes the result.
 
     Raises:
         ValueError: If ``parts`` is not positive or exceeds the number of
@@ -73,7 +91,8 @@ def build_si_test_groups(
     if parts <= 0:
         raise ValueError("parts must be positive")
     with get_instrumentation().timeit("compaction.build_si_test_groups"):
-        return _build_si_test_groups(soc, patterns, parts, epsilon, seed)
+        return _build_si_test_groups(soc, patterns, parts, epsilon, seed,
+                                     backend, jobs)
 
 
 def _build_si_test_groups(
@@ -82,6 +101,8 @@ def _build_si_test_groups(
     parts: int,
     epsilon: float,
     seed: int,
+    backend: str,
+    jobs: int,
 ) -> GroupingResult:
     host_ids = [core.core_id for core in soc if core.woc_count > 0]
     if parts > len(host_ids):
@@ -106,36 +127,40 @@ def _build_si_test_groups(
         else:
             residual.append(pattern)
 
-    groups: list[SITestGroup] = []
-    compactions: list[CompactionResult] = []
+    # One cell per non-empty bucket (part groups in order, residual last);
+    # groups are independent, so they fan out over worker processes.
+    cells: list[tuple[list[SIPattern], frozenset[int], bool]] = []
     for part in range(parts):
         bucket = buckets[part]
         if not bucket:
             continue
-        compaction = greedy_compact(bucket)
         cores = frozenset(
             core_id for core_id, assigned in part_of_core.items()
             if assigned == part
         )
+        cells.append((bucket, cores, False))
+    if residual:
+        cells.append((residual, frozenset(host_ids), True))
+
+    outcomes = run_cells(
+        _vertical_cell,
+        [(bucket, backend) for bucket, _cores, _is_residual in cells],
+        jobs=jobs,
+    )
+
+    groups: list[SITestGroup] = []
+    compactions: list[CompactionResult] = []
+    for (bucket, cores, is_residual), (compaction, snapshot) in zip(
+        cells, outcomes
+    ):
+        absorb_snapshot(snapshot)
         groups.append(
             SITestGroup(
                 group_id=len(groups),
                 cores=cores,
                 patterns=compaction.compacted_count,
                 original_patterns=len(bucket),
-            )
-        )
-        compactions.append(compaction)
-
-    if residual:
-        compaction = greedy_compact(residual)
-        groups.append(
-            SITestGroup(
-                group_id=len(groups),
-                cores=frozenset(host_ids),
-                patterns=compaction.compacted_count,
-                original_patterns=len(residual),
-                is_residual=True,
+                is_residual=is_residual,
             )
         )
         compactions.append(compaction)

@@ -11,6 +11,13 @@ vectors.  Two algorithms are provided:
 * :func:`color_compact` — a Welsh–Powell-style greedy coloring of the
   conflict graph, the classical approximation the paper compares against.
   Builds the O(n²) conflict graph, so intended for moderate pattern counts.
+
+Both take a ``backend`` argument: ``"reference"`` runs the plain dict-walk
+implementation in this module, ``"bitset"`` the packed big-int kernel from
+:mod:`repro.compaction.kernel`, and ``"auto"`` (the default) picks the
+kernel at or above its measured break-even pattern count.  The two backends
+return bit-identical :class:`CompactionResult` objects; the choice only
+affects speed, and is recorded in the ``compaction.backend.*`` counters.
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ from dataclasses import dataclass
 
 from repro.runtime.instrumentation import incr
 from repro.sitest.patterns import SIPattern
+
+BACKENDS = ("auto", "reference", "bitset")
 
 
 @dataclass(frozen=True)
@@ -48,14 +57,49 @@ class CompactionResult:
         return self.original_count / len(self.compacted)
 
 
-def greedy_compact(patterns: list[SIPattern]) -> CompactionResult:
+def _resolve_backend(backend: str, count: int, threshold: int) -> str:
+    """Map a ``backend`` argument to ``"reference"`` or ``"bitset"``."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown compaction backend {backend!r}; choose from {BACKENDS}"
+        )
+    if backend == "auto":
+        return "bitset" if count >= threshold else "reference"
+    return backend
+
+
+def greedy_compact(
+    patterns: list[SIPattern], backend: str = "auto"
+) -> CompactionResult:
     """Compact ``patterns`` with the paper's greedy clique-cover heuristic.
 
     In each cycle the first uncompacted pattern seeds a merged pattern,
     which then absorbs every following pattern compatible with the merge
     accumulated so far.  Compatibility respects both symbol intersection
     and the shared-bus-line driver rule.
+
+    Args:
+        patterns: The patterns to compact.
+        backend: ``"reference"``, ``"bitset"``, or ``"auto"`` (bitset at or
+            above :data:`repro.compaction.kernel.GREEDY_AUTO_THRESHOLD`
+            patterns).  Both backends produce identical results.
     """
+    from repro.compaction import kernel
+
+    chosen = _resolve_backend(backend, len(patterns),
+                              kernel.GREEDY_AUTO_THRESHOLD)
+    incr(f"compaction.backend.{chosen}")
+    if chosen == "bitset":
+        result = kernel.greedy_compact_bitset(patterns)
+    else:
+        result = _greedy_reference(patterns)
+    incr("compaction.greedy_runs")
+    incr("compaction.patterns_merged_away",
+         result.original_count - result.compacted_count)
+    return result
+
+
+def _greedy_reference(patterns: list[SIPattern]) -> CompactionResult:
     n = len(patterns)
     used = bytearray(n)
     compacted: list[SIPattern] = []
@@ -96,8 +140,6 @@ def greedy_compact(patterns: list[SIPattern]) -> CompactionResult:
         compacted.append(SIPattern(cares=cares, bus_claims=bus_claims))
         members.append(tuple(absorbed))
 
-    incr("compaction.greedy_runs")
-    incr("compaction.patterns_merged_away", n - len(compacted))
     return CompactionResult(
         compacted=tuple(compacted),
         members=tuple(members),
@@ -105,14 +147,34 @@ def greedy_compact(patterns: list[SIPattern]) -> CompactionResult:
     )
 
 
-def color_compact(patterns: list[SIPattern]) -> CompactionResult:
+def color_compact(
+    patterns: list[SIPattern], backend: str = "auto"
+) -> CompactionResult:
     """Compact via greedy coloring of the conflict graph (Welsh–Powell).
 
     Vertices in non-increasing conflict-degree order each take the smallest
     color whose class they are compatible with; every color class becomes
-    one merged pattern.  Quadratic in the pattern count — use for
-    comparison experiments, not for the 100k-pattern production sets.
+    one merged pattern.  The reference backend builds the O(n²) pairwise
+    conflict graph; the bitset backend derives per-vertex conflict masks
+    from the packed conflict index and is the ``"auto"`` choice from
+    :data:`repro.compaction.kernel.COLOR_AUTO_THRESHOLD` patterns up.
     """
+    from repro.compaction import kernel
+
+    chosen = _resolve_backend(backend, len(patterns),
+                              kernel.COLOR_AUTO_THRESHOLD)
+    incr(f"compaction.backend.{chosen}")
+    if chosen == "bitset":
+        result = kernel.color_compact_bitset(patterns)
+    else:
+        result = _color_reference(patterns)
+    incr("compaction.color_runs")
+    incr("compaction.patterns_merged_away",
+         result.original_count - result.compacted_count)
+    return result
+
+
+def _color_reference(patterns: list[SIPattern]) -> CompactionResult:
     n = len(patterns)
     conflicts: list[list[int]] = [[] for _ in range(n)]
     for i in range(n):

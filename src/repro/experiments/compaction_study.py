@@ -61,9 +61,10 @@ class CompactionVolume:
 
 def _grouping_cell(spec):
     """Sweep cell: one grouping (two-dimensional compaction) run."""
-    soc, patterns, parts, seed = spec
+    soc, patterns, parts, seed, backend = spec
     return call_with_instrumentation(
-        build_si_test_groups, soc, patterns, parts=parts, seed=seed
+        build_si_test_groups, soc, patterns, parts=parts, seed=seed,
+        backend=backend,
     )
 
 
@@ -73,11 +74,15 @@ def measure_compaction(
     group_counts: tuple[int, ...] = (1, 2, 4, 8),
     seed: int = 0,
     jobs: int = 1,
+    backend: str = "auto",
 ) -> tuple[CompactionVolume, ...]:
     """Measure data volume across grouping choices.
 
     Group counts are independent, so ``jobs > 1`` fans them out over
-    worker processes without changing the reported volumes.
+    worker processes without changing the reported volumes.  ``backend``
+    selects the vertical compaction implementation (see
+    :func:`repro.compaction.vertical.greedy_compact`); the volumes are
+    backend-independent.
 
     Raises:
         ValueError: If ``group_counts`` is empty.
@@ -90,7 +95,7 @@ def measure_compaction(
 
     cells = run_cells(
         _grouping_cell,
-        [(soc, patterns, parts, seed) for parts in group_counts],
+        [(soc, patterns, parts, seed, backend) for parts in group_counts],
         jobs=jobs,
     )
     results = []

@@ -153,7 +153,8 @@ def format_pattern_table(
         " | ".join(cell.ljust(width) for cell, width in zip(header_cells, widths))
     ]
     lines.append("-+-".join("-" * width for width in widths))
-    for index, row in enumerate(rows, start=1):
-        body = " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
-        lines.append(body)
+    for row in rows:
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
     return "\n".join(lines)

@@ -132,3 +132,21 @@ class TestFormatting:
     def test_empty_pattern_list(self):
         table = format_pattern_table([], {1: 2})
         assert "core1 WOC" in table
+
+    def test_table_1_golden_rendering(self):
+        """Exact Table-1 style output: transition glyphs, don't-care
+        ``x`` fill, and the bus postfix column."""
+        patterns = [
+            SIPattern(
+                cares={(1, 0): RISE, (1, 2): FALL, (2, 1): STEADY_ONE},
+                bus_claims={0: 2},
+            ),
+            SIPattern(cares={(2, 0): STEADY_ZERO}, bus_claims={1: 1}),
+        ]
+        table = format_pattern_table(patterns, {1: 3, 2: 2}, bus_width=2)
+        assert table == (
+            "core1 WOC | core2 WOC | Bus\n"
+            "----------+-----------+----\n"
+            "↑ x ↓     | x 1       | 1 x\n"
+            "x x x     | 0 x       | x 1"
+        )
