@@ -20,6 +20,11 @@ Subcommands:
 * ``multisite SOC`` — multi-site throughput study.
 * ``sensitivity SOC`` — generator-knob sensitivity study.
 * ``stability SOC`` — seed-stability of the table metrics.
+* ``cache verify|gc`` — integrity-check / prune the on-disk cache store.
+
+``optimize``, ``evaluate`` and ``table`` accept ``--verify`` to re-check
+the produced schedule with the independent post-condition verifier
+(``docs/resilience.md``).
 
 See ``docs/cli.md`` for worked examples of every command.
 """
@@ -115,6 +120,35 @@ def _add_runtime_flags(parser: argparse.ArgumentParser,
     )
 
 
+def _add_verify_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="independently re-verify the produced schedule (width "
+        "budget, full core/group coverage, no rail overlap, recomputed "
+        "T_soc) and fail on any violation",
+    )
+
+
+def _verify_or_fail(soc, architecture, evaluation, groups,
+                    w_max=None) -> int:
+    """Run the post-condition verifier; print the verdict, return an
+    exit code."""
+    from repro.resilience.verify import verify_schedule
+
+    violations = verify_schedule(
+        soc, architecture, evaluation, groups, w_max=w_max
+    )
+    if violations:
+        print()
+        print("schedule verification FAILED:", file=sys.stderr)
+        for violation in violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    print()
+    print("schedule verification passed")
+    return 0
+
+
 def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--compaction-backend", choices=BACKENDS, default="auto",
@@ -192,6 +226,10 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
         save_architecture(result.architecture, args.save_arch)
         print(f"\narchitecture written to {args.save_arch}")
+    if args.verify:
+        return _verify_or_fail(
+            soc, result.architecture, evaluation, groups, w_max=args.wmax
+        )
     return 0
 
 
@@ -208,6 +246,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         f"(T_in = {evaluation.t_in}, T_si = {evaluation.t_si})"
     )
     print(render_schedule(soc, architecture, evaluation))
+    if args.verify:
+        return _verify_or_fail(soc, architecture, evaluation, groups)
     return 0
 
 
@@ -276,6 +316,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
             verbose=args.verbose,
             jobs=args.jobs,
             cache=cache,
+            verify=args.verify,
         )
     print(render_table(result))
     print(f"(elapsed: {result.elapsed_seconds:.1f}s)")
@@ -455,6 +496,30 @@ def _cmd_stability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    from repro.runtime.cache import verify_store
+
+    problems = verify_store(args.dir, quarantine=args.quarantine)
+    if not problems:
+        print(f"{args.dir}: store healthy")
+        return 0
+    for problem in problems:
+        print(problem)
+    verb = "quarantined (*.corrupt)" if args.quarantine else "found"
+    print(f"{len(problems)} bad {'entry' if len(problems) == 1 else 'entries'} {verb}")
+    return 1
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    from repro.runtime.cache import gc_store
+
+    removed = gc_store(args.dir)
+    for name in removed:
+        print(f"removed {name}")
+    print(f"{args.dir}: {len(removed)} files pruned")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-soc",
@@ -497,6 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also print the per-rail utilization report")
     optimize.add_argument("--save-arch",
                           help="write the architecture to this JSON file")
+    _add_verify_flag(optimize)
     optimize.set_defaults(func=_cmd_optimize)
 
     evaluate = sub.add_parser(
@@ -508,6 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--patterns", type=int, default=0)
     evaluate.add_argument("--parts", type=int, default=4)
     evaluate.add_argument("--seed", type=int, default=1)
+    _add_verify_flag(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
     pareto = sub.add_parser(
@@ -544,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--json", help="also write a JSON summary here")
     table.add_argument("--verbose", action="store_true")
     _add_runtime_flags(table, with_cache=True)
+    _add_verify_flag(table)
     table.set_defaults(func=_cmd_table)
 
     bounds = sub.add_parser("bounds",
@@ -651,6 +719,36 @@ def build_parser() -> argparse.ArgumentParser:
     stability.add_argument("--patterns", type=int, default=2_000)
     stability.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
     stability.set_defaults(func=_cmd_stability)
+
+    from repro.runtime.cache import DEFAULT_STORE_DIR
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect and maintain the on-disk evaluation cache"
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    cache_verify = cache_sub.add_parser(
+        "verify", help="integrity-check every store entry "
+        "(checksums, format, key aliasing)"
+    )
+    cache_verify.add_argument(
+        "dir", nargs="?", default=str(DEFAULT_STORE_DIR),
+        help="cache store directory",
+    )
+    cache_verify.add_argument(
+        "--quarantine", action="store_true",
+        help="move each bad entry aside to <name>.corrupt so later runs "
+        "recompute it",
+    )
+    cache_verify.set_defaults(func=_cmd_cache_verify)
+    cache_gc = cache_sub.add_parser(
+        "gc", help="prune quarantined entries, stale temp files, and "
+        "entries of old store versions"
+    )
+    cache_gc.add_argument(
+        "dir", nargs="?", default=str(DEFAULT_STORE_DIR),
+        help="cache store directory",
+    )
+    cache_gc.set_defaults(func=_cmd_cache_gc)
     return parser
 
 

@@ -304,7 +304,7 @@ def available() -> bool:
     if _engine is None:
         _engine = False
         toggle = os.environ.get("REPRO_COMPACTION_CSCAN", "").strip().lower()
-        if toggle not in _DISABLE_VALUES:
+        if toggle not in _DISABLE_VALUES and not _load_fault_injected():
             so_path = _compile()
             if so_path is not None:
                 try:
@@ -314,6 +314,19 @@ def available() -> bool:
                 if fn is not None and _smoke(fn):
                     _engine = fn
     return _engine is not False
+
+
+def _load_fault_injected() -> bool:
+    """``cscan.load`` injection site: a due ``cscan-compile-fail`` fault
+    makes the engine unavailable, exactly like a host with no compiler;
+    the kernel then takes its pure-Python fallback."""
+    from repro.resilience.faults import check_fault
+    from repro.runtime.instrumentation import incr
+
+    if check_fault("cscan.load") is None:
+        return False
+    incr("recovery.cscan_fallback")
+    return True
 
 
 def greedy_scan(patterns):

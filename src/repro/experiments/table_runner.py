@@ -125,6 +125,8 @@ def run_table_experiment(
     verbose: bool = False,
     jobs: int = 1,
     cache: EvaluationCache | None = None,
+    checkpoint=None,
+    verify: bool = False,
 ) -> TableResult:
     """Run the full Table 2/3 experiment for one SOC and one ``N_r``.
 
@@ -140,8 +142,30 @@ def run_table_experiment(
             is identical either way).
         cache: Optional evaluation cache memoizing grouping and optimizer
             cells across runs.
+        checkpoint: Optional
+            :class:`~repro.resilience.checkpoint.SweepCheckpoint`.  Cells
+            found in it are replayed instead of recomputed (resume after
+            a crash); every completed cell — including cache hits — is
+            recorded, so the checkpoint alone can resume the sweep.
+        verify: Independently re-verify every optimized schedule
+            (:func:`repro.resilience.verify.verify_schedule`) — cache and
+            checkpoint hits included — and raise on any violation.
     """
     start = time.perf_counter()
+
+    def lookup(key):
+        """Checkpoint first (resume correctness), then the cache."""
+        if checkpoint is not None and key in checkpoint:
+            value = checkpoint.fetch(key)
+            if value is not None:
+                return value
+        if cache is not None:
+            return cache.get(key)
+        return None
+
+    def record(key, value):
+        if checkpoint is not None:
+            checkpoint.record(key, value)
 
     result = TableResult(
         soc_name=soc.name,
@@ -158,12 +182,13 @@ def run_table_experiment(
         for parts in group_counts
     }
     pending_parts = list(group_counts)
-    if cache is not None:
+    if cache is not None or checkpoint is not None:
         still_pending = []
         for parts in pending_parts:
-            hit = cache.get(grouping_keys[parts])
+            hit = lookup(grouping_keys[parts])
             if hit is not None:
                 result.groupings[parts] = hit
+                record(grouping_keys[parts], hit)
             else:
                 still_pending.append(parts)
         pending_parts = still_pending
@@ -182,6 +207,7 @@ def run_table_experiment(
             result.groupings[parts] = grouping
             if cache is not None:
                 cache.put(grouping_keys[parts], grouping)
+            record(grouping_keys[parts], grouping)
 
     if verbose:
         for parts in group_counts:
@@ -217,20 +243,19 @@ def run_table_experiment(
     optimized_of: dict[tuple[int, int | None], object] = {}
     specs: list[tuple[int, int | None]] = []
     for w_max in widths:
-        cached_baseline = (
-            cache.get(baseline_keys[w_max]) if cache is not None else None
-        )
+        cached_baseline = lookup(baseline_keys[w_max])
         if cached_baseline is not None:
             t_baseline_of[w_max] = cached_baseline["t_baseline"]
+            record(baseline_keys[w_max], cached_baseline)
             baseline_parts = ()  # baseline architecture not needed
         else:
             baseline_parts = (None,)
         for parts in (*baseline_parts, *group_counts):
-            if cache is not None:
-                hit = cache.get(optimize_keys[(w_max, parts)])
-                if hit is not None:
-                    optimized_of[(w_max, parts)] = hit
-                    continue
+            hit = lookup(optimize_keys[(w_max, parts)])
+            if hit is not None:
+                optimized_of[(w_max, parts)] = hit
+                record(optimize_keys[(w_max, parts)], hit)
+                continue
             specs.append((w_max, parts))
 
     cell_args = [
@@ -248,6 +273,26 @@ def run_table_experiment(
         optimized_of[(w_max, parts)] = optimized
         if cache is not None:
             cache.put(optimize_keys[(w_max, parts)], optimized)
+        record(optimize_keys[(w_max, parts)], optimized)
+
+    if verify:
+        from repro.resilience.verify import (
+            ScheduleVerificationError,
+            verify_optimization,
+        )
+        from repro.runtime.instrumentation import incr
+
+        for (w_max, parts), optimized in sorted(
+            optimized_of.items(), key=lambda item: (item[0][0], repr(item[0][1]))
+        ):
+            groups = () if parts is None else result.groupings[parts].groups
+            violations = verify_optimization(soc, optimized, groups)
+            incr("verify.schedules_checked")
+            if violations:
+                incr("verify.schedules_failed")
+                raise ScheduleVerificationError(
+                    [f"W_max={w_max} i={parts}: {v}" for v in violations]
+                )
 
     # --- Assemble rows in deterministic width order. ---------------------
     for w_max in widths:
@@ -266,6 +311,9 @@ def run_table_experiment(
                     baseline_keys[w_max],
                     {"t_baseline": t_baseline_of[w_max]},
                 )
+            record(
+                baseline_keys[w_max], {"t_baseline": t_baseline_of[w_max]}
+            )
         t_grouped = {
             parts: optimized_of[(w_max, parts)].t_total
             for parts in group_counts

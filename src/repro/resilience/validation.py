@@ -1,0 +1,155 @@
+"""Strict input validation with actionable diagnostics.
+
+A malformed benchmark file or pattern set should fail *at load time*
+with a message naming the file, the line and the field — never as a
+``KeyError`` three layers deep, forty minutes into a sweep.  This module
+provides the shared :class:`ValidationError` diagnostic type and the
+schema checks used by the ITC'02 SOC parser
+(:mod:`repro.soc.itc02`) and the SI pattern/topology loaders
+(:mod:`repro.sitest.io`, :mod:`repro.sitest.topology_io`).
+
+:class:`ValidationError` subclasses :class:`ValueError`, so existing
+callers catching ``ValueError`` keep working; new callers can catch the
+richer type and read ``path`` / ``line`` / ``field`` directly.
+
+The checkers here deliberately take duck-typed objects and import
+nothing from the model packages, so any loader can use them without
+import cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ValidationError",
+    "validate_soc",
+    "validate_topology_shape",
+]
+
+
+class ValidationError(ValueError):
+    """An input failed schema validation.
+
+    Attributes:
+        path: Source file, when known.
+        line: 1-based line (or record index) within the source.
+        field: The offending field or keyword.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: str | None = None,
+        line: int | None = None,
+        field: str | None = None,
+    ) -> None:
+        self.path = path
+        self.line = line
+        self.field = field
+        self.bare_message = message
+        super().__init__(self._compose())
+
+    def _compose(self) -> str:
+        prefix = ""
+        if self.path is not None:
+            prefix += f"{self.path}: "
+        if self.line is not None:
+            prefix += f"line {self.line}: "
+        if self.field is not None:
+            prefix += f"{self.field}: "
+        return prefix + self.bare_message
+
+    def with_source(self, path: str) -> "ValidationError":
+        """Attach (or replace) the source path; returns ``self``."""
+        self.path = path
+        self.args = (self._compose(),)
+        return self
+
+
+def validate_soc(soc, path: str | None = None,
+                 lines: dict[int, int] | None = None) -> None:
+    """Schema checks on a parsed SOC beyond the model's own invariants.
+
+    The model (:mod:`repro.soc.model`) already rejects duplicate core
+    ids, negative terminal counts and non-positive scan chain lengths at
+    construction.  This adds the file-level checks a parser cannot
+    express per-core: duplicate core *names*, dangling ``Parent``
+    references, and cores declaring no tests at all.
+
+    Args:
+        soc: The parsed :class:`~repro.soc.model.Soc` (duck-typed).
+        path: Source file for diagnostics.
+        lines: Optional ``core_id -> line`` map for diagnostics.
+
+    Raises:
+        ValidationError: On the first violation.
+    """
+    lines = lines or {}
+    ids = {core.core_id for core in soc.cores}
+    seen_names: dict[str, int] = {}
+    for core in soc.cores:
+        line = lines.get(core.core_id)
+        if core.name in seen_names:
+            raise ValidationError(
+                f"duplicate core name {core.name!r} "
+                f"(already used by module {seen_names[core.name]})",
+                path=path, line=line, field="Module",
+            )
+        seen_names[core.name] = core.core_id
+        if core.parent is not None and core.parent not in ids:
+            raise ValidationError(
+                f"module {core.core_id} names unknown parent {core.parent}",
+                path=path, line=line, field="Parent",
+            )
+        if core.parent == core.core_id:
+            raise ValidationError(
+                f"module {core.core_id} is its own parent",
+                path=path, line=line, field="Parent",
+            )
+        if not core.tests:
+            raise ValidationError(
+                f"module {core.core_id} ({core.name}) declares no tests",
+                path=path, line=line, field="TotalTests",
+            )
+
+
+def validate_topology_shape(topology, path: str | None = None) -> None:
+    """Structural checks on an interconnect topology (no SOC needed).
+
+    Catches dangling interconnect endpoints that
+    :meth:`InterconnectTopology.validate` (which needs an SOC) cannot be
+    asked about at load time: duplicate net ids, nets with no receivers,
+    neighborhoods referencing unknown nets, and a non-positive bus width.
+
+    Raises:
+        ValidationError: On the first violation.
+    """
+    seen: set[int] = set()
+    for net in topology.nets:
+        if net.net_id in seen:
+            raise ValidationError(
+                f"duplicate net id {net.net_id}", path=path, field="nets"
+            )
+        seen.add(net.net_id)
+        if not net.receivers:
+            raise ValidationError(
+                f"net {net.net_id} has no receivers (dangling interconnect)",
+                path=path, field="nets",
+            )
+    if topology.bus is not None and topology.bus.width <= 0:
+        raise ValidationError(
+            f"bus width must be positive, got {topology.bus.width}",
+            path=path, field="bus",
+        )
+    for net_id, neighbors in topology.neighborhoods.items():
+        if net_id not in seen:
+            raise ValidationError(
+                f"neighborhood declared for unknown net {net_id}",
+                path=path, field="neighborhoods",
+            )
+        for neighbor in neighbors:
+            if neighbor not in seen:
+                raise ValidationError(
+                    f"net {net_id} couples to unknown net {neighbor} "
+                    "(dangling endpoint)",
+                    path=path, field="neighborhoods",
+                )

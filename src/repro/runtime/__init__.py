@@ -20,13 +20,15 @@ machinery to run those cells fast and observably:
 
 from repro.runtime.cache import (
     EvaluationCache,
+    default_codecs,
+    gc_store,
     grouping_cache_key,
     optimize_cache_key,
     soc_fingerprint,
     stable_hash,
     verify_store,
 )
-from repro.runtime.executor import CellError, run_cells
+from repro.runtime.executor import CellError, CellFailure, run_cells
 from repro.runtime.instrumentation import (
     Instrumentation,
     RunReport,
@@ -39,11 +41,14 @@ from repro.runtime.instrumentation import (
 
 __all__ = [
     "CellError",
+    "CellFailure",
     "EvaluationCache",
     "Instrumentation",
     "RunReport",
     "absorb_snapshot",
     "call_with_instrumentation",
+    "default_codecs",
+    "gc_store",
     "get_instrumentation",
     "grouping_cache_key",
     "incr",

@@ -22,12 +22,16 @@ compares equal to the object a cold run would produce.
 The on-disk store is one JSON file per entry under a directory (by
 convention ``results/cache/``); each file carries a checksum of its
 payload so :func:`verify_store` can detect truncation or hand-editing.
+Writes are atomic (temp file + ``fsync`` + rename) and a corrupt entry
+found at load time is *quarantined* — renamed to ``*.corrupt`` — and
+silently recomputed, so one torn write can never wedge a sweep.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 from collections import OrderedDict
 from pathlib import Path
 
@@ -245,11 +249,18 @@ class EvaluationCache:
             "payload": payload,
             "checksum": stable_hash(payload),
         }
+        text = json.dumps(entry, sort_keys=True) + "\n"
+        text = _corrupted_by_fault(entry, text)
         self.store_dir.mkdir(parents=True, exist_ok=True)
         path = self._entry_path(key)
+        # Atomic publish: a crash mid-write leaves only a stray *.tmp
+        # (which no store glob matches), never a torn entry.
         tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(entry, sort_keys=True) + "\n")
-        tmp.replace(path)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
         self.stores += 1
         incr("cache.stores")
 
@@ -262,13 +273,17 @@ class EvaluationCache:
         path = self._entry_path(key)
         if not path.is_file():
             return None
+        problem: str | None = None
+        entry = None
         try:
             entry = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None
-        problem = _entry_problem(entry, expected_key=key)
+        except (OSError, json.JSONDecodeError) as error:
+            problem = f"unreadable ({error})"
+        if problem is None:
+            problem = _entry_problem(entry, expected_key=key)
         if problem is not None:
             incr("cache.corrupt_entries")
+            _quarantine_entry(path)
             return None
         _, decode = codec
         return decode(entry["payload"])
@@ -285,7 +300,10 @@ class EvaluationCache:
         }
 
 
-def _default_codecs() -> dict:
+def default_codecs() -> dict:
+    """The key-prefix -> ``(encode, decode)`` map of the standard result
+    kinds (also used by :class:`repro.resilience.checkpoint.SweepCheckpoint`
+    so checkpointed cells round-trip exactly like cached ones)."""
     from repro.runtime import codec
 
     return {
@@ -293,6 +311,50 @@ def _default_codecs() -> dict:
         "optimize": (codec.optimization_to_dict, codec.optimization_from_dict),
         "baseline": (lambda value: value, lambda payload: payload),
     }
+
+
+_default_codecs = default_codecs
+
+
+def _corrupted_by_fault(entry: dict, text: str) -> str:
+    """Apply a due ``cache.store.write`` data fault to the entry text.
+
+    ``cache-truncate`` drops the second half of the file (torn write);
+    ``cache-bitflip`` flips one checksum hex digit (valid JSON, wrong
+    checksum); ``codec-mismatch`` rewrites the version (a store written
+    by an incompatible release).  With no fault plan active this is one
+    ``None`` check.
+    """
+    from repro.resilience.faults import check_fault
+
+    fault = check_fault("cache.store.write")
+    if fault is None:
+        return text
+    if fault.kind == "cache-truncate":
+        return text[: len(text) // 2]
+    if fault.kind == "cache-bitflip":
+        checksum = entry["checksum"]
+        pos = int(fault.arg) if fault.arg is not None else 0
+        pos %= len(checksum)
+        flipped = "0" if checksum[pos] != "0" else "1"
+        bad = checksum[:pos] + flipped + checksum[pos + 1:]
+        return text.replace(checksum, bad)
+    if fault.kind == "codec-mismatch":
+        bad_entry = dict(entry, version=STORE_VERSION + 1)
+        return json.dumps(bad_entry, sort_keys=True) + "\n"
+    return text
+
+
+def _quarantine_entry(path: Path) -> Path | None:
+    """Move a corrupt store entry aside as ``<name>.corrupt``; the caller
+    then recomputes as on a plain miss."""
+    quarantined = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, quarantined)
+    except OSError:  # pragma: no cover - entry vanished underneath us
+        return None
+    incr("recovery.cache_quarantined")
+    return quarantined
 
 
 def _entry_problem(entry, expected_key: str | None = None) -> str | None:
@@ -313,23 +375,64 @@ def _entry_problem(entry, expected_key: str | None = None) -> str | None:
     return None
 
 
-def verify_store(store_dir: str | Path) -> list[str]:
+def verify_store(
+    store_dir: str | Path, quarantine: bool = False
+) -> list[str]:
     """Integrity-check every entry of an on-disk cache store.
 
     Returns a list of human-readable problems; an empty list means the
     store is healthy (a missing directory counts as healthy-and-empty).
+    With ``quarantine=True`` each bad entry is also moved aside to
+    ``<name>.corrupt`` so subsequent loads recompute it.
     """
     store = Path(store_dir)
     problems: list[str] = []
     if not store.exists():
         return problems
     for path in sorted(store.glob("*.json")):
+        problem: str | None = None
         try:
             entry = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as error:
-            problems.append(f"{path.name}: unreadable ({error})")
-            continue
-        problem = _entry_problem(entry, expected_key=path.stem)
+            problem = f"unreadable ({error})"
+            entry = None
+        if problem is None:
+            problem = _entry_problem(entry, expected_key=path.stem)
         if problem is not None:
             problems.append(f"{path.name}: {problem}")
+            if quarantine:
+                _quarantine_entry(path)
     return problems
+
+
+def gc_store(store_dir: str | Path) -> list[str]:
+    """Prune store debris: quarantined entries, stale temp files, and
+    entries of an unsupported format/version.
+
+    Healthy current-version entries are never touched.  Returns the
+    removed file names.
+    """
+    store = Path(store_dir)
+    removed: list[str] = []
+    if not store.exists():
+        return removed
+    for path in sorted(store.glob("*.corrupt")) + sorted(store.glob("*.tmp")):
+        path.unlink(missing_ok=True)
+        removed.append(path.name)
+    for path in sorted(store.glob("*.json")):
+        stale = False
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue  # torn entry: verify/quarantine territory, not gc
+        if isinstance(entry, dict) and (
+            entry.get("format") != STORE_FORMAT
+            or entry.get("version") != STORE_VERSION
+        ):
+            stale = True
+        if stale:
+            path.unlink(missing_ok=True)
+            removed.append(path.name)
+    if removed:
+        incr("cache.gc_removed", len(removed))
+    return removed

@@ -10,15 +10,20 @@ Fault handling, in order of escalation:
 
 * ``jobs <= 1``, a single cell, or a pool that cannot be created (e.g.
   a sandbox without process support) → plain serial execution;
-* a cell that raises, times out, or dies with its worker process → one
-  serial retry in the parent process (covers transient faults such as an
-  OOM-killed worker — and a hard bug reproduces identically in the
-  parent, where it is debuggable);
+* a cell that raises, times out, returns a result its validator rejects,
+  or dies with its worker process → one serial retry in the parent
+  process (covers transient faults such as an OOM-killed worker — and a
+  hard bug reproduces identically in the parent, where it is debuggable);
 * a cell that fails its serial retry → :class:`CellError` carrying the
-  cell index and the original failure.
+  cell index, both failures chained (`retry failure from original
+  failure`), and the spec.
 
 Workers must be module-level callables and specs picklable; both are
 standard :mod:`multiprocessing` constraints.
+
+When a fault plan is active (:mod:`repro.resilience.faults`), the worker
+is wrapped with the ``executor.cell`` injection site; with no plan the
+wrap is an identity and the hot path is untouched.
 """
 
 from __future__ import annotations
@@ -35,11 +40,16 @@ class CellError(RuntimeError):
 
     def __init__(self, index: int, spec, cause: BaseException) -> None:
         super().__init__(
-            f"sweep cell {index} failed after parallel attempt and serial "
-            f"retry: {cause!r}"
+            f"sweep cell {index} (spec {spec!r}) failed after parallel "
+            f"attempt and serial retry: {cause!r}"
         )
         self.index = index
         self.spec = spec
+        self.cause = cause
+
+
+#: Public name for the structured failure the executor escalates to.
+CellFailure = CellError
 
 
 def run_cells(
@@ -48,6 +58,7 @@ def run_cells(
     jobs: int = 1,
     timeout: float | None = None,
     retry: bool = True,
+    validate: Callable | None = None,
 ) -> list:
     """Run ``worker(spec)`` for every spec, possibly in parallel.
 
@@ -60,6 +71,11 @@ def run_cells(
             abandoned in the pool and retried serially.
         retry: Retry failed/timed-out cells serially in the parent before
             giving up.  With ``retry=False`` the first failure raises.
+        validate: Optional result validator; a result it raises on (or
+            returns ``False`` for) is treated exactly like a raising
+            cell — retried serially, then escalated to
+            :class:`CellError`.  Guards against garbage/partial payloads
+            from a sick worker process.
 
     Returns:
         Results in the order of ``specs``.
@@ -71,15 +87,19 @@ def run_cells(
     specs = list(specs)
     if not specs:
         return []
+    from repro.resilience.faults import wrap_worker
+
+    worker = wrap_worker(worker)
     if jobs <= 1 or len(specs) == 1:
-        return _run_serial(worker, specs, retry)
+        return _run_serial(worker, specs, retry, validate)
 
     try:
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(specs)))
     except (OSError, ValueError, NotImplementedError):
         # No process support here (restricted sandbox); degrade gracefully.
         incr("executor.serial_fallbacks")
-        return _run_serial(worker, specs, retry)
+        incr("recovery.pool_serial_fallback")
+        return _run_serial(worker, specs, retry, validate)
 
     results: list = [None] * len(specs)
     needs_retry: list[tuple[int, BaseException]] = []
@@ -107,6 +127,13 @@ def run_cells(
                     pool_broken = True
                     incr("executor.pool_failures")
                 needs_retry.append((index, error))
+            else:
+                problem = _invalid(validate, results[index])
+                if problem is not None:
+                    results[index] = None
+                    incr("executor.invalid_results")
+                    incr("recovery.garbage_results")
+                    needs_retry.append((index, problem))
     finally:
         # A timed-out or broken pool may hold hung workers; do not block
         # shutdown on them.
@@ -117,25 +144,63 @@ def run_cells(
             raise CellError(index, specs[index], cause) from cause
         incr("executor.cell_retries")
         try:
-            results[index] = worker(specs[index])
+            value = worker(specs[index])
+            problem = _invalid(validate, value)
+            if problem is not None:
+                raise problem
         except Exception as error:
+            if error.__cause__ is None and error is not cause:
+                error.__cause__ = cause
             raise CellError(index, specs[index], error) from error
+        results[index] = value
+        incr("recovery.cell_retry_ok")
     return results
 
 
-def _run_serial(worker: Callable, specs: list, retry: bool) -> list:
+def _invalid(validate: Callable | None, value) -> Exception | None:
+    """The exception describing why ``value`` fails ``validate``, if any."""
+    if validate is None:
+        return None
+    try:
+        verdict = validate(value)
+    except Exception as error:
+        return error
+    if verdict is False:
+        return ValueError(f"worker returned invalid result {value!r}")
+    return None
+
+
+def _run_serial(
+    worker: Callable,
+    specs: list,
+    retry: bool,
+    validate: Callable | None = None,
+) -> list:
     results = []
     for index, spec in enumerate(specs):
         try:
-            results.append(worker(spec))
+            value = worker(spec)
+            problem = _invalid(validate, value)
+            if problem is not None:
+                incr("recovery.garbage_results")
+                raise problem
         except Exception as error:
             if not retry:
                 raise CellError(index, spec, error) from error
             incr("executor.cell_retries")
             try:
-                results.append(worker(spec))
+                value = worker(spec)
+                problem = _invalid(validate, value)
+                if problem is not None:
+                    raise problem
             except Exception as second:
+                # Chain the retry's failure onto the original so neither
+                # traceback is lost in the escalation.
+                if second.__cause__ is None and second is not error:
+                    second.__cause__ = error
                 raise CellError(index, spec, second) from second
+            incr("recovery.cell_retry_ok")
+        results.append(value)
     return results
 
 

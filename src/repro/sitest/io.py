@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.resilience.validation import ValidationError
 from repro.sitest.patterns import SIPattern, SYMBOLS
 from repro.soc.model import Soc
 
@@ -66,20 +67,20 @@ def patterns_from_dict(data: dict) -> list[SIPattern]:
     """Rebuild a pattern set from :func:`patterns_to_dict` output.
 
     Raises:
-        ValueError: On an unrecognized payload or malformed entries.
+        ValidationError: On an unrecognized payload or malformed entries.
     """
     if data.get("format") != _FORMAT:
-        raise ValueError(
+        raise ValidationError(
             f"not an SI pattern payload (format={data.get('format')!r})"
         )
     if data.get("version") != _VERSION:
-        raise ValueError(f"unsupported version {data.get('version')!r}")
+        raise ValidationError(f"unsupported version {data.get('version')!r}")
     patterns = []
     for index, entry in enumerate(data.get("patterns", [])):
         cares = {}
         for item in entry.get("cares", []):
             if len(item) != 3:
-                raise ValueError(f"pattern {index}: malformed care {item}")
+                raise ValidationError(f"pattern {index}: malformed care {item}")
             core_id, terminal, symbol = item
             cares[(int(core_id), int(terminal))] = symbol
         bus_claims = {
@@ -107,8 +108,17 @@ def save_patterns(
 
 
 def load_patterns(path: str | Path) -> list[SIPattern]:
-    """Read a pattern set from a JSON file."""
-    return patterns_from_dict(json.loads(Path(path).read_text()))
+    """Read a pattern set from a JSON file; diagnostics carry the path."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise ValidationError(
+            f"invalid JSON: {error}", path=str(path)
+        ) from error
+    try:
+        return patterns_from_dict(data)
+    except ValidationError as error:
+        raise error.with_source(str(path))
 
 
 def validate_patterns(
@@ -116,8 +126,8 @@ def validate_patterns(
     patterns: list[SIPattern],
     bus_width: int = 32,
 ) -> None:
-    """Check a pattern set against an SOC; raise ``ValueError`` on the
-    first violation.
+    """Check a pattern set against an SOC; raise
+    :class:`ValidationError` on the first violation.
 
     Validated: symbols, core ids, terminal indices within each core's
     wrapper-output-cell range, bus lines within the bus width, bus driver
@@ -127,30 +137,30 @@ def validate_patterns(
     for index, pattern in enumerate(patterns):
         for (core_id, terminal), symbol in pattern.cares.items():
             if symbol not in SYMBOLS:
-                raise ValueError(
+                raise ValidationError(
                     f"pattern {index}: invalid symbol {symbol!r}"
                 )
             if core_id not in woc_of:
-                raise ValueError(
+                raise ValidationError(
                     f"pattern {index}: unknown core {core_id}"
                 )
             if not 0 <= terminal < woc_of[core_id]:
-                raise ValueError(
+                raise ValidationError(
                     f"pattern {index}: terminal {terminal} out of range "
                     f"for core {core_id} ({woc_of[core_id]} output cells)"
                 )
         for line, driver in pattern.bus_claims.items():
             if not 0 <= line < bus_width:
-                raise ValueError(
+                raise ValidationError(
                     f"pattern {index}: bus line {line} outside the "
                     f"{bus_width}-bit bus"
                 )
             if driver not in woc_of:
-                raise ValueError(
+                raise ValidationError(
                     f"pattern {index}: bus driver core {driver} unknown"
                 )
         if pattern.victim is not None and pattern.victim not in pattern.cares:
-            raise ValueError(
+            raise ValidationError(
                 f"pattern {index}: victim {pattern.victim} carries no "
                 "care bit"
             )

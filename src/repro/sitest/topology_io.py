@@ -21,6 +21,10 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.resilience.validation import (
+    ValidationError,
+    validate_topology_shape,
+)
 from repro.sitest.topology import InterconnectTopology, Net, SharedBus
 
 _FORMAT = "repro-topology"
@@ -57,14 +61,14 @@ def topology_from_dict(data: dict) -> InterconnectTopology:
     """Rebuild a topology from :func:`topology_to_dict` output.
 
     Raises:
-        ValueError: On an unrecognized payload.
+        ValidationError: On an unrecognized payload.
     """
     if data.get("format") != _FORMAT:
-        raise ValueError(
+        raise ValidationError(
             f"not a topology payload (format={data.get('format')!r})"
         )
     if data.get("version") != _VERSION:
-        raise ValueError(f"unsupported version {data.get('version')!r}")
+        raise ValidationError(f"unsupported version {data.get('version')!r}")
     nets = [
         Net(
             net_id=int(entry["id"]),
@@ -93,5 +97,21 @@ def save_topology(topology: InterconnectTopology, path: str | Path) -> None:
 
 
 def load_topology(path: str | Path) -> InterconnectTopology:
-    """Read a topology from a JSON file."""
-    return topology_from_dict(json.loads(Path(path).read_text()))
+    """Read a topology from a JSON file; diagnostics carry the path.
+
+    Beyond decoding, the loaded topology is shape-checked
+    (:func:`validate_topology_shape`): duplicate net ids, dangling
+    endpoints and a non-positive bus width are rejected at load time.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise ValidationError(
+            f"invalid JSON: {error}", path=str(path)
+        ) from error
+    try:
+        topology = topology_from_dict(data)
+    except ValidationError as error:
+        raise error.with_source(str(path))
+    validate_topology_shape(topology, path=str(path))
+    return topology

@@ -20,6 +20,13 @@ The grammar implemented here follows the published ITC'02 benchmark files
 Lines starting with ``#`` and blank lines are ignored; indentation is not
 significant.  The writer emits exactly this grammar, so
 ``parse(dumps(soc)) == soc`` round-trips.
+
+Beyond the grammar, :func:`parse` schema-checks the result — negative
+counts, duplicate module names, dangling ``Parent`` references and
+test-less modules are rejected with the offending line number — and
+:func:`parse_file` stamps the file path onto every diagnostic, so a bad
+benchmark fails at load time with an actionable message instead of a
+deep stack trace mid-sweep.
 """
 
 from __future__ import annotations
@@ -27,14 +34,16 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterator
 
+from repro.resilience.validation import ValidationError, validate_soc
 from repro.soc.model import Core, CoreTest, Soc
 
 
-class Itc02ParseError(ValueError):
+class Itc02ParseError(ValidationError):
     """Raised on malformed ITC'02 benchmark text, with a line number."""
 
-    def __init__(self, line_no: int, message: str) -> None:
-        super().__init__(f"line {line_no}: {message}")
+    def __init__(self, line_no: int, message: str,
+                 field: str | None = None) -> None:
+        super().__init__(message, line=line_no, field=field)
         self.line_no = line_no
 
 
@@ -74,18 +83,29 @@ def _expect_keyword(stream: _TokenStream, keyword: str) -> tuple[int, list[str]]
     return line_no, tokens
 
 
-def _parse_int(line_no: int, token: str, label: str) -> int:
+def _parse_int(
+    line_no: int, token: str, label: str, minimum: int | None = None
+) -> int:
     try:
-        return int(token)
+        value = int(token)
     except ValueError:
-        raise Itc02ParseError(line_no, f"{label}: expected integer, got '{token}'")
+        raise Itc02ParseError(
+            line_no, f"expected integer, got '{token}'", field=label
+        )
+    if minimum is not None and value < minimum:
+        raise Itc02ParseError(
+            line_no, f"expected integer >= {minimum}, got {value}", field=label
+        )
+    return value
 
 
-def _parse_keyed_int(stream: _TokenStream, keyword: str) -> int:
+def _parse_keyed_int(
+    stream: _TokenStream, keyword: str, minimum: int | None = None
+) -> int:
     line_no, tokens = _expect_keyword(stream, keyword)
     if len(tokens) != 2:
         raise Itc02ParseError(line_no, f"'{keyword}' takes exactly one value")
-    return _parse_int(line_no, tokens[1], keyword)
+    return _parse_int(line_no, tokens[1], keyword, minimum)
 
 
 def _parse_bool(stream: _TokenStream, keyword: str) -> bool:
@@ -99,7 +119,7 @@ def _parse_scan_chains(stream: _TokenStream) -> tuple[int, ...]:
     line_no, tokens = _expect_keyword(stream, "ScanChains")
     if len(tokens) < 2:
         raise Itc02ParseError(line_no, "'ScanChains' requires a count")
-    count = _parse_int(line_no, tokens[1], "ScanChains count")
+    count = _parse_int(line_no, tokens[1], "ScanChains count", minimum=0)
     if count == 0:
         if len(tokens) > 2:
             raise Itc02ParseError(line_no, "lengths given for zero scan chains")
@@ -107,7 +127,8 @@ def _parse_scan_chains(stream: _TokenStream) -> tuple[int, ...]:
     if len(tokens) < 3 or tokens[2] != ":":
         raise Itc02ParseError(line_no, "expected ':' before scan chain lengths")
     lengths = tuple(
-        _parse_int(line_no, token, "scan chain length") for token in tokens[3:]
+        _parse_int(line_no, token, "scan chain length", minimum=1)
+        for token in tokens[3:]
     )
     if len(lengths) != count:
         raise Itc02ParseError(
@@ -121,29 +142,29 @@ def _parse_test(stream: _TokenStream) -> CoreTest:
     _expect_keyword(stream, "Test")
     scan_use = _parse_bool(stream, "ScanUse")
     tam_use = _parse_bool(stream, "TamUse")
-    patterns = _parse_keyed_int(stream, "Patterns")
+    patterns = _parse_keyed_int(stream, "Patterns", minimum=0)
     return CoreTest(patterns=patterns, scan_use=scan_use, tam_use=tam_use)
 
 
-def _parse_module(stream: _TokenStream) -> Core:
+def _parse_module(stream: _TokenStream) -> tuple[Core, int]:
     line_no, tokens = _expect_keyword(stream, "Module")
     if len(tokens) < 2:
         raise Itc02ParseError(line_no, "'Module' requires an id")
-    core_id = _parse_int(line_no, tokens[1], "module id")
+    core_id = _parse_int(line_no, tokens[1], "module id", minimum=0)
     name = tokens[2].strip("'\"") if len(tokens) > 2 else f"module{core_id}"
 
-    level = _parse_keyed_int(stream, "Level")
+    level = _parse_keyed_int(stream, "Level", minimum=0)
     parent = None
     peeked = stream.peek()
     if peeked is not None and peeked[1][0] == "Parent":
-        parent = _parse_keyed_int(stream, "Parent")
-    inputs = _parse_keyed_int(stream, "Inputs")
-    outputs = _parse_keyed_int(stream, "Outputs")
-    bidirs = _parse_keyed_int(stream, "Bidirs")
+        parent = _parse_keyed_int(stream, "Parent", minimum=0)
+    inputs = _parse_keyed_int(stream, "Inputs", minimum=0)
+    outputs = _parse_keyed_int(stream, "Outputs", minimum=0)
+    bidirs = _parse_keyed_int(stream, "Bidirs", minimum=0)
     scan_chains = _parse_scan_chains(stream)
-    total_tests = _parse_keyed_int(stream, "TotalTests")
+    total_tests = _parse_keyed_int(stream, "TotalTests", minimum=0)
     tests = tuple(_parse_test(stream) for _ in range(total_tests))
-    return Core(
+    core = Core(
         core_id=core_id,
         name=name,
         inputs=inputs,
@@ -154,6 +175,7 @@ def _parse_module(stream: _TokenStream) -> Core:
         level=level,
         parent=parent,
     )
+    return core, line_no
 
 
 def parse(text: str) -> Soc:
@@ -162,29 +184,41 @@ def parse(text: str) -> Soc:
     Raises:
         Itc02ParseError: On any grammar violation, with the offending
             line number in the message.
+        ValidationError: On a schema violation the grammar cannot see
+            (duplicate module name, dangling ``Parent``, test-less
+            module), also with the offending line number.
     """
     stream = _TokenStream(text)
     line_no, tokens = _expect_keyword(stream, "SocName")
     if len(tokens) != 2:
         raise Itc02ParseError(line_no, "'SocName' takes exactly one value")
     name = tokens[1]
-    total_modules = _parse_keyed_int(stream, "TotalModules")
+    total_modules = _parse_keyed_int(stream, "TotalModules", minimum=0)
 
     cores = []
+    module_lines: dict[int, int] = {}
     while not stream.exhausted:
-        cores.append(_parse_module(stream))
+        core, module_line = _parse_module(stream)
+        cores.append(core)
+        module_lines.setdefault(core.core_id, module_line)
     if len(cores) != total_modules:
         raise Itc02ParseError(
             line_no,
             f"TotalModules declares {total_modules} modules "
             f"but file contains {len(cores)}",
         )
-    return Soc(name=name, cores=tuple(cores))
+    soc = Soc(name=name, cores=tuple(cores))
+    validate_soc(soc, lines=module_lines)
+    return soc
 
 
 def parse_file(path: str | Path) -> Soc:
-    """Parse an ITC'02 benchmark file from disk."""
-    return parse(Path(path).read_text())
+    """Parse an ITC'02 benchmark file from disk; diagnostics carry the
+    file path."""
+    try:
+        return parse(Path(path).read_text())
+    except ValidationError as error:
+        raise error.with_source(str(path))
 
 
 def _dump_lines(soc: Soc) -> Iterator[str]:

@@ -1,0 +1,19 @@
+"""Shared guards for the resilience suite."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_state():
+    """Every test starts and ends with fault injection off."""
+    faults.reset()
+    os.environ.pop(faults.ENV_VAR, None)
+    yield
+    faults.reset()
+    os.environ.pop(faults.ENV_VAR, None)

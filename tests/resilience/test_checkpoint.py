@@ -1,0 +1,174 @@
+"""Crash-safe checkpointing and the kill+resume equivalence proof."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.optimizer import optimize_tam
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.faults import ABORT_EXIT_CODE
+from repro.runtime.cache import baseline_cache_key, optimize_cache_key
+from repro.runtime.instrumentation import Instrumentation, use_instrumentation
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RUN_EXPERIMENTS = REPO_ROOT / "tools" / "run_experiments.py"
+
+
+class TestSweepCheckpoint:
+    def test_record_fetch_round_trip(self, tmp_path, t5):
+        result = optimize_tam(t5, 8)
+        key = optimize_cache_key(t5, 8, ())
+        path = tmp_path / "checkpoint.json"
+        checkpoint = SweepCheckpoint(path)
+        checkpoint.record(key, result)
+        assert key in checkpoint and len(checkpoint) == 1
+
+        resumed = SweepCheckpoint(path)
+        assert resumed.resumed_from_disk
+        assert resumed.fetch(key) == result
+
+    def test_baseline_cells_round_trip(self, tmp_path, t5):
+        key = baseline_cache_key(t5, 16, [])
+        checkpoint = SweepCheckpoint(tmp_path / "checkpoint.json")
+        checkpoint.record(key, {"t_baseline": 321})
+        assert SweepCheckpoint(checkpoint.path).fetch(key) == {
+            "t_baseline": 321
+        }
+
+    def test_atomic_flush_leaves_no_temp_file(self, tmp_path, t5):
+        checkpoint = SweepCheckpoint(tmp_path / "checkpoint.json")
+        checkpoint.record(baseline_cache_key(t5, 8, []), {"t_baseline": 1})
+        assert checkpoint.path.is_file()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_duplicate_record_does_not_rewrite(self, tmp_path, t5):
+        key = baseline_cache_key(t5, 8, [])
+        instrumentation = Instrumentation()
+        with use_instrumentation(instrumentation):
+            checkpoint = SweepCheckpoint(tmp_path / "checkpoint.json")
+            checkpoint.record(key, {"t_baseline": 1})
+            checkpoint.record(key, {"t_baseline": 999})  # ignored
+        assert instrumentation.counters["checkpoint.cells_recorded"] == 1
+        assert checkpoint.fetch(key) == {"t_baseline": 1}
+
+    def test_unknown_key_prefix_is_ignored(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "checkpoint.json")
+        checkpoint.record("mystery-0000", {"x": 1})
+        assert len(checkpoint) == 0
+        assert checkpoint.fetch("mystery-0000") is None
+
+    def test_clear_removes_the_file(self, tmp_path, t5):
+        checkpoint = SweepCheckpoint(tmp_path / "checkpoint.json")
+        checkpoint.record(baseline_cache_key(t5, 8, []), {"t_baseline": 1})
+        checkpoint.clear()
+        assert not checkpoint.path.exists()
+        assert len(checkpoint) == 0
+
+    @pytest.mark.parametrize(
+        "corruption, problem_hint",
+        [
+            (lambda text: "{torn" + text[: len(text) // 2], "unreadable"),
+            (lambda text: text.replace(
+                '"repro-sweep-checkpoint"', '"something-else"'
+            ), "format"),
+            (None, "checksum"),  # checksum flip handled below
+        ],
+    )
+    def test_corrupt_checkpoint_quarantined_and_fresh(
+        self, tmp_path, t5, corruption, problem_hint
+    ):
+        path = tmp_path / "checkpoint.json"
+        checkpoint = SweepCheckpoint(path)
+        checkpoint.record(baseline_cache_key(t5, 8, []), {"t_baseline": 1})
+
+        if corruption is None:  # flip one checksum hex digit
+            entry = json.loads(path.read_text())
+            digit = entry["checksum"][0]
+            entry["checksum"] = (
+                ("0" if digit != "0" else "1") + entry["checksum"][1:]
+            )
+            path.write_text(json.dumps(entry))
+        else:
+            path.write_text(corruption(path.read_text()))
+
+        instrumentation = Instrumentation()
+        with use_instrumentation(instrumentation):
+            with pytest.warns(RuntimeWarning, match=problem_hint):
+                fresh = SweepCheckpoint(path)
+        assert not fresh.resumed_from_disk
+        assert len(fresh) == 0
+        assert not path.exists()  # moved aside
+        assert path.with_name("checkpoint.json.corrupt").is_file()
+        counters = instrumentation.counters
+        assert counters["recovery.checkpoint_quarantined"] == 1
+
+    def test_resume_counters(self, tmp_path, t5):
+        key = baseline_cache_key(t5, 8, [])
+        SweepCheckpoint(tmp_path / "c.json").record(key, {"t_baseline": 1})
+        instrumentation = Instrumentation()
+        with use_instrumentation(instrumentation):
+            resumed = SweepCheckpoint(tmp_path / "c.json")
+            resumed.fetch(key)
+        counters = instrumentation.counters
+        assert counters["checkpoint.loaded_cells"] == 1
+        assert counters["checkpoint.cells_resumed"] == 1
+
+
+def _run_sweep(out_dir, fault=None):
+    env = os.environ.copy()
+    env.pop("REPRO_FAULT_PLAN", None)
+    if fault is not None:
+        env["REPRO_FAULT_PLAN"] = fault
+    command = [
+        sys.executable, str(RUN_EXPERIMENTS),
+        "--soc", "t5", "--patterns", "300", "--widths", "8", "16",
+        "--parts", "1", "2", "--out", str(out_dir),
+        "--no-cache", "--quiet", "--resume",
+    ]
+    return subprocess.run(
+        command, env=env, capture_output=True, text=True, cwd=REPO_ROOT,
+        timeout=300,
+    )
+
+
+class TestKillAndResume:
+    """ISSUE acceptance: kill a sweep mid-flight (deterministically, via
+    the ``sweep-abort`` fault at the 4th checkpointed cell), resume with
+    ``--resume``, and prove the output tables are bit-identical to an
+    uninterrupted run."""
+
+    def test_resumed_run_is_bit_identical(self, tmp_path):
+        clean_dir = tmp_path / "clean"
+        resumed_dir = tmp_path / "resumed"
+
+        clean = _run_sweep(clean_dir)
+        assert clean.returncode == 0, clean.stderr
+
+        killed = _run_sweep(resumed_dir, fault="sweep-abort@4")
+        assert killed.returncode == ABORT_EXIT_CODE
+        assert (resumed_dir / "checkpoint.json").is_file()
+        assert not (resumed_dir / "table_t5_nr300.txt").exists()
+
+        resumed = _run_sweep(resumed_dir)
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resuming:" in resumed.stdout
+
+        clean_table = (clean_dir / "table_t5_nr300.txt").read_bytes()
+        resumed_table = (resumed_dir / "table_t5_nr300.txt").read_bytes()
+        assert clean_table == resumed_table
+
+        clean_json = json.loads(
+            (clean_dir / "table_t5_nr300.json").read_text()
+        )
+        resumed_json = json.loads(
+            (resumed_dir / "table_t5_nr300.json").read_text()
+        )
+        clean_json.pop("elapsed_seconds", None)
+        resumed_json.pop("elapsed_seconds", None)
+        assert clean_json == resumed_json

@@ -1,0 +1,220 @@
+"""Strict input validation: diagnostics name the file, line and field."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience.validation import ValidationError
+from repro.sitest.io import load_patterns
+from repro.sitest.topology_io import load_topology
+from repro.soc.itc02 import Itc02ParseError, parse, parse_file
+
+MINIMAL = """
+SocName demo
+TotalModules 1
+Module 1 'only'
+  Level 1
+  Inputs 2
+  Outputs 3
+  Bidirs 1
+  ScanChains 2 : 10 9
+  TotalTests 1
+  Test 1
+    ScanUse 1
+    TamUse 1
+    Patterns 42
+"""
+
+
+def _two_modules(second_name="'other'", second_extra=""):
+    """MINIMAL extended with a second module (optionally customized)."""
+    return (
+        MINIMAL.replace("TotalModules 1", "TotalModules 2")
+        + f"Module 2 {second_name}\n"
+        + "  Level 1\n"
+        + second_extra
+        + "  Inputs 1\n  Outputs 1\n  Bidirs 0\n"
+        + "  ScanChains 0\n  TotalTests 1\n"
+        + "  Test 1\n    ScanUse 0\n    TamUse 1\n    Patterns 5\n"
+    )
+
+
+class TestValidationError:
+    def test_composes_path_line_field(self):
+        error = ValidationError("bad value", path="a.soc", line=7,
+                                field="Inputs")
+        assert str(error) == "a.soc: line 7: Inputs: bad value"
+        assert error.bare_message == "bad value"
+
+    def test_partial_context(self):
+        assert str(ValidationError("oops", line=3)) == "line 3: oops"
+        assert str(ValidationError("oops")) == "oops"
+
+    def test_with_source_stamps_path(self):
+        error = ValidationError("bad value", line=7, field="Inputs")
+        assert error.with_source("b.soc") is error
+        assert str(error) == "b.soc: line 7: Inputs: bad value"
+
+    def test_is_a_value_error(self):
+        assert isinstance(ValidationError("x"), ValueError)
+
+
+class TestItc02Schema:
+    def test_negative_count_rejected_with_line(self):
+        with pytest.raises(Itc02ParseError, match="integer >= 0") as excinfo:
+            parse(MINIMAL.replace("Inputs 2", "Inputs -2"))
+        assert excinfo.value.line == 6  # the Inputs line of MINIMAL
+        assert excinfo.value.field == "Inputs"
+
+    def test_zero_scan_chain_length_rejected(self):
+        with pytest.raises(Itc02ParseError, match="integer >= 1"):
+            parse(MINIMAL.replace("ScanChains 2 : 10 9",
+                                  "ScanChains 2 : 10 0"))
+
+    def test_negative_patterns_rejected(self):
+        with pytest.raises(Itc02ParseError, match="integer >= 0"):
+            parse(MINIMAL.replace("Patterns 42", "Patterns -1"))
+
+    def test_duplicate_module_name_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate core name") \
+                as excinfo:
+            parse(_two_modules(second_name="'only'"))
+        assert excinfo.value.field == "Module"
+        # the diagnostic points at the *second* module's line
+        assert excinfo.value.line > 4
+
+    def test_dangling_parent_rejected(self):
+        with pytest.raises(ValidationError, match="unknown parent 99"):
+            parse(_two_modules(second_extra="  Parent 99\n"))
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(ValidationError, match="its own parent"):
+            parse(_two_modules(second_extra="  Parent 2\n"))
+
+    def test_testless_module_rejected(self):
+        text = MINIMAL.replace("TotalTests 1", "TotalTests 0")
+        text = "\n".join(
+            line for line in text.splitlines()
+            if not any(k in line for k in ("Test 1", "ScanUse",
+                                           "TamUse", "Patterns"))
+        )
+        with pytest.raises(ValidationError, match="declares no tests"):
+            parse(text)
+
+    def test_parse_file_stamps_path(self, tmp_path):
+        path = tmp_path / "bad.soc"
+        path.write_text(MINIMAL.replace("Inputs 2", "Inputs -2"))
+        with pytest.raises(ValidationError) as excinfo:
+            parse_file(path)
+        assert excinfo.value.path == str(path)
+        assert str(excinfo.value).startswith(str(path))
+
+    def test_parse_file_stamps_path_on_schema_error(self, tmp_path):
+        path = tmp_path / "dup.soc"
+        path.write_text(_two_modules(second_name="'only'"))
+        with pytest.raises(ValidationError) as excinfo:
+            parse_file(path)
+        assert excinfo.value.path == str(path)
+
+
+def _topology_data(**overrides):
+    data = {
+        "format": "repro-topology",
+        "version": 1,
+        "nets": [
+            {"id": 0, "driver": [1, 0], "receivers": [2]},
+            {"id": 1, "driver": [2, 0], "receivers": [1]},
+        ],
+        "neighborhoods": {"0": [1], "1": [0]},
+    }
+    data.update(overrides)
+    return data
+
+
+class TestTopologyLoader:
+    def _write(self, tmp_path, data):
+        path = tmp_path / "topology.json"
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_valid_topology_loads(self, tmp_path):
+        topology = load_topology(self._write(tmp_path, _topology_data()))
+        assert len(topology.nets) == 2
+
+    @pytest.mark.parametrize(
+        "overrides, message",
+        [
+            (
+                {"nets": [
+                    {"id": 0, "driver": [1, 0], "receivers": [2]},
+                    {"id": 0, "driver": [2, 0], "receivers": [1]},
+                ], "neighborhoods": {}},
+                "duplicate net id 0",
+            ),
+            (
+                {"nets": [{"id": 0, "driver": [1, 0], "receivers": []}],
+                 "neighborhoods": {}},
+                "no receivers",
+            ),
+            (
+                {"bus": {"width": 0, "cores": [1, 2]}},
+                "bus width must be positive",
+            ),
+            (
+                {"neighborhoods": {"5": [0]}},
+                "unknown net 5",
+            ),
+            (
+                {"neighborhoods": {"0": [9]}},
+                "couples to unknown net 9",
+            ),
+        ],
+    )
+    def test_shape_violations_rejected(self, tmp_path, overrides, message):
+        path = self._write(tmp_path, _topology_data(**overrides))
+        with pytest.raises(ValidationError, match=message) as excinfo:
+            load_topology(path)
+        assert excinfo.value.path == str(path)
+
+    def test_invalid_json_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="invalid JSON") as excinfo:
+            load_topology(path)
+        assert excinfo.value.path == str(path)
+
+    def test_wrong_format_names_the_file(self, tmp_path):
+        path = self._write(tmp_path, _topology_data(format="bogus"))
+        with pytest.raises(ValidationError, match="not a topology") as excinfo:
+            load_topology(path)
+        assert excinfo.value.path == str(path)
+
+
+class TestPatternLoader:
+    def test_invalid_json_names_the_file(self, tmp_path):
+        path = tmp_path / "patterns.json"
+        path.write_text("[truncated")
+        with pytest.raises(ValidationError, match="invalid JSON") as excinfo:
+            load_patterns(path)
+        assert excinfo.value.path == str(path)
+
+    def test_wrong_format_names_the_file(self, tmp_path):
+        path = tmp_path / "patterns.json"
+        path.write_text(json.dumps({"format": "bogus", "version": 1}))
+        with pytest.raises(ValidationError, match="not an SI pattern") \
+                as excinfo:
+            load_patterns(path)
+        assert excinfo.value.path == str(path)
+
+    def test_malformed_care_rejected(self, tmp_path):
+        path = tmp_path / "patterns.json"
+        path.write_text(json.dumps({
+            "format": "repro-si-patterns",
+            "version": 1,
+            "bus_width": 32,
+            "patterns": [{"cares": [[1, 0]]}],
+        }))
+        with pytest.raises(ValidationError, match="malformed care"):
+            load_patterns(path)

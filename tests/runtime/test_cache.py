@@ -153,3 +153,84 @@ class TestIntegrity:
         key = self._seed_store(t5, tmp_path)
         (tmp_path / f"{key}.json").rename(tmp_path / "optimize-wrong.json")
         assert any("key mismatch" in p for p in verify_store(tmp_path))
+
+
+class TestQuarantineAndGc:
+    def _seed_store(self, t5, store_dir):
+        result = optimize_tam(t5, 8)
+        key = optimize_cache_key(t5, 8, ())
+        EvaluationCache(store_dir=store_dir).put(key, result)
+        return key, result
+
+    def test_detects_single_bit_flip(self, t5, tmp_path):
+        # Flip one checksum hex digit: the entry is still valid JSON but
+        # fails its integrity check.
+        key, _ = self._seed_store(t5, tmp_path)
+        path = tmp_path / f"{key}.json"
+        entry = json.loads(path.read_text())
+        digit = entry["checksum"][0]
+        entry["checksum"] = ("0" if digit != "0" else "1") + entry["checksum"][1:]
+        path.write_text(json.dumps(entry))
+        assert any("checksum" in p for p in verify_store(tmp_path))
+
+    def test_verify_store_quarantine_moves_entries_aside(self, t5, tmp_path):
+        key, result = self._seed_store(t5, tmp_path)
+        path = tmp_path / f"{key}.json"
+        path.write_text(path.read_text()[:40])  # torn write
+
+        problems = verify_store(tmp_path, quarantine=True)
+        assert len(problems) == 1
+        assert not path.exists()
+        assert (tmp_path / f"{key}.json.corrupt").is_file()
+        # quarantined store is healthy again, and the entry recomputes
+        assert verify_store(tmp_path) == []
+        cache = EvaluationCache(store_dir=tmp_path)
+        assert cache.get(key) is None
+        cache.put(key, result)
+        assert EvaluationCache(store_dir=tmp_path).get(key) == result
+
+    def test_corrupt_load_quarantines_and_recomputes(self, t5, tmp_path):
+        from repro.runtime.instrumentation import (
+            Instrumentation,
+            use_instrumentation,
+        )
+
+        key, _ = self._seed_store(t5, tmp_path)
+        path = tmp_path / f"{key}.json"
+        path.write_text(path.read_text()[:40])
+        instrumentation = Instrumentation()
+        with use_instrumentation(instrumentation):
+            assert EvaluationCache(store_dir=tmp_path).get(key) is None
+        assert (tmp_path / f"{key}.json.corrupt").is_file()
+        counters = instrumentation.counters
+        assert counters["cache.corrupt_entries"] == 1
+        assert counters["recovery.cache_quarantined"] == 1
+
+    def test_atomic_writes_leave_no_temp_files(self, t5, tmp_path):
+        self._seed_store(t5, tmp_path)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_gc_prunes_debris_and_stale_versions(self, t5, tmp_path):
+        from repro.runtime.cache import gc_store
+
+        key, result = self._seed_store(t5, tmp_path)
+        (tmp_path / "old.json.corrupt").write_text("junk")
+        (tmp_path / "torn.json.tmp").write_text("junk")
+        stale = {"format": "repro-eval-cache", "version": 999,
+                 "key": "optimize-stale", "payload": {}, "checksum": "x"}
+        (tmp_path / "optimize-stale.json").write_text(json.dumps(stale))
+        # torn-but-unreadable entries are verify territory, not gc's
+        (tmp_path / "optimize-torn.json").write_text("{half")
+
+        removed = gc_store(tmp_path)
+        assert sorted(removed) == [
+            "old.json.corrupt", "optimize-stale.json", "torn.json.tmp"
+        ]
+        assert (tmp_path / "optimize-torn.json").is_file()
+        # the healthy entry survives untouched
+        assert EvaluationCache(store_dir=tmp_path).get(key) == result
+
+    def test_gc_on_missing_store_is_a_no_op(self, tmp_path):
+        from repro.runtime.cache import gc_store
+
+        assert gc_store(tmp_path / "nope") == []

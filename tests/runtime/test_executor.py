@@ -122,3 +122,71 @@ class TestParallel:
         with use_instrumentation(instrumentation):
             run_cells(_square, [1, 2, 3], jobs=2)
         assert instrumentation.counters["executor.cells_submitted"] == 3
+
+
+class TestPoolDeathDetection:
+    def test_broken_pool_is_pool_death(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.runtime.executor import _is_pool_death
+
+        assert _is_pool_death(BrokenProcessPool("worker died"))
+
+    def test_ordinary_errors_are_not_pool_death(self):
+        from repro.runtime.executor import _is_pool_death
+
+        assert not _is_pool_death(ValueError("boom"))
+        assert not _is_pool_death(TimeoutError("slow"))
+        assert not _is_pool_death(RuntimeError("generic"))
+
+
+class TestSerialFallback:
+    def test_pool_creation_failure_degrades_to_serial(self, monkeypatch):
+        # A sandbox without process support: ProcessPoolExecutor raises at
+        # construction; the sweep must still complete, serially.
+        import repro.runtime.executor as executor_module
+
+        def _no_pool(*args, **kwargs):
+            raise OSError("processes unavailable")
+
+        monkeypatch.setattr(
+            executor_module, "ProcessPoolExecutor", _no_pool
+        )
+        instrumentation = Instrumentation()
+        with use_instrumentation(instrumentation):
+            results = run_cells(_square, [1, 2, 3], jobs=4)
+        assert results == [1, 4, 9]
+        counters = instrumentation.counters
+        assert counters["executor.serial_fallbacks"] == 1
+        assert counters["recovery.pool_serial_fallback"] == 1
+
+
+class TestErrorChaining:
+    def test_cell_error_names_index_and_spec(self):
+        with pytest.raises(CellError) as excinfo:
+            run_cells(_fail_on_three, [7, 3], jobs=1)
+        error = excinfo.value
+        assert error.index == 1
+        assert error.spec == 3
+        assert "spec 3" in str(error)
+        assert "serial retry" in str(error)
+
+    def test_original_traceback_is_chained(self):
+        # CellError from-chains the retry failure, which itself chains
+        # the original failure: neither traceback is lost.
+        with pytest.raises(CellError) as excinfo:
+            run_cells(_fail_on_three, [3], jobs=1)
+        retry_failure = excinfo.value.__cause__
+        assert isinstance(retry_failure, ValueError)
+        assert excinfo.value.cause is retry_failure
+        original = retry_failure.__cause__
+        assert isinstance(original, ValueError)
+        assert original is not retry_failure
+
+    def test_parallel_retry_chains_pool_failure(self):
+        with pytest.raises(CellError) as excinfo:
+            run_cells(_fail_on_three, [1, 2, 3, 4], jobs=2)
+        retry_failure = excinfo.value.__cause__
+        assert isinstance(retry_failure, ValueError)
+        # the pool-side failure rides along as the retry's cause
+        assert isinstance(retry_failure.__cause__, ValueError)

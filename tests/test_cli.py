@@ -240,3 +240,61 @@ class TestErrors:
     def test_optimize_requires_wmax(self):
         with pytest.raises(SystemExit):
             main(["optimize", "t5"])
+
+
+class TestCacheMaintenance:
+    def _seed_store(self, t5, store_dir):
+        from repro.core.optimizer import optimize_tam
+        from repro.runtime.cache import EvaluationCache, optimize_cache_key
+
+        key = optimize_cache_key(t5, 8, ())
+        EvaluationCache(store_dir=store_dir).put(key, optimize_tam(t5, 8))
+        return key
+
+    def test_verify_healthy_store(self, capsys, tmp_path, t5):
+        self._seed_store(t5, tmp_path)
+        assert main(["cache", "verify", str(tmp_path)]) == 0
+        assert "store healthy" in capsys.readouterr().out
+
+    def test_verify_reports_corruption(self, capsys, tmp_path, t5):
+        key = self._seed_store(t5, tmp_path)
+        path = tmp_path / f"{key}.json"
+        path.write_text(path.read_text()[:40])
+        assert main(["cache", "verify", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "unreadable" in out
+        assert "1 bad entry found" in out
+        assert path.is_file()  # without --quarantine nothing moves
+
+    def test_verify_quarantine_heals_the_store(self, capsys, tmp_path, t5):
+        key = self._seed_store(t5, tmp_path)
+        path = tmp_path / f"{key}.json"
+        path.write_text(path.read_text()[:40])
+        assert main(["cache", "verify", str(tmp_path), "--quarantine"]) == 1
+        assert "quarantined" in capsys.readouterr().out
+        assert not path.exists()
+        assert (tmp_path / f"{key}.json.corrupt").is_file()
+        assert main(["cache", "verify", str(tmp_path)]) == 0
+
+    def test_gc_prunes_debris(self, capsys, tmp_path, t5):
+        self._seed_store(t5, tmp_path)
+        (tmp_path / "stale.json.corrupt").write_text("junk")
+        assert main(["cache", "gc", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed stale.json.corrupt" in out
+        assert "1 files pruned" in out
+
+
+class TestVerifyFlag:
+    def test_optimize_verify_passes(self, capsys):
+        assert main(
+            ["optimize", "t5", "--wmax", "8", "--patterns", "200",
+             "--parts", "2", "--verify"]
+        ) == 0
+        assert "schedule verification passed" in capsys.readouterr().out
+
+    def test_table_verify_passes(self, capsys, tmp_path):
+        assert main(
+            ["table", "t5", "--patterns", "200", "--widths", "8",
+             "--parts", "1", "--verify"]
+        ) == 0

@@ -12,10 +12,17 @@ cells it has not priced before.  Every invocation writes a JSON run
 report (``run_report.json``) with counters, timers and cache statistics;
 a warm rerun shows up there as ``cache.hits > 0``.
 
+``--resume`` additionally checkpoints every completed cell atomically to
+``<out>/checkpoint.json`` and replays recorded cells after a crash —
+resumed results are bit-identical to an uninterrupted run.  ``--verify``
+independently re-verifies every optimized schedule (see
+``docs/resilience.md``).
+
 Usage::
 
     python tools/run_experiments.py                       # the full run
     python tools/run_experiments.py --soc d695 --jobs 4   # quick check
+    python tools/run_experiments.py --resume --verify     # hardened run
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from repro.experiments.table_runner import (
     DEFAULT_WIDTHS,
     run_table_experiment,
 )
+from repro.resilience.checkpoint import SweepCheckpoint
 from repro.runtime import (
     EvaluationCache,
     Instrumentation,
@@ -87,6 +95,23 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     )
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-cell progress lines")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from <out>/checkpoint.json: cells recorded before a "
+             "crash are replayed, not recomputed (results are "
+             "bit-identical to an uninterrupted run)",
+    )
+    parser.add_argument(
+        "--checkpoint", type=Path, default=None,
+        help="checkpoint file (default: <out>/checkpoint.json; written "
+             "whenever --resume is given)",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="independently re-verify every optimized schedule "
+             "(width budget, full coverage, no rail overlap, recomputed "
+             "T_soc) and abort on any violation",
+    )
     return parser.parse_args(argv)
 
 
@@ -102,6 +127,16 @@ def main(argv: list[str] | None = None) -> int:
     instrumentation = Instrumentation()
     start = time.perf_counter()
     with use_instrumentation(instrumentation):
+        # Inside the instrumentation context so checkpoint.loaded_cells
+        # (and a possible quarantine) land in the run report.
+        checkpoint = None
+        if args.resume or args.checkpoint is not None:
+            checkpoint_path = args.checkpoint or args.out / "checkpoint.json"
+            checkpoint = SweepCheckpoint(checkpoint_path)
+            if checkpoint.resumed_from_disk:
+                print(
+                    f"resuming: {len(checkpoint)} cells from {checkpoint_path}"
+                )
         for soc_name in args.soc:
             soc = load_benchmark(soc_name)
             for pattern_count in args.patterns:
@@ -115,6 +150,8 @@ def main(argv: list[str] | None = None) -> int:
                     verbose=not args.quiet,
                     jobs=args.jobs,
                     cache=cache,
+                    checkpoint=checkpoint,
+                    verify=args.verify,
                 )
                 prefix = TABLE_OF.get(soc_name, "table")
                 stem = f"{prefix}_{soc_name}_nr{pattern_count}"
@@ -135,6 +172,10 @@ def main(argv: list[str] | None = None) -> int:
             "seed": args.seed,
             "jobs": args.jobs,
             "cache": str(cache.store_dir) if cache is not None else None,
+            "checkpoint": (
+                str(checkpoint.path) if checkpoint is not None else None
+            ),
+            "verify": args.verify,
         },
         wall_seconds=time.perf_counter() - start,
         instrumentation=instrumentation,

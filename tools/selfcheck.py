@@ -158,6 +158,47 @@ def _instrumentation():
     assert json.loads(report.to_json())["counters"]["optimizer.runs"] == 1
 
 
+@check("resilience: fault injection, verify, checkpoint")
+def _resilience():
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.core.optimizer import optimize_tam
+    from repro.resilience import (
+        FaultPlan,
+        SweepCheckpoint,
+        inject,
+        verify_optimization,
+    )
+    from repro.runtime import optimize_cache_key, run_cells
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    result = optimize_tam(soc, 8)
+    assert verify_optimization(soc, result) == []
+
+    with inject(FaultPlan.parse("garbage-result@0")):
+        from repro.resilience.faults import GarbageResult
+
+        values = run_cells(
+            _selfcheck_cell, [1, 2], jobs=1,
+            validate=lambda v: not isinstance(v, GarbageResult),
+        )
+    assert values == [2, 4]  # garbage rejected, retry recovered
+
+    key = optimize_cache_key(soc, 8, ())
+    with tempfile.TemporaryDirectory() as workdir:
+        path = _Path(workdir) / "checkpoint.json"
+        checkpoint = SweepCheckpoint(path)
+        checkpoint.record(key, result)
+        resumed = SweepCheckpoint(path)
+        assert resumed.fetch(key) == result
+
+
+def _selfcheck_cell(value):
+    return value * 2
+
+
 @check("CLI entry point")
 def _cli():
     from repro.cli import main
