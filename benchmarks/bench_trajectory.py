@@ -1,0 +1,285 @@
+"""Single-entry perf-trajectory benchmark: one JSON point per PR.
+
+Starting with PR 6 every kernel-grade change appends one point to the
+repository's performance trajectory (``benchmarks/results/BENCH_pr<n>.json``).
+A point captures, in one run:
+
+* **optimizer cell time** — the reference vs incremental backend over the
+  ``W_max`` sweep on one SOC (warm-cache best-of-``repeats``, both engines
+  in the same process so the shared ``core_test_time`` memo cannot skew
+  the comparison), with a bit-identity check;
+* **compaction throughput** — the packed-bitset kernel vs the reference
+  scan on one pattern set;
+* **end-to-end table wall-clock** — a cold `run_table_experiment` sweep,
+  then a warm rerun against an on-disk cache for the **cache hit rate**.
+
+Absolute seconds are machine-dependent, so the regression gate
+(``--check``) compares the machine-independent *ratios* — optimizer
+speedup, compaction speedup, cache hit rate — and fails when any of them
+degrades by more than ``--threshold`` (default 2x) against a checked-in
+baseline.  Absolute numbers are recorded alongside for the trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trajectory.py \
+        --out benchmarks/results/BENCH_pr6.json            # record a point
+    PYTHONPATH=src python benchmarks/bench_trajectory.py \
+        --quick --check benchmarks/results/BENCH_pr6.json  # CI perf smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.compaction.horizontal import build_si_test_groups
+from repro.compaction.vertical import greedy_compact
+from repro.core.optimizer import optimize_tam
+from repro.experiments.table_runner import run_table_experiment
+from repro.runtime import EvaluationCache
+from repro.runtime.instrumentation import (
+    Instrumentation,
+    use_instrumentation,
+)
+from repro.sitest.generator import generate_random_patterns
+from repro.soc.benchmarks import load_benchmark
+
+RESULT_FORMAT = "repro-perf-trajectory"
+RESULT_VERSION = 1
+
+#: Ratio metrics the ``--check`` gate enforces (path into the result
+#: JSON, higher is better).
+GATED_RATIOS = (
+    ("optimizer", "speedup"),
+    ("compaction", "speedup"),
+    ("cache", "hit_rate"),
+)
+
+
+def _best_of(repeats, fn):
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None or elapsed < best else best
+    return best
+
+
+def bench_optimizer(soc_name, widths, repeats, pattern_count, seed, parts):
+    """Reference vs incremental ``optimize_tam`` over the width sweep."""
+    soc = load_benchmark(soc_name)
+    patterns = generate_random_patterns(soc, pattern_count, seed=seed)
+    groups = build_si_test_groups(soc, patterns, parts=parts, seed=seed).groups
+
+    per_width = {}
+    identical = True
+    counters = {}
+    for w_max in widths:
+        # Warm both engines (and the process-wide core-time memo) so the
+        # timed passes compare algorithms, not cache states.
+        reference = optimize_tam(soc, w_max, groups, backend="reference")
+        instrumentation = Instrumentation()
+        with use_instrumentation(instrumentation):
+            incremental = optimize_tam(
+                soc, w_max, groups, backend="incremental"
+            )
+        counters[w_max] = {
+            name: value
+            for name, value in sorted(instrumentation.counters.items())
+            if name.startswith(("optimizer.", "movescan."))
+        }
+        identical = identical and (
+            reference.architecture == incremental.architecture
+            and reference.evaluation == incremental.evaluation
+        )
+        ref_seconds = _best_of(
+            repeats,
+            lambda: optimize_tam(soc, w_max, groups, backend="reference"),
+        )
+        inc_seconds = _best_of(
+            repeats,
+            lambda: optimize_tam(soc, w_max, groups, backend="incremental"),
+        )
+        per_width[w_max] = {
+            "reference_seconds": round(ref_seconds, 4),
+            "incremental_seconds": round(inc_seconds, 4),
+            "speedup": round(ref_seconds / inc_seconds, 2),
+        }
+
+    ref_total = sum(w["reference_seconds"] for w in per_width.values())
+    inc_total = sum(w["incremental_seconds"] for w in per_width.values())
+    return {
+        "soc": soc_name,
+        "pattern_count": pattern_count,
+        "parts": parts,
+        "seed": seed,
+        "widths": list(widths),
+        "repeats": repeats,
+        "reference_seconds": round(ref_total, 4),
+        "incremental_seconds": round(inc_total, 4),
+        "speedup": round(ref_total / inc_total, 2),
+        "identical": identical,
+        "per_width": {str(w): data for w, data in per_width.items()},
+        "counters": {str(w): data for w, data in counters.items()},
+    }
+
+
+def bench_compaction(soc_name, pattern_count, seed, repeats):
+    """Reference vs packed-bitset vertical compaction throughput."""
+    soc = load_benchmark(soc_name)
+    patterns = generate_random_patterns(soc, pattern_count, seed=seed)
+    reference = greedy_compact(patterns, backend="reference")
+    bitset = greedy_compact(patterns, backend="bitset")
+    identical = reference.compacted_count == bitset.compacted_count
+    ref_seconds = _best_of(
+        repeats, lambda: greedy_compact(patterns, backend="reference")
+    )
+    bit_seconds = _best_of(
+        repeats, lambda: greedy_compact(patterns, backend="bitset")
+    )
+    return {
+        "soc": soc_name,
+        "patterns": pattern_count,
+        "seed": seed,
+        "repeats": repeats,
+        "reference_seconds": round(ref_seconds, 4),
+        "bitset_seconds": round(bit_seconds, 4),
+        "speedup": round(ref_seconds / bit_seconds, 2),
+        "patterns_per_second": round(pattern_count / bit_seconds),
+        "identical": identical,
+    }
+
+
+def bench_table(soc_name, pattern_count, widths, parts, seed):
+    """Cold end-to-end table sweep, then a warm cached rerun."""
+    soc = load_benchmark(soc_name)
+    with tempfile.TemporaryDirectory() as workdir:
+        cache = EvaluationCache(store_dir=Path(workdir) / "cache")
+        start = time.perf_counter()
+        cold = run_table_experiment(
+            soc, pattern_count, widths=widths, group_counts=parts,
+            seed=seed, cache=cache,
+        )
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_table_experiment(
+            soc, pattern_count, widths=widths, group_counts=parts,
+            seed=seed, cache=cache,
+        )
+        warm_seconds = time.perf_counter() - start
+        stats = cache.stats()
+    assert [row.t_min for row in cold.rows] == [
+        row.t_min for row in warm.rows
+    ]
+    lookups = stats["hits"] + stats["misses"]
+    return (
+        {
+            "soc": soc_name,
+            "pattern_count": pattern_count,
+            "widths": list(widths),
+            "parts": list(parts),
+            "seed": seed,
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+        },
+        {
+            "hits": stats["hits"],
+            "misses": stats["misses"],
+            "hit_rate": round(stats["hits"] / lookups, 4) if lookups else 0.0,
+        },
+    )
+
+
+def run(args) -> dict:
+    if args.quick:
+        optimizer = bench_optimizer(
+            "p93791", (16, 32), max(1, args.repeats - 1), 200, 7, 4
+        )
+        compaction = bench_compaction("d695", 3_000, 7, 2)
+        table, cache = bench_table("d695", 500, (8, 16), (1, 2), 1)
+    else:
+        optimizer = bench_optimizer(
+            "p93791", (16, 32, 64), args.repeats, 200, 7, 4
+        )
+        compaction = bench_compaction("d695", 10_000, 7, 3)
+        table, cache = bench_table("d695", 2_000, (8, 16, 32), (1, 2, 4), 1)
+    return {
+        "format": RESULT_FORMAT,
+        "version": RESULT_VERSION,
+        "pr": args.pr,
+        "quick": args.quick,
+        "optimizer": optimizer,
+        "compaction": compaction,
+        "table": table,
+        "cache": cache,
+    }
+
+
+def check(result, baseline_path, threshold) -> list[str]:
+    """Ratio regressions of ``result`` against a checked-in baseline."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    failures = []
+    if not result["optimizer"]["identical"]:
+        failures.append("optimizer backends diverged (identical=false)")
+    if not result["compaction"]["identical"]:
+        failures.append("compaction backends diverged (identical=false)")
+    for section, metric in GATED_RATIOS:
+        was = baseline[section][metric]
+        now = result[section][metric]
+        if was > 0 and now < was / threshold:
+            failures.append(
+                f"{section}.{metric} regressed >{threshold}x: "
+                f"{was} -> {now}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="perf-trajectory benchmark point",
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the result JSON here")
+    parser.add_argument("--pr", type=int, default=6,
+                        help="PR number this point belongs to")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats per timed section")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI scale: thinner sweeps, same code paths")
+    parser.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                        help="compare ratio metrics against this baseline "
+                             "JSON and exit non-zero on a regression")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="allowed degradation factor for --check")
+    args = parser.parse_args(argv)
+
+    result = run(args)
+    print(json.dumps(result, indent=2))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+
+    if args.check is not None:
+        failures = check(result, args.check, args.threshold)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"perf check passed against {args.check} "
+            f"(threshold {args.threshold}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -158,6 +158,18 @@ def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_optimizer_backend_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.core.optimizer import OPTIMIZER_BACKENDS
+
+    parser.add_argument(
+        "--optimizer-backend", choices=OPTIMIZER_BACKENDS, default="auto",
+        help="TAM optimizer engine: the reference Algorithm 2, the "
+        "incremental kernel (packed states, bounds pruning, optional C "
+        "move scanner), or auto-select (results are bit-identical "
+        "either way)",
+    )
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for name in available_benchmarks():
         soc = load_benchmark(name)
@@ -205,7 +217,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         grouping = build_si_test_groups(soc, patterns, parts=args.parts,
                                         seed=args.seed)
         groups = grouping.groups
-    result = optimize_tam(soc, args.wmax, groups=groups)
+    result = optimize_tam(
+        soc, args.wmax, groups=groups, backend=args.optimizer_backend
+    )
     evaluation = result.evaluation
     print(
         f"T_total = {evaluation.t_total} cc "
@@ -240,7 +254,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     soc = _load_soc(args.soc)
     architecture = load_architecture(args.arch)
     groups = _si_groups_for(args, soc)
-    evaluation = evaluate_architecture(soc, architecture, groups)
+    evaluation = evaluate_architecture(
+        soc, architecture, groups, backend=args.optimizer_backend
+    )
     print(
         f"T_total = {evaluation.t_total} cc "
         f"(T_in = {evaluation.t_in}, T_si = {evaluation.t_si})"
@@ -317,6 +333,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache=cache,
             verify=args.verify,
+            optimizer_backend=args.optimizer_backend,
         )
     print(render_table(result))
     print(f"(elapsed: {result.elapsed_seconds:.1f}s)")
@@ -334,6 +351,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "jobs": args.jobs,
             "cache": getattr(args, "cache", None),
+            "optimizer_backend": args.optimizer_backend,
         },
         time.perf_counter() - start,
         instrumentation,
@@ -562,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also print the per-rail utilization report")
     optimize.add_argument("--save-arch",
                           help="write the architecture to this JSON file")
+    _add_optimizer_backend_flag(optimize)
     _add_verify_flag(optimize)
     optimize.set_defaults(func=_cmd_optimize)
 
@@ -574,6 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--patterns", type=int, default=0)
     evaluate.add_argument("--parts", type=int, default=4)
     evaluate.add_argument("--seed", type=int, default=1)
+    _add_optimizer_backend_flag(evaluate)
     _add_verify_flag(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
@@ -611,6 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--json", help="also write a JSON summary here")
     table.add_argument("--verbose", action="store_true")
     _add_runtime_flags(table, with_cache=True)
+    _add_optimizer_backend_flag(table)
     _add_verify_flag(table)
     table.set_defaults(func=_cmd_table)
 

@@ -110,9 +110,13 @@ def _grouping_cell(spec) -> tuple[GroupingResult, dict]:
 
 def _optimize_cell(spec) -> tuple[object, dict]:
     """Sweep cell: one ``TAM_Optimization`` run (one width, one grouping;
-    an empty group tuple is the TR-Architect baseline)."""
-    soc, w_max, groups = spec
-    return call_with_instrumentation(optimize_tam, soc, w_max, groups=groups)
+    an empty group tuple is the TR-Architect baseline).  The spec carries
+    the optimizer backend so a :class:`~repro.runtime.executor.CellError`
+    report names the engine that was active when the cell failed."""
+    soc, w_max, groups, backend = spec
+    return call_with_instrumentation(
+        optimize_tam, soc, w_max, groups=groups, backend=backend
+    )
 
 
 def run_table_experiment(
@@ -127,6 +131,7 @@ def run_table_experiment(
     cache: EvaluationCache | None = None,
     checkpoint=None,
     verify: bool = False,
+    optimizer_backend: str = "auto",
 ) -> TableResult:
     """Run the full Table 2/3 experiment for one SOC and one ``N_r``.
 
@@ -150,7 +155,14 @@ def run_table_experiment(
         verify: Independently re-verify every optimized schedule
             (:func:`repro.resilience.verify.verify_schedule`) — cache and
             checkpoint hits included — and raise on any violation.
+        optimizer_backend: Optimizer engine for every cell, one of
+            :data:`repro.core.optimizer.OPTIMIZER_BACKENDS`.  All
+            backends are bit-identical, so cache keys (and therefore
+            hits) are shared across backends by design.
     """
+    from repro.core.optimizer import resolve_optimizer_backend
+
+    resolve_optimizer_backend(optimizer_backend)  # fail fast on a typo
     start = time.perf_counter()
 
     def lookup(key):
@@ -263,6 +275,7 @@ def run_table_experiment(
             soc,
             w_max,
             () if parts is None else result.groupings[parts].groups,
+            optimizer_backend,
         )
         for w_max, parts in specs
     ]

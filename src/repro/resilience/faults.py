@@ -28,6 +28,8 @@ site                      hooked where
                           ``codec-mismatch``)
 ``cscan.load``            :func:`repro.compaction._cscan.available` (kind
                           ``cscan-compile-fail``)
+``movescan.load``         :func:`repro.core._movescan.available` (kind
+                          ``movescan-compile-fail``)
 ``checkpoint.record``     :meth:`repro.resilience.checkpoint.SweepCheckpoint`
                           (kind ``sweep-abort`` — hard process kill)
 ========================  ====================================================
@@ -83,6 +85,7 @@ FAULT_KINDS: dict[str, str] = {
     "cache-bitflip": "cache.store.write",
     "codec-mismatch": "cache.store.write",
     "cscan-compile-fail": "cscan.load",
+    "movescan-compile-fail": "movescan.load",
     "sweep-abort": "checkpoint.record",
 }
 

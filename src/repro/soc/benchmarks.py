@@ -3,9 +3,9 @@
 The paper evaluates on the ITC'02 benchmarks ``p34392`` and ``p93791``.
 The original benchmark files are not redistributable here, so the package
 ships reconstructions (see DESIGN.md §4): ``d695`` follows the published
-core table exactly; ``p34392`` and ``p93791`` reproduce the published
-structural statistics with deterministic synthetic detail.  ``t5`` is a
-small toy SOC for examples and tests.
+core table exactly; ``p22810``, ``p34392``, and ``p93791`` reproduce the
+published structural statistics with deterministic synthetic detail.
+``t5`` is a small toy SOC for examples and tests.
 """
 
 from __future__ import annotations

@@ -1,0 +1,196 @@
+"""Golden equivalence: the incremental optimizer backend is bit-identical
+to the reference Algorithm 2.
+
+The incremental backend mirrors the reference decision sequence — same
+candidate enumeration order, same strict-``<`` selections, same
+tie-breaks — so for every SOC and every pin budget the two backends must
+produce the *same object*: identical ``OptimizationResult`` (architecture,
+evaluation, schedule) down to the last cycle.  This suite pins that
+contract on all four shipped ITC'02 SOCs across the ``W_max`` sweep,
+twice: once with the C move-scan kernel (when it compiles) and once with
+the kernel force-disabled, so the pure-Python patch path is held to the
+same bit-identity bar.
+
+The reference results are computed once per module and shared between
+the two engine legs; ``REPRO_OPTIMIZER_CSCAN=0`` is additionally covered
+as an environment toggle (mirroring the compaction kernel's tests).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compaction.horizontal import build_si_test_groups
+from repro.core import _movescan
+from repro.core.optimizer import (
+    OPTIMIZER_BACKENDS,
+    evaluate_architecture,
+    optimize_tam,
+    resolve_optimizer_backend,
+)
+from repro.core.scheduling import TamEvaluator
+from repro.resilience.verify import verify_optimization
+from repro.runtime.instrumentation import Instrumentation, use_instrumentation
+from repro.sitest.generator import generate_random_patterns
+from repro.soc.benchmarks import load_benchmark
+
+#: (SOC, W_max) sweep: every shipped ITC'02 SOC over a budget range that
+#: exercises merge-down starts (W < cores), free-wire starts (W > cores),
+#: and the leftover-redistribution inner loop.
+SWEEP = [
+    ("d695", (8, 12, 16, 24, 32)),
+    ("p22810", (16, 32, 48, 64)),
+    ("p34392", (16, 32, 48, 64)),
+    ("p93791", (16, 32, 48, 64)),
+]
+CASES = [(name, w) for name, widths in SWEEP for w in widths]
+IDS = [f"{name}-W{w}" for name, w in CASES]
+
+PATTERNS = 200
+PARTS = 4
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """Per-SOC groups plus the reference results, computed once."""
+    socs, groups, reference = {}, {}, {}
+    for name, widths in SWEEP:
+        soc = load_benchmark(name)
+        socs[name] = soc
+        patterns = generate_random_patterns(soc, PATTERNS, seed=SEED)
+        groups[name] = build_si_test_groups(
+            soc, patterns, parts=PARTS, seed=SEED
+        ).groups
+        for w_max in widths:
+            reference[(name, w_max)] = optimize_tam(
+                soc, w_max, groups[name], backend="reference"
+            )
+    return socs, groups, reference
+
+
+def _assert_identical(reference, incremental):
+    assert incremental.architecture == reference.architecture
+    assert incremental.evaluation == reference.evaluation
+    assert incremental.evaluation.schedule == reference.evaluation.schedule
+    assert incremental.w_max == reference.w_max
+    assert incremental.t_total == reference.t_total
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name,w_max", CASES, ids=IDS)
+    def test_with_c_kernel(self, suite, name, w_max):
+        socs, groups, reference = suite
+        result = optimize_tam(
+            socs[name], w_max, groups[name], backend="incremental"
+        )
+        _assert_identical(reference[(name, w_max)], result)
+
+    @pytest.mark.parametrize("name,w_max", CASES, ids=IDS)
+    def test_without_c_kernel(self, suite, monkeypatch, name, w_max):
+        monkeypatch.setattr(_movescan, "_engine", False)
+        socs, groups, reference = suite
+        result = optimize_tam(
+            socs[name], w_max, groups[name], backend="incremental"
+        )
+        _assert_identical(reference[(name, w_max)], result)
+
+    def test_intest_only_matches_reference(self, suite):
+        socs, _, _ = suite
+        for name in ("d695", "p93791"):
+            for w_max in (16, 64):
+                reference = optimize_tam(
+                    socs[name], w_max, (), backend="reference"
+                )
+                incremental = optimize_tam(
+                    socs[name], w_max, (), backend="incremental"
+                )
+                _assert_identical(reference, incremental)
+
+    def test_environment_toggle_disables_engine(self, suite, monkeypatch):
+        monkeypatch.setenv("REPRO_OPTIMIZER_CSCAN", "0")
+        monkeypatch.setattr(_movescan, "_engine", None)  # fresh probe
+        assert _movescan.available() is False
+        socs, groups, reference = suite
+        result = optimize_tam(
+            socs["d695"], 16, groups["d695"], backend="incremental"
+        )
+        _assert_identical(reference[("d695", 16)], result)
+
+
+class TestVerifiedAndComposed:
+    """The new backend composes with the surrounding machinery."""
+
+    @pytest.mark.parametrize("name", [name for name, _ in SWEEP])
+    def test_verify_optimization_passes_on_incremental(self, suite, name):
+        socs, groups, _ = suite
+        w_max = 24 if name == "d695" else 32
+        result = optimize_tam(
+            socs[name], w_max, groups[name], backend="incremental"
+        )
+        assert verify_optimization(socs[name], result, groups[name]) == []
+
+    def test_evaluate_architecture_backends_agree(self, suite):
+        socs, groups, reference = suite
+        result = reference[("d695", 16)]
+        evaluations = {
+            backend: evaluate_architecture(
+                socs["d695"], result.architecture, groups["d695"],
+                backend=backend,
+            )
+            for backend in OPTIMIZER_BACKENDS
+        }
+        assert evaluations["reference"] == evaluations["incremental"]
+        assert evaluations["auto"] == result.evaluation
+
+
+class TestBackendSelection:
+    def test_auto_resolves_incremental_for_default_model(self):
+        assert resolve_optimizer_backend("auto") == "incremental"
+        assert resolve_optimizer_backend("reference") == "reference"
+
+    def test_custom_evaluator_forces_reference(self, d695):
+        evaluator = TamEvaluator(d695, ())
+        assert resolve_optimizer_backend("auto", evaluator) == "reference"
+        with pytest.raises(ValueError, match="custom evaluator"):
+            resolve_optimizer_backend("incremental", evaluator)
+
+    def test_unknown_backend_rejected(self, d695):
+        with pytest.raises(ValueError, match="unknown optimizer backend"):
+            optimize_tam(d695, 16, backend="vectorized")
+
+    def test_backend_counters(self, suite):
+        socs, groups, _ = suite
+        instrumentation = Instrumentation()
+        with use_instrumentation(instrumentation):
+            optimize_tam(
+                socs["d695"], 16, groups["d695"], backend="incremental"
+            )
+        counters = instrumentation.counters
+        assert counters["optimizer.backend.incremental"] == 1
+        assert counters["optimizer.merges_tried"] > 0
+
+    def test_moves_pruned_counter_fires(self):
+        # The ITC'02 instances keep the bounds loose; this synthetic SOC
+        # has prunable core-reshuffle moves (several rails share the
+        # bottleneck), so the counter must record them — and pruning must
+        # not break bit-identity.
+        from repro.soc.synth import synthesize_soc
+
+        soc = synthesize_soc("prune-probe", 6, seed=0)
+        instrumentation = Instrumentation()
+        with use_instrumentation(instrumentation):
+            incremental = optimize_tam(soc, 6, backend="incremental")
+        assert instrumentation.counters["optimizer.moves_pruned"] > 0
+        _assert_identical(
+            optimize_tam(soc, 6, backend="reference"), incremental
+        )
+
+    def test_reference_counter(self, suite):
+        socs, groups, _ = suite
+        instrumentation = Instrumentation()
+        with use_instrumentation(instrumentation):
+            optimize_tam(
+                socs["d695"], 16, groups["d695"], backend="reference"
+            )
+        assert instrumentation.counters["optimizer.backend.reference"] == 1

@@ -84,3 +84,49 @@ class TestReporting:
         save_result(small_result, path)
         data = json.loads(path.read_text())
         assert data["pattern_count"] == 600
+
+
+class TestOptimizerBackend:
+    def test_backends_produce_identical_tables(self, d695, small_result):
+        incremental = run_table_experiment(
+            d695,
+            pattern_count=600,
+            widths=(8, 16),
+            group_counts=(1, 2),
+            seed=5,
+            optimizer_backend="incremental",
+        )
+        reference = run_table_experiment(
+            d695,
+            pattern_count=600,
+            widths=(8, 16),
+            group_counts=(1, 2),
+            seed=5,
+            optimizer_backend="reference",
+        )
+        for table in (incremental, reference):
+            for row, expected in zip(table.rows, small_result.rows):
+                assert row == expected
+
+    def test_unknown_backend_fails_fast(self, d695):
+        with pytest.raises(ValueError, match="unknown optimizer backend"):
+            run_table_experiment(
+                d695, pattern_count=100, widths=(8,), group_counts=(1,),
+                optimizer_backend="vectorised",
+            )
+
+    def test_cell_error_names_backend(self, d695, monkeypatch):
+        # A failing optimizer cell must report which engine was active:
+        # the backend rides in the cell spec, and CellError reprs the spec.
+        from repro.experiments import table_runner
+        from repro.runtime.executor import CellError
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("synthetic optimizer failure")
+
+        monkeypatch.setattr(table_runner, "optimize_tam", boom)
+        with pytest.raises(CellError, match="incremental"):
+            run_table_experiment(
+                d695, pattern_count=100, widths=(8,), group_counts=(1,),
+                optimizer_backend="incremental",
+            )

@@ -12,6 +12,8 @@ cache-truncate      corrupt entry quarantined -> recomputed
 cache-bitflip       checksum mismatch quarantined -> recomputed
 codec-mismatch      unsupported version quarantined -> recomputed
 cscan-compile-fail  engine unavailable -> pure-Python scan fallback
+movescan-compile-   engine unavailable -> pure-Python move scoring
+fail
 sweep-abort         checkpoint survives -> --resume (test_checkpoint)
 ==================  ====================================================
 
@@ -195,6 +197,35 @@ class TestCscanFault:
             faulted = greedy_compact_bitset(patterns)
         assert faulted.members == baseline.members
         assert faulted.compacted == baseline.compacted
+
+
+class TestMovescanFault:
+    def test_compile_fault_forces_python_fallback(self, monkeypatch):
+        from repro.core import _movescan
+
+        monkeypatch.delenv("REPRO_OPTIMIZER_CSCAN", raising=False)
+        monkeypatch.setattr(_movescan, "_engine", None)
+        instrumentation = Instrumentation()
+        with use_instrumentation(instrumentation):
+            with faults.inject("movescan-compile-fail@0"):
+                assert _movescan.available() is False
+        counters = instrumentation.counters
+        assert counters["faults.injected.movescan-compile-fail"] == 1
+        assert counters["recovery.movescan_fallback"] == 1
+
+    def test_optimizer_result_identical_under_compile_fault(
+        self, monkeypatch, d695
+    ):
+        from repro.core import _movescan
+        from repro.core.optimizer import optimize_tam
+
+        baseline = optimize_tam(d695, 16, backend="incremental")
+        monkeypatch.delenv("REPRO_OPTIMIZER_CSCAN", raising=False)
+        monkeypatch.setattr(_movescan, "_engine", None)
+        with faults.inject("movescan-compile-fail@0"):
+            faulted = optimize_tam(d695, 16, backend="incremental")
+        assert faulted.architecture == baseline.architecture
+        assert faulted.evaluation == baseline.evaluation
 
 
 class TestWrapWorker:

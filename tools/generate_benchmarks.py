@@ -5,6 +5,7 @@ synthesizes module sets with a fixed seed and calibrates their pattern
 counts so that the TR-Architect InTest times land near the published
 results (see DESIGN.md §4):
 
+* p22810 — 28 modules, mixed sizes; target ~458,068 cc at W=16.
 * p34392 — 19 modules, one dominant core bounding the SOC test time from
   below (published floor ~544,579 cc); target ~998,733 cc at W=16.
 * p93791 — 32 modules, no dominant core; target ~1,791,638 cc at W=16.
@@ -139,6 +140,18 @@ def _calibrate(soc: Soc, target_w16: int, keep: frozenset[int]) -> Soc:
     return soc
 
 
+def build_p22810() -> Soc:
+    rng = random.Random(22810)
+    kinds = ["comb"] * 6 + ["small"] * 9 + ["medium"] * 10 + ["large"] * 3
+    rng.shuffle(kinds)
+    cores = [
+        _make_core(rng, core_id, kind)
+        for core_id, kind in enumerate(kinds, start=1)
+    ]
+    soc = Soc(name="p22810", cores=tuple(cores))
+    return _calibrate(soc, target_w16=458_068, keep=frozenset())
+
+
 def build_p34392() -> Soc:
     rng = random.Random(34392)
     kinds = ["comb"] * 3 + ["small"] * 6 + ["medium"] * 8 + ["large"] * 1
@@ -166,7 +179,7 @@ def build_p93791() -> Soc:
 
 def main() -> None:
     data_dir = Path(__file__).resolve().parent.parent / "src" / "repro" / "soc" / "data"
-    for soc in (build_p34392(), build_p93791()):
+    for soc in (build_p22810(), build_p34392(), build_p93791()):
         path = data_dir / f"{soc.name}.soc"
         dump_file(soc, path)
         print(f"wrote {path} ({len(soc)} modules, {soc.total_scan_cells} FFs, "

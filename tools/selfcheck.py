@@ -30,7 +30,7 @@ def _benchmarks():
     from repro.soc.benchmarks import available_benchmarks, load_benchmark
 
     names = available_benchmarks()
-    assert {"d695", "p34392", "p93791", "t5"} <= set(names)
+    assert {"d695", "p22810", "p34392", "p93791", "t5"} <= set(names)
     assert len(load_benchmark("d695")) == 10
 
 
