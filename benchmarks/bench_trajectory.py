@@ -11,7 +11,11 @@ A point captures, in one run:
 * **compaction throughput** — the packed-bitset kernel vs the reference
   scan on one pattern set;
 * **end-to-end table wall-clock** — a cold `run_table_experiment` sweep,
-  then a warm rerun against an on-disk cache for the **cache hit rate**.
+  then a warm rerun against an on-disk cache for the **cache hit rate**;
+* **parallel sweep wall-clock** — the classic one-shot process pool vs
+  the persistent work-stealing ``workers`` backend on a multi-SOC table
+  sweep (``--sweep-backend``), with a rendered-table identity check
+  against a serial run.
 
 Absolute seconds are machine-dependent, so the regression gate
 (``--check``) compares the machine-independent *ratios* — optimizer
@@ -59,6 +63,7 @@ GATED_RATIOS = (
     ("optimizer", "speedup"),
     ("compaction", "speedup"),
     ("cache", "hit_rate"),
+    ("sweep", "speedup"),
 )
 
 
@@ -197,6 +202,67 @@ def bench_table(soc_name, pattern_count, widths, parts, seed):
     )
 
 
+def bench_sweep(regimes, jobs, seed):
+    """Classic pool vs work-stealing workers backend, multi-SOC sweep.
+
+    Each arm re-runs the same table sweeps end to end; the ratio isolates
+    the fan-out machinery (warm workers, reference-shipped pattern sets,
+    shared cell state) because everything else is identical.  The parent
+    memo is cleared between arms so no arm inherits another's warm state.
+    """
+    from repro.experiments.reporting import render_table
+    from repro.runtime.pool import clear_cell_state
+
+    def sweep(soc, pattern_count, widths, parts, backend, njobs):
+        clear_cell_state()
+        start = time.perf_counter()
+        result = run_table_experiment(
+            soc, pattern_count, widths=widths, group_counts=parts,
+            seed=seed, jobs=njobs, sweep_backend=backend,
+        )
+        return time.perf_counter() - start, render_table(result)
+
+    per_soc = {}
+    pool_total = workers_total = serial_total = 0.0
+    identical = True
+    for soc_name, pattern_count, widths, parts in regimes:
+        soc = load_benchmark(soc_name)
+        serial_seconds, serial_table = sweep(
+            soc, pattern_count, widths, parts, "pool", 1
+        )
+        pool_seconds, pool_table = sweep(
+            soc, pattern_count, widths, parts, "pool", jobs
+        )
+        workers_seconds, workers_table = sweep(
+            soc, pattern_count, widths, parts, "workers", jobs
+        )
+        identical = identical and (
+            serial_table == pool_table == workers_table
+        )
+        serial_total += serial_seconds
+        pool_total += pool_seconds
+        workers_total += workers_seconds
+        per_soc[soc_name] = {
+            "pattern_count": pattern_count,
+            "widths": list(widths),
+            "parts": list(parts),
+            "serial_seconds": round(serial_seconds, 4),
+            "pool_seconds": round(pool_seconds, 4),
+            "workers_seconds": round(workers_seconds, 4),
+            "speedup": round(pool_seconds / workers_seconds, 2),
+        }
+    return {
+        "jobs": jobs,
+        "seed": seed,
+        "serial_seconds": round(serial_total, 4),
+        "pool_seconds": round(pool_total, 4),
+        "workers_seconds": round(workers_total, 4),
+        "speedup": round(pool_total / workers_total, 2),
+        "identical": identical,
+        "per_soc": per_soc,
+    }
+
+
 def run(args) -> dict:
     if args.quick:
         optimizer = bench_optimizer(
@@ -204,12 +270,23 @@ def run(args) -> dict:
         )
         compaction = bench_compaction("d695", 3_000, 7, 2)
         table, cache = bench_table("d695", 500, (8, 16), (1, 2), 1)
+        sweep = bench_sweep(
+            [("t5", 20_000, (8, 16), (1, 2, 4))], jobs=2, seed=3
+        )
     else:
         optimizer = bench_optimizer(
             "p93791", (16, 32, 64), args.repeats, 200, 7, 4
         )
         compaction = bench_compaction("d695", 10_000, 7, 3)
         table, cache = bench_table("d695", 2_000, (8, 16, 32), (1, 2, 4), 1)
+        sweep = bench_sweep(
+            [
+                ("t5", 60_000, (8, 16), (1, 2, 4)),
+                ("d695", 30_000, (8, 16), (1, 2, 4, 8)),
+            ],
+            jobs=2,
+            seed=3,
+        )
     return {
         "format": RESULT_FORMAT,
         "version": RESULT_VERSION,
@@ -219,6 +296,7 @@ def run(args) -> dict:
         "compaction": compaction,
         "table": table,
         "cache": cache,
+        "sweep": sweep,
     }
 
 
@@ -230,9 +308,15 @@ def check(result, baseline_path, threshold) -> list[str]:
         failures.append("optimizer backends diverged (identical=false)")
     if not result["compaction"]["identical"]:
         failures.append("compaction backends diverged (identical=false)")
+    if not result["sweep"]["identical"]:
+        failures.append("sweep backends diverged (identical=false)")
     for section, metric in GATED_RATIOS:
-        was = baseline[section][metric]
+        # Sections absent from an older baseline (recorded before they
+        # existed) have no reference to regress against.
+        was = baseline.get(section, {}).get(metric)
         now = result[section][metric]
+        if was is None:
+            continue
         if was > 0 and now < was / threshold:
             failures.append(
                 f"{section}.{metric} regressed >{threshold}x: "
@@ -248,7 +332,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--out", type=Path, default=None,
                         help="write the result JSON here")
-    parser.add_argument("--pr", type=int, default=6,
+    parser.add_argument("--pr", type=int, default=7,
                         help="PR number this point belongs to")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of repeats per timed section")

@@ -158,6 +158,17 @@ def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sweep_backend_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.runtime.executor import SWEEP_BACKENDS
+
+    parser.add_argument(
+        "--sweep-backend", choices=SWEEP_BACKENDS, default="auto",
+        help="sweep fan-out machinery: the classic one-shot process pool, "
+        "the persistent work-stealing worker pool, or auto-select "
+        "(results are bit-identical either way)",
+    )
+
+
 def _add_optimizer_backend_flag(parser: argparse.ArgumentParser) -> None:
     from repro.core.optimizer import OPTIMIZER_BACKENDS
 
@@ -277,7 +288,8 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
     with use_instrumentation(instrumentation):
         groups = _si_groups_for(args, soc)
         curve = sweep_widths(
-            soc, tuple(args.widths), groups=groups, jobs=args.jobs
+            soc, tuple(args.widths), groups=groups, jobs=args.jobs,
+            sweep_backend=args.sweep_backend,
         )
     print(format_curve(curve))
     _emit_profile(
@@ -290,6 +302,7 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
             "parts": args.parts,
             "seed": args.seed,
             "jobs": args.jobs,
+            "sweep_backend": args.sweep_backend,
         },
         time.perf_counter() - start,
         instrumentation,
@@ -334,6 +347,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
             cache=cache,
             verify=args.verify,
             optimizer_backend=args.optimizer_backend,
+            sweep_backend=args.sweep_backend,
         )
     print(render_table(result))
     print(f"(elapsed: {result.elapsed_seconds:.1f}s)")
@@ -352,6 +366,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
             "jobs": args.jobs,
             "cache": getattr(args, "cache", None),
             "optimizer_backend": args.optimizer_backend,
+            "sweep_backend": args.sweep_backend,
         },
         time.perf_counter() - start,
         instrumentation,
@@ -425,6 +440,7 @@ def _cmd_volume(args: argparse.Namespace) -> int:
     volumes = measure_compaction(
         soc, patterns, tuple(args.parts), seed=args.seed, jobs=args.jobs,
         backend=args.compaction_backend,
+        sweep_backend=args.sweep_backend,
     )
     print(format_volume_report(volumes))
     return 0
@@ -607,6 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
     pareto.add_argument("--parts", type=int, default=4)
     pareto.add_argument("--seed", type=int, default=1)
     _add_runtime_flags(pareto)
+    _add_sweep_backend_flag(pareto)
     pareto.set_defaults(func=_cmd_pareto)
 
     scaling = sub.add_parser(
@@ -632,6 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--verbose", action="store_true")
     _add_runtime_flags(table, with_cache=True)
     _add_optimizer_backend_flag(table)
+    _add_sweep_backend_flag(table)
     _add_verify_flag(table)
     table.set_defaults(func=_cmd_table)
 
@@ -678,6 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep cells (1 = serial)",
     )
     _add_backend_flag(volume)
+    _add_sweep_backend_flag(volume)
     volume.set_defaults(func=_cmd_volume)
 
     coverage = sub.add_parser(

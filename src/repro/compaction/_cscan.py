@@ -33,7 +33,7 @@ import subprocess
 import tempfile
 from array import array
 
-__all__ = ["available", "greedy_scan"]
+__all__ = ["available", "greedy_scan", "warm"]
 
 _SOURCE = r"""
 #include <stdint.h>
@@ -314,6 +314,17 @@ def available() -> bool:
                 if fn is not None and _smoke(fn):
                     _engine = fn
     return _engine is not False
+
+
+def warm() -> bool:
+    """Resolve the engine now, instead of lazily inside the first scan.
+
+    The resolved handle is cached for the life of the process (module
+    global), so a persistent sweep worker that calls this during warm-up
+    pays the compile/load/smoke cost exactly once, outside any cell's
+    wall clock — later cells reuse the handle with a dict lookup.
+    """
+    return available()
 
 
 def _load_fault_injected() -> bool:

@@ -36,7 +36,7 @@ import subprocess
 import tempfile
 from array import array
 
-__all__ = ["available", "merge_distribute", "score_moves"]
+__all__ = ["available", "merge_distribute", "score_moves", "warm"]
 
 _SOURCE = r"""
 #include <stdint.h>
@@ -863,6 +863,17 @@ def available() -> bool:
                         and _smoke_distribute(fns[1])):
                     _engine = fns
     return _engine is not False
+
+
+def warm() -> bool:
+    """Resolve the engine now, instead of lazily inside the first scan.
+
+    The resolved handles are cached for the life of the process (module
+    global), so a persistent sweep worker that calls this during warm-up
+    pays the compile/load/smoke cost exactly once, outside any cell's
+    wall clock — later cells reuse the handles with a dict lookup.
+    """
+    return available()
 
 
 def _load_fault_injected() -> bool:

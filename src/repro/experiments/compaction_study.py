@@ -75,14 +75,17 @@ def measure_compaction(
     seed: int = 0,
     jobs: int = 1,
     backend: str = "auto",
+    sweep_backend: str = "auto",
 ) -> tuple[CompactionVolume, ...]:
     """Measure data volume across grouping choices.
 
     Group counts are independent, so ``jobs > 1`` fans them out over
     worker processes without changing the reported volumes.  ``backend``
     selects the vertical compaction implementation (see
-    :func:`repro.compaction.vertical.greedy_compact`); the volumes are
-    backend-independent.
+    :func:`repro.compaction.vertical.greedy_compact`); ``sweep_backend``
+    the fan-out machinery (see
+    :data:`repro.runtime.executor.SWEEP_BACKENDS`).  The volumes are
+    independent of both.
 
     Raises:
         ValueError: If ``group_counts`` is empty.
@@ -97,6 +100,7 @@ def measure_compaction(
         _grouping_cell,
         [(soc, patterns, parts, seed, backend) for parts in group_counts],
         jobs=jobs,
+        backend=sweep_backend,
     )
     results = []
     for parts, (grouping, snapshot) in zip(group_counts, cells):

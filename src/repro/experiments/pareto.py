@@ -96,11 +96,15 @@ def sweep_widths(
     groups: tuple[SITestGroup, ...] = (),
     capture_cycles: int = 1,
     jobs: int = 1,
+    sweep_backend: str = "auto",
 ) -> ParetoCurve:
     """Optimize the SOC at each budget and collect the trade-off curve.
 
     Budgets are independent, so ``jobs > 1`` fans them out over worker
-    processes; the curve is identical to a serial sweep.
+    processes; the curve is identical to a serial sweep.  ``sweep_backend``
+    picks the fan-out machinery (see
+    :data:`repro.runtime.executor.SWEEP_BACKENDS`); the curve is
+    backend-independent.
 
     Raises:
         ValueError: If ``widths`` is empty or not strictly increasing.
@@ -113,6 +117,7 @@ def sweep_widths(
         _pareto_cell,
         [(soc, w_max, groups, capture_cycles) for w_max in widths],
         jobs=jobs,
+        backend=sweep_backend,
     )
     points = []
     for w_max, (result, snapshot) in zip(widths, cells):

@@ -24,8 +24,22 @@ processes via :mod:`repro.runtime.executor`.  Cell results are reassembled
 in deterministic (width, group count) order, so the produced table is
 byte-identical to the serial one.  An optional
 :class:`~repro.runtime.cache.EvaluationCache` memoizes grouping and
-optimization cells across runs; a grouping restored from the cache
-carries an empty ``compactions`` tuple (see :mod:`repro.runtime.codec`).
+optimization cells across runs; a grouping produced by a sweep cell (or
+restored from the cache) carries an empty ``compactions`` tuple (see
+:mod:`repro.runtime.codec`) — the harness reads only the group metadata,
+and the per-group merged pattern lists would dominate the result traffic
+between worker and parent.
+
+With the ``workers`` sweep backend (the default resolution of ``auto``
+for ``jobs > 1``) one persistent :class:`~repro.runtime.pool.WorkerPool`
+spans both cell phases: workers warm up once (C engines pre-loaded), the
+SI pattern set travels as a :class:`~repro.runtime.pool.PatternsRef`
+resolved through each worker's warm state cache instead of being pickled
+into every grouping cell, and grouping cells are routed to workers by
+their pattern fingerprint so the set is materialized as few times as
+possible.  The serial path resolves the same reference through the same
+(parent-process) cache, so repeated sweeps over one (SOC, seed, ``N_r``,
+config) generate the pattern set exactly once per process.
 """
 
 from __future__ import annotations
@@ -41,13 +55,21 @@ from repro.runtime.cache import (
     grouping_cache_key,
     groups_fingerprint,
     optimize_cache_key,
+    patterns_cache_key,
 )
-from repro.runtime.executor import run_cells
+from repro.runtime.executor import resolve_sweep_backend, run_cells
 from repro.runtime.instrumentation import (
     absorb_snapshot,
     call_with_instrumentation,
 )
-from repro.sitest.generator import GeneratorConfig, generate_random_patterns
+from repro.runtime.pool import (
+    PatternsRef,
+    PoolUnavailable,
+    WorkerPool,
+    default_warmup,
+    resolve_patterns,
+)
+from repro.sitest.generator import GeneratorConfig
 from repro.soc.model import Soc
 from repro.tam.tr_architect import tr_architect
 
@@ -101,11 +123,25 @@ class TableResult:
 
 
 def _grouping_cell(spec) -> tuple[GroupingResult, dict]:
-    """Sweep cell: one two-dimensional compaction run (one group count)."""
+    """Sweep cell: one two-dimensional compaction run (one group count).
+
+    ``patterns`` may be the materialized list (classic pool protocol) or a
+    :class:`PatternsRef` resolved through the warm per-process state cache
+    (serial and ``workers`` backends).  The returned grouping is the
+    codec-reduced form — ``compactions == ()``, exactly what a cache hit
+    would return — so the result ships group metadata, not pattern lists.
+    """
+    from repro.runtime.codec import grouping_from_dict, grouping_to_dict
+
     soc, patterns, parts, seed = spec
-    return call_with_instrumentation(
-        build_si_test_groups, soc, patterns, parts=parts, seed=seed
-    )
+    if isinstance(patterns, PatternsRef):
+        patterns = resolve_patterns(soc, patterns)
+
+    def build() -> GroupingResult:
+        grouping = build_si_test_groups(soc, patterns, parts=parts, seed=seed)
+        return grouping_from_dict(grouping_to_dict(grouping))
+
+    return call_with_instrumentation(build)
 
 
 def _optimize_cell(spec) -> tuple[object, dict]:
@@ -132,6 +168,7 @@ def run_table_experiment(
     checkpoint=None,
     verify: bool = False,
     optimizer_backend: str = "auto",
+    sweep_backend: str = "auto",
 ) -> TableResult:
     """Run the full Table 2/3 experiment for one SOC and one ``N_r``.
 
@@ -159,11 +196,34 @@ def run_table_experiment(
             :data:`repro.core.optimizer.OPTIMIZER_BACKENDS`.  All
             backends are bit-identical, so cache keys (and therefore
             hits) are shared across backends by design.
+        sweep_backend: Cell fan-out backend, one of
+            :data:`repro.runtime.executor.SWEEP_BACKENDS` (``auto``
+            resolves to the persistent work-stealing ``workers`` pool for
+            ``jobs > 1``).  All backends produce bit-identical tables.
     """
     from repro.core.optimizer import resolve_optimizer_backend
 
     resolve_optimizer_backend(optimizer_backend)  # fail fast on a typo
+    backend = resolve_sweep_backend(sweep_backend, jobs=jobs)
     start = time.perf_counter()
+
+    pool: WorkerPool | None = None
+    pool_failed = False
+
+    def sweep_pool() -> WorkerPool | None:
+        """The sweep's shared warm worker pool (``workers`` backend only),
+        created on first parallel phase; ``None`` means use the classic
+        pool (requested, or persistent workers unavailable here)."""
+        nonlocal pool, pool_failed
+        if backend != "workers" or jobs <= 1 or pool_failed:
+            return None
+        if pool is None:
+            try:
+                pool = WorkerPool(jobs, warmup=default_warmup)
+            except PoolUnavailable:
+                pool_failed = True
+                return None
+        return pool
 
     def lookup(key):
         """Checkpoint first (resume correctness), then the cache."""
@@ -185,7 +245,27 @@ def run_table_experiment(
         seed=seed,
         group_counts=tuple(group_counts),
     )
+    try:
+        _run_phases(
+            soc, pattern_count, widths, group_counts, seed,
+            generator_config, verbose, jobs, cache, checkpoint,
+            verify, optimizer_backend, lookup, record, result, sweep_pool,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+    result.elapsed_seconds = time.perf_counter() - start
+    return result
 
+
+def _run_phases(
+    soc, pattern_count, widths, group_counts, seed, generator_config,
+    verbose, jobs, cache, checkpoint, verify, optimizer_backend, lookup,
+    record, result, sweep_pool,
+) -> None:
+    """Body of :func:`run_table_experiment`: the grouping and optimizer
+    phases plus verification and row assembly, factored out so the sweep
+    pool's lifecycle wraps it cleanly."""
     # --- Groupings: one cell per group count, cached and parallel. -------
     grouping_keys = {
         parts: grouping_cache_key(
@@ -206,13 +286,39 @@ def run_table_experiment(
         pending_parts = still_pending
 
     if pending_parts:
-        patterns = generate_random_patterns(
-            soc, pattern_count, seed=seed, config=generator_config
+        patterns_ref = PatternsRef(
+            count=pattern_count,
+            seed=seed,
+            config=generator_config,
+            fingerprint=patterns_cache_key(
+                soc, seed, pattern_count, config=generator_config
+            ),
+            store_dir=(
+                str(cache.store_dir / "state")
+                if cache is not None and cache.store_dir is not None
+                else None
+            ),
         )
+        spool = sweep_pool()
+        if spool is None and jobs > 1:
+            # Classic one-shot pool: its disposable workers cannot
+            # amortize generation, so materialize once in the parent
+            # (through the same state cache) and ship per cell.
+            spec_patterns = resolve_patterns(soc, patterns_ref)
+        else:
+            # Serial parent or warm workers resolve the reference through
+            # their per-process state cache.
+            spec_patterns = patterns_ref
         cells = run_cells(
             _grouping_cell,
-            [(soc, patterns, parts, seed) for parts in pending_parts],
+            [(soc, spec_patterns, parts, seed) for parts in pending_parts],
             jobs=jobs,
+            backend="workers" if spool is not None else "pool",
+            pool=spool,
+            shard_keys=(
+                [patterns_ref.fingerprint] * len(pending_parts)
+                if spool is not None else None
+            ),
         )
         for parts, (grouping, snapshot) in zip(pending_parts, cells):
             absorb_snapshot(snapshot)
@@ -279,8 +385,14 @@ def run_table_experiment(
         )
         for w_max, parts in specs
     ]
+    spool = sweep_pool()
     for (w_max, parts), (optimized, snapshot) in zip(
-        specs, run_cells(_optimize_cell, cell_args, jobs=jobs)
+        specs,
+        run_cells(
+            _optimize_cell, cell_args, jobs=jobs,
+            backend="workers" if spool is not None else "pool",
+            pool=spool,
+        ),
     ):
         absorb_snapshot(snapshot)
         optimized_of[(w_max, parts)] = optimized
@@ -345,6 +457,3 @@ def run_table_experiment(
                 f"dT8={row.delta_baseline_pct:.2f}% "
                 f"dTg={row.delta_grouping_pct:.2f}%"
             )
-
-    result.elapsed_seconds = time.perf_counter() - start
-    return result

@@ -8,6 +8,9 @@ machinery to run those cells fast and observably:
 * :mod:`repro.runtime.executor` — a process-pool sweep executor with
   deterministic result ordering, per-cell timeout, retry-once fault
   handling and a graceful serial fallback.
+* :mod:`repro.runtime.pool` — the work-stealing ``workers`` sweep
+  backend: persistent warm workers with shard queues, cell batching,
+  dead-worker reassignment and a shared warm-state cache.
 * :mod:`repro.runtime.cache` — a keyed evaluation cache (in-memory LRU
   plus an optional on-disk JSON store) memoizing grouping results and
   architecture optimizations by a stable content hash of their inputs.
@@ -24,11 +27,26 @@ from repro.runtime.cache import (
     gc_store,
     grouping_cache_key,
     optimize_cache_key,
+    patterns_cache_key,
     soc_fingerprint,
     stable_hash,
     verify_store,
 )
-from repro.runtime.executor import CellError, CellFailure, run_cells
+from repro.runtime.executor import (
+    SWEEP_BACKENDS,
+    CellError,
+    CellFailure,
+    resolve_sweep_backend,
+    run_cells,
+)
+from repro.runtime.pool import (
+    PatternsRef,
+    PoolUnavailable,
+    SharedStateStore,
+    WorkerPool,
+    resolve_patterns,
+    run_cells_stolen,
+)
 from repro.runtime.instrumentation import (
     Instrumentation,
     RunReport,
@@ -44,7 +62,12 @@ __all__ = [
     "CellFailure",
     "EvaluationCache",
     "Instrumentation",
+    "PatternsRef",
+    "PoolUnavailable",
     "RunReport",
+    "SWEEP_BACKENDS",
+    "SharedStateStore",
+    "WorkerPool",
     "absorb_snapshot",
     "call_with_instrumentation",
     "default_codecs",
@@ -53,7 +76,11 @@ __all__ = [
     "grouping_cache_key",
     "incr",
     "optimize_cache_key",
+    "patterns_cache_key",
+    "resolve_patterns",
+    "resolve_sweep_backend",
     "run_cells",
+    "run_cells_stolen",
     "soc_fingerprint",
     "stable_hash",
     "use_instrumentation",

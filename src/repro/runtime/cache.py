@@ -117,6 +117,28 @@ def grouping_cache_key(
     )
 
 
+def patterns_cache_key(
+    soc: Soc,
+    seed: int,
+    pattern_count: int,
+    config: GeneratorConfig = GeneratorConfig(),
+) -> str:
+    """Key of a generated SI pattern set (``generate_random_patterns``).
+
+    One key per (SOC structure, seed, ``N_r``, generator config): every
+    sweep cell over the same inputs names the same set, so warm workers
+    and the shared state store can serve it instead of regenerating it.
+    """
+    return "patterns-" + stable_hash(
+        {
+            "soc": soc_fingerprint(soc),
+            "seed": seed,
+            "pattern_count": pattern_count,
+            "generator": _config_fingerprint(config),
+        }
+    )
+
+
 def optimize_cache_key(
     soc: Soc,
     w_max: int,

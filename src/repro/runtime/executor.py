@@ -24,6 +24,24 @@ standard :mod:`multiprocessing` constraints.
 When a fault plan is active (:mod:`repro.resilience.faults`), the worker
 is wrapped with the ``executor.cell`` injection site; with no plan the
 wrap is an identity and the hot path is untouched.
+
+Two parallel backends implement the fan-out (``SWEEP_BACKENDS``):
+
+* ``pool`` — the classic one-shot ``ProcessPoolExecutor``: workers are
+  created per call and specs are shipped fully materialized.  Right for
+  a single phase of heavyweight cells.
+* ``workers`` — the work-stealing :class:`repro.runtime.pool.WorkerPool`:
+  persistent warm workers, shard queues with stealing and batching,
+  dead-worker reassignment, and reference-based specs resolved through
+  the warm per-worker state cache.  Right for sweeps of many small cells.
+
+``auto`` resolves to ``workers`` for a parallel multi-cell sweep.  The
+default of :func:`run_cells` stays ``pool`` so direct callers keep the
+exact pre-existing semantics; sweep harnesses opt into ``auto`` and pass
+a shared :class:`~repro.runtime.pool.WorkerPool` spanning their phases.
+Either parallel backend degrades to the other and ultimately to serial
+execution when processes cannot be spawned, and both return results in
+input order, bit-identical to serial.
 """
 
 from __future__ import annotations
@@ -51,6 +69,29 @@ class CellError(RuntimeError):
 #: Public name for the structured failure the executor escalates to.
 CellFailure = CellError
 
+#: Recognized sweep fan-out backends (see module docstring).
+SWEEP_BACKENDS = ("auto", "pool", "workers")
+
+
+def resolve_sweep_backend(
+    backend: str, jobs: int = 2, cells: int = 2
+) -> str:
+    """Resolve a requested sweep backend to a concrete one.
+
+    ``auto`` picks ``workers`` whenever the sweep actually fans out
+    (``jobs > 1`` and more than one cell) — amortized warm-up wins there —
+    and ``pool`` otherwise (where ``run_cells`` short-circuits to serial
+    anyway).  Explicit names pass through; unknown names raise.
+    """
+    if backend not in SWEEP_BACKENDS:
+        raise ValueError(
+            f"unknown sweep backend {backend!r}; expected one of "
+            f"{', '.join(SWEEP_BACKENDS)}"
+        )
+    if backend != "auto":
+        return backend
+    return "workers" if jobs > 1 and cells > 1 else "pool"
+
 
 def run_cells(
     worker: Callable,
@@ -59,6 +100,10 @@ def run_cells(
     timeout: float | None = None,
     retry: bool = True,
     validate: Callable | None = None,
+    backend: str = "pool",
+    pool=None,
+    shard_keys: Sequence | None = None,
+    warmup: Callable | None = None,
 ) -> list:
     """Run ``worker(spec)`` for every spec, possibly in parallel.
 
@@ -76,6 +121,17 @@ def run_cells(
             cell — retried serially, then escalated to
             :class:`CellError`.  Guards against garbage/partial payloads
             from a sick worker process.
+        backend: ``"pool"`` (default: classic one-shot process pool),
+            ``"workers"`` (persistent work-stealing pool) or ``"auto"``
+            (see :func:`resolve_sweep_backend`).
+        pool: An already-warm :class:`repro.runtime.pool.WorkerPool` to
+            run on (implies the ``workers`` backend); the caller owns its
+            lifecycle, so one pool can span several sweep phases.
+        shard_keys: Optional per-spec state keys for the ``workers``
+            backend — cells sharing a key land on the same worker and
+            share its warm state.  Ignored by the classic pool.
+        warmup: Optional per-worker warm-up hook for a transient
+            ``workers`` pool.  Ignored by the classic pool.
 
     Returns:
         Results in the order of ``specs``.
@@ -85,14 +141,40 @@ def run_cells(
             ``retry=False``, its first attempt).
     """
     specs = list(specs)
+    resolved_backend = resolve_sweep_backend(
+        backend, jobs=jobs, cells=len(specs)
+    )
     if not specs:
         return []
     from repro.resilience.faults import wrap_worker
 
     worker = wrap_worker(worker)
-    if jobs <= 1 or len(specs) == 1:
+    if pool is None and (jobs <= 1 or len(specs) == 1):
         return _run_serial(worker, specs, retry, validate)
 
+    if pool is not None or resolved_backend == "workers":
+        from repro.runtime.pool import PoolUnavailable, run_cells_stolen
+
+        try:
+            if pool is not None:
+                incr("executor.backend.workers")
+                return pool.run(
+                    worker, specs, timeout=timeout, retry=retry,
+                    validate=validate, shard_keys=shard_keys,
+                )
+            result = run_cells_stolen(
+                worker, specs, jobs=jobs, timeout=timeout, retry=retry,
+                validate=validate, warmup=warmup, shard_keys=shard_keys,
+            )
+        except PoolUnavailable:
+            # No persistent workers here; the classic pool below makes its
+            # own serial-fallback decision.
+            incr("recovery.workers_pool_fallback")
+        else:
+            incr("executor.backend.workers")
+            return result
+
+    incr("executor.backend.pool")
     try:
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(specs)))
     except (OSError, ValueError, NotImplementedError):

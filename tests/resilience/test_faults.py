@@ -120,6 +120,34 @@ class TestExecutorFaults:
         assert counters["executor.cell_timeouts"] >= 1
         assert counters["recovery.cell_retry_ok"] >= 1
 
+    def test_workers_backend_crash_reassigns_and_recovers(self):
+        # Same fault, work-stealing backend: the parent notices the dead
+        # worker and rescues its cells (reassignment to a live worker or
+        # the serial-retry path) without losing a single result.
+        instrumentation = Instrumentation()
+        with use_instrumentation(instrumentation):
+            with faults.inject("worker:worker-crash@0", env=True):
+                results = run_cells(
+                    _double, [1, 2, 3, 4, 5, 6], jobs=2, backend="workers"
+                )
+        assert results == [2, 4, 6, 8, 10, 12]
+        counters = instrumentation.counters
+        assert counters["pool.workers_lost"] >= 1
+        assert counters["recovery.worker_reassigned"] >= 1
+
+    def test_workers_backend_hang_killed_and_recovered(self):
+        instrumentation = Instrumentation()
+        with use_instrumentation(instrumentation):
+            with faults.inject("worker:worker-hang@0:30", env=True):
+                results = run_cells(
+                    _double, [1, 2, 3, 4], jobs=2, backend="workers",
+                    timeout=0.5,
+                )
+        assert results == [2, 4, 6, 8]
+        counters = instrumentation.counters
+        assert counters["executor.cell_timeouts"] >= 1
+        assert counters["pool.workers_lost"] >= 1
+
 
 class TestCacheFaults:
     @pytest.mark.parametrize(

@@ -49,6 +49,59 @@ class TestParallelEqualsSerial:
         assert parallel == serial
 
 
+class TestWorkersBackendEqualsSerial:
+    """The work-stealing ``workers`` backend must be invisible too."""
+
+    def test_table_rows_byte_identical(self, d695, serial_table):
+        from repro.runtime.pool import clear_cell_state
+
+        clear_cell_state()
+        stolen = run_table_experiment(
+            d695, N_R, widths=WIDTHS, group_counts=PARTS, seed=SEED,
+            jobs=2, sweep_backend="workers",
+        )
+        assert render_table(stolen) == render_table(serial_table)
+        serial_dict = result_to_dict(serial_table)
+        stolen_dict = result_to_dict(stolen)
+        serial_dict.pop("elapsed_seconds", None)
+        stolen_dict.pop("elapsed_seconds", None)
+        assert stolen_dict == serial_dict
+
+    def test_resumed_run_byte_identical(self, d695, serial_table, tmp_path):
+        from repro.resilience.checkpoint import SweepCheckpoint
+        from repro.runtime.pool import clear_cell_state
+
+        clear_cell_state()
+        path = tmp_path / "checkpoint.json"
+        run_table_experiment(
+            d695, N_R, widths=WIDTHS, group_counts=PARTS, seed=SEED,
+            jobs=2, sweep_backend="workers",
+            checkpoint=SweepCheckpoint(path),
+        )
+        resumed_checkpoint = SweepCheckpoint(path)
+        assert resumed_checkpoint.resumed_from_disk
+        resumed = run_table_experiment(
+            d695, N_R, widths=WIDTHS, group_counts=PARTS, seed=SEED,
+            jobs=2, sweep_backend="workers",
+            checkpoint=resumed_checkpoint,
+        )
+        assert render_table(resumed) == render_table(serial_table)
+
+    def test_pareto_curve_identical(self, d695):
+        serial = sweep_widths(d695, WIDTHS, jobs=1)
+        stolen = sweep_widths(d695, WIDTHS, jobs=2, sweep_backend="workers")
+        assert stolen == serial
+
+    def test_volume_study_identical(self, d695):
+        patterns = generate_random_patterns(d695, 200, seed=SEED)
+        serial = measure_compaction(d695, patterns, PARTS, seed=SEED, jobs=1)
+        stolen = measure_compaction(
+            d695, patterns, PARTS, seed=SEED, jobs=2,
+            sweep_backend="workers",
+        )
+        assert stolen == serial
+
+
 class TestCacheInvariants:
     def test_warm_run_identical_and_hits(self, d695, serial_table, tmp_path):
         cache = EvaluationCache(store_dir=tmp_path)

@@ -1,0 +1,280 @@
+"""Tests for the work-stealing worker pool and its warm state cache."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.runtime.executor import (
+    SWEEP_BACKENDS,
+    CellError,
+    resolve_sweep_backend,
+    run_cells,
+)
+from repro.runtime.instrumentation import Instrumentation, use_instrumentation
+from repro.runtime.pool import (
+    PatternsRef,
+    SharedStateStore,
+    WorkerPool,
+    cell_state,
+    clear_cell_state,
+    resolve_patterns,
+    run_cells_stolen,
+)
+
+
+def _double(spec):
+    return spec * 2
+
+
+def _triple(spec):
+    return spec * 3
+
+
+def _explode(spec):
+    raise ValueError(f"cell {spec} always fails")
+
+
+def _crash_in_worker(spec):
+    # Dies only inside a worker process; the parent's serial retry is clean.
+    if multiprocessing.parent_process() is not None:
+        os._exit(86)
+    return spec * 2
+
+
+def _bad_warmup():
+    raise RuntimeError("no engines here")
+
+
+class TestResolveSweepBackend:
+    def test_explicit_names_pass_through(self):
+        for name in ("pool", "workers"):
+            assert resolve_sweep_backend(name, jobs=1, cells=1) == name
+
+    def test_auto_picks_workers_for_parallel_sweeps(self):
+        assert resolve_sweep_backend("auto", jobs=2, cells=4) == "workers"
+        assert resolve_sweep_backend("auto", jobs=1, cells=4) == "pool"
+        assert resolve_sweep_backend("auto", jobs=2, cells=1) == "pool"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            resolve_sweep_backend("threads")
+
+    def test_registry_is_complete(self):
+        assert set(SWEEP_BACKENDS) == {"auto", "pool", "workers"}
+
+
+class TestSharedStateStore:
+    def test_round_trip(self, tmp_path):
+        store = SharedStateStore(tmp_path)
+        store.put("alpha", {"value": list(range(10))})
+        assert store.get("alpha") == {"value": list(range(10))}
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert SharedStateStore(tmp_path).get("nothing") is None
+
+    def test_bitflip_quarantined_not_trusted(self, tmp_path):
+        store = SharedStateStore(tmp_path)
+        store.put("alpha", [1, 2, 3])
+        path = tmp_path / "alpha.state"
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with use_instrumentation(Instrumentation()) as instrumentation:
+            assert store.get("alpha") is None
+        assert instrumentation.counters["statecache.corrupt"] == 1
+        assert (tmp_path / "alpha.state.corrupt").exists()
+        assert not path.exists()
+
+    def test_truncation_detected(self, tmp_path):
+        store = SharedStateStore(tmp_path)
+        store.put("alpha", list(range(100)))
+        path = tmp_path / "alpha.state"
+        path.write_bytes(path.read_bytes()[:40])
+        assert store.get("alpha") is None
+
+
+class TestCellState:
+    def setup_method(self):
+        clear_cell_state()
+
+    def teardown_method(self):
+        clear_cell_state()
+
+    def test_memo_hit_after_miss(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "made"
+
+        with use_instrumentation(Instrumentation()) as instrumentation:
+            assert cell_state("key", factory) == "made"
+            assert cell_state("key", factory) == "made"
+        assert len(calls) == 1
+        assert instrumentation.counters["statecache.misses"] == 1
+        assert instrumentation.counters["statecache.memo_hits"] == 1
+
+    def test_store_shared_across_memo_clears(self, tmp_path):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return [1, 2, 3]
+
+        cell_state("key", factory, store_dir=str(tmp_path))
+        clear_cell_state()  # model a fresh worker process
+        with use_instrumentation(Instrumentation()) as instrumentation:
+            assert cell_state("key", factory, store_dir=str(tmp_path)) == [
+                1, 2, 3,
+            ]
+        assert len(calls) == 1
+        assert instrumentation.counters["statecache.disk_hits"] == 1
+
+    def test_memo_bounded_by_eviction(self):
+        with use_instrumentation(Instrumentation()) as instrumentation:
+            for n in range(40):
+                cell_state(f"key-{n}", lambda n=n: n)
+        assert instrumentation.counters["statecache.evictions"] > 0
+
+    def test_patterns_ref_resolves_deterministically(self, t5):
+        from repro.runtime.cache import patterns_cache_key
+        from repro.sitest.generator import (
+            GeneratorConfig,
+            generate_random_patterns,
+        )
+
+        config = GeneratorConfig()
+        ref = PatternsRef(
+            count=50, seed=3, config=config,
+            fingerprint=patterns_cache_key(t5, 3, 50, config=config),
+        )
+        resolved = resolve_patterns(t5, ref)
+        assert resolved == generate_random_patterns(
+            t5, 50, seed=3, config=config
+        )
+        # Second resolution is the memoized object, not a regeneration.
+        assert resolve_patterns(t5, ref) is resolved
+
+
+class TestBatchPlanning:
+    def test_plan_covers_every_cell_once(self):
+        pool = WorkerPool.__new__(WorkerPool)  # plan only, no processes
+        pool.jobs = 3
+        specs = list(range(17))
+        batches = pool._plan_batches(specs, None, _double)
+        indices = sorted(
+            index for _, batch in batches for index, _, _ in batch
+        )
+        assert indices == list(range(17))
+        for shard, _ in batches:
+            assert 0 <= shard < 3
+
+    def test_shared_key_cells_stay_on_one_shard(self):
+        pool = WorkerPool.__new__(WorkerPool)
+        pool.jobs = 4
+        specs = list(range(12))
+        batches = pool._plan_batches(specs, ["warm"] * 12, _double)
+        assert len({shard for shard, _ in batches}) == 1
+
+    def test_plan_is_deterministic(self):
+        pool = WorkerPool.__new__(WorkerPool)
+        pool.jobs = 4
+        specs = [(n, "spec") for n in range(9)]
+        assert pool._plan_batches(specs, None, _double) == pool._plan_batches(
+            specs, None, _double
+        )
+
+
+class TestWorkerPool:
+    def test_stolen_equals_serial_in_order(self):
+        specs = list(range(20))
+        assert run_cells_stolen(_double, specs, jobs=2) == [
+            _double(spec) for spec in specs
+        ]
+
+    def test_pool_persists_across_phases(self):
+        with WorkerPool(2) as pool:
+            assert pool.run(_double, [1, 2, 3]) == [2, 4, 6]
+            assert pool.run(_triple, [1, 2, 3]) == [3, 6, 9]
+
+    def test_run_cells_workers_backend(self):
+        specs = list(range(8))
+        assert run_cells(_double, specs, jobs=2, backend="workers") == [
+            _double(spec) for spec in specs
+        ]
+
+    def test_shard_keys_accepted(self):
+        specs = list(range(6))
+        assert run_cells_stolen(
+            _double, specs, jobs=2, shard_keys=["warm"] * 6
+        ) == [_double(spec) for spec in specs]
+
+    def test_failing_cell_escalates_to_cell_error(self):
+        with pytest.raises(CellError, match="always fails"):
+            run_cells_stolen(_explode, [1], jobs=2)
+
+    def test_validator_rejection_retried_then_escalated(self):
+        with pytest.raises(CellError):
+            run_cells_stolen(
+                _double, [1], jobs=2, validate=lambda value: value > 100
+            )
+
+    def test_crashed_worker_cells_are_rescued(self):
+        with use_instrumentation(Instrumentation()) as instrumentation:
+            results = run_cells_stolen(_crash_in_worker, [1, 2, 3, 4], jobs=2)
+        assert results == [2, 4, 6, 8]
+        counters = instrumentation.counters
+        assert counters["pool.workers_lost"] >= 1
+        assert counters["recovery.worker_reassigned"] >= 1
+
+    def test_hung_worker_killed_and_cell_retried(self):
+        with use_instrumentation(Instrumentation()) as instrumentation:
+            results = run_cells_stolen(
+                _hang_in_worker, [1, 2], jobs=2, timeout=0.5
+            )
+        assert results == [2, 4]
+        assert instrumentation.counters["executor.cell_timeouts"] >= 1
+
+    def test_warmup_failure_falls_back_to_parent(self):
+        with use_instrumentation(Instrumentation()) as instrumentation:
+            results = run_cells_stolen(
+                _double, [1, 2, 3], jobs=2, warmup=_bad_warmup
+            )
+        assert results == [2, 4, 6]
+        counters = instrumentation.counters
+        assert counters["pool.warmup_failures"] >= 1
+        # Depending on timing the parent either takes over outright or
+        # recovers each cell through the serial-retry path.
+        recovered = (
+            counters.get("pool.parent_takeover", 0)
+            + counters.get("recovery.cell_retry_ok", 0)
+        )
+        assert recovered >= 1
+
+    def test_closed_pool_rejects_runs(self):
+        pool = WorkerPool(2)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run(_double, [1])
+
+    def test_warmup_snapshot_absorbed_on_close(self):
+        from repro.runtime.pool import default_warmup
+
+        with use_instrumentation(Instrumentation()) as instrumentation:
+            with WorkerPool(2, warmup=default_warmup) as pool:
+                pool.run(_double, [1, 2, 3, 4])
+        counters = instrumentation.counters
+        assert counters["pool.workers_started"] == 2
+        assert counters["pool.warmups"] == 2
+        assert "worker.warmup" in instrumentation.timers
+
+
+def _hang_in_worker(spec):
+    if multiprocessing.parent_process() is not None:
+        import time
+
+        time.sleep(30)
+    return spec * 2

@@ -73,6 +73,28 @@ class TestTable:
         data = json.loads(json_path.read_text())
         assert [row["w_max"] for row in data["rows"]] == [4, 8]
 
+    def test_sweep_backend_flag_identical_tables(self, capsys):
+        argv = [
+            "table", "t5",
+            "--patterns", "200",
+            "--widths", "4", "8",
+            "--parts", "1", "2",
+            "--jobs", "2",
+        ]
+        assert main(argv + ["--sweep-backend", "pool"]) == 0
+        pool_out = capsys.readouterr().out
+        assert main(argv + ["--sweep-backend", "workers"]) == 0
+        workers_out = capsys.readouterr().out
+        # Wall clock differs; every table line must not.
+        strip = lambda out: [
+            line for line in out.splitlines() if "elapsed" not in line
+        ]
+        assert strip(pool_out) == strip(workers_out)
+
+    def test_unknown_sweep_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table", "t5", "--sweep-backend", "threads"])
+
 
 class TestSaveEvaluate:
     def test_save_and_evaluate_round_trip(self, capsys, tmp_path):
