@@ -15,7 +15,11 @@ A point captures, in one run:
 * **parallel sweep wall-clock** — the classic one-shot process pool vs
   the persistent work-stealing ``workers`` backend on a multi-SOC table
   sweep (``--sweep-backend``), with a rendered-table identity check
-  against a serial run.
+  against a serial run;
+* **plan layer overhead** — expansion time of the declarative table
+  plan plus the ``PlanRunner`` dispatch overhead (serial wall-clock
+  minus time inside the cell bodies), gated at an absolute budget
+  (default 2% of the sweep wall-clock).
 
 Absolute seconds are machine-dependent, so the regression gate
 (``--check``) compares the machine-independent *ratios* — optimizer
@@ -45,7 +49,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.compaction.horizontal import build_si_test_groups
 from repro.compaction.vertical import greedy_compact
 from repro.core.optimizer import optimize_tam
-from repro.experiments.table_runner import run_table_experiment
+from repro.experiments.runner import PlanRunner
+from repro.experiments.table_runner import run_table_experiment, table_plan
 from repro.runtime import EvaluationCache
 from repro.runtime.instrumentation import (
     Instrumentation,
@@ -263,6 +268,81 @@ def bench_sweep(regimes, jobs, seed):
     }
 
 
+#: Absolute ceiling for ``plan.overhead_pct`` enforced by ``--check``.
+PLAN_OVERHEAD_BUDGET_PCT = 2.0
+
+
+def bench_plan(soc_name, pattern_count, widths, parts, seed, repeats):
+    """Plan-expansion cost + ``PlanRunner`` dispatch overhead.
+
+    The table plan is expanded in a tight loop for the per-expansion
+    cost, then run serially with every cell body wrapped in a timer:
+    whatever part of the wall-clock was *not* spent inside a cell body
+    (graph validation, key resolution, ref materialization, assemble)
+    is the plan layer's dispatch overhead.
+    """
+    import dataclasses
+
+    from repro.experiments.plan import ExperimentPlan
+
+    soc = load_benchmark(soc_name)
+    plan = table_plan(
+        soc, pattern_count, widths=widths, group_counts=parts, seed=seed
+    )
+
+    iterations = 50
+
+    def expand_many():
+        for _ in range(iterations):
+            plan.expand()
+
+    expand_seconds = _best_of(repeats, expand_many) / iterations
+    cells = len(plan.expand())
+
+    cell_clock = [0.0]
+
+    def timed(fn):
+        def wrapper(*fn_args, **fn_kwargs):
+            cell_start = time.perf_counter()
+            try:
+                return fn(*fn_args, **fn_kwargs)
+            finally:
+                cell_clock[0] += time.perf_counter() - cell_start
+
+        return wrapper
+
+    class TimedPlan(ExperimentPlan):
+        def expand(self):
+            return tuple(
+                dataclasses.replace(cell, fn=timed(cell.fn))
+                for cell in super().expand()
+            )
+
+    timed_plan = TimedPlan(plan.name, plan.params)
+    best_wall = best_overhead = None
+    for _ in range(repeats):
+        cell_clock[0] = 0.0
+        run = PlanRunner(jobs=1).run(timed_plan)
+        overhead = run.wall_seconds - cell_clock[0]
+        if best_wall is None or run.wall_seconds < best_wall:
+            best_wall = run.wall_seconds
+            best_overhead = overhead
+    return {
+        "soc": soc_name,
+        "pattern_count": pattern_count,
+        "widths": list(widths),
+        "parts": list(parts),
+        "seed": seed,
+        "repeats": repeats,
+        "cells": cells,
+        "expand_seconds": round(expand_seconds, 6),
+        "wall_seconds": round(best_wall, 4),
+        "dispatch_seconds": round(best_overhead, 4),
+        "overhead_pct": round(100.0 * best_overhead / best_wall, 3),
+        "budget_pct": PLAN_OVERHEAD_BUDGET_PCT,
+    }
+
+
 def run(args) -> dict:
     if args.quick:
         optimizer = bench_optimizer(
@@ -272,6 +352,9 @@ def run(args) -> dict:
         table, cache = bench_table("d695", 500, (8, 16), (1, 2), 1)
         sweep = bench_sweep(
             [("t5", 20_000, (8, 16), (1, 2, 4))], jobs=2, seed=3
+        )
+        plan = bench_plan(
+            "t5", 20_000, (8, 16), (1, 2, 4), 3, max(1, args.repeats - 1)
         )
     else:
         optimizer = bench_optimizer(
@@ -287,6 +370,9 @@ def run(args) -> dict:
             jobs=2,
             seed=3,
         )
+        plan = bench_plan(
+            "t5", 60_000, (8, 16), (1, 2, 4), 3, args.repeats
+        )
     return {
         "format": RESULT_FORMAT,
         "version": RESULT_VERSION,
@@ -297,6 +383,7 @@ def run(args) -> dict:
         "table": table,
         "cache": cache,
         "sweep": sweep,
+        "plan": plan,
     }
 
 
@@ -310,6 +397,12 @@ def check(result, baseline_path, threshold) -> list[str]:
         failures.append("compaction backends diverged (identical=false)")
     if not result["sweep"]["identical"]:
         failures.append("sweep backends diverged (identical=false)")
+    plan = result.get("plan")
+    if plan is not None and plan["overhead_pct"] > plan["budget_pct"]:
+        failures.append(
+            f"plan.overhead_pct over budget: {plan['overhead_pct']}% > "
+            f"{plan['budget_pct']}%"
+        )
     for section, metric in GATED_RATIOS:
         # Sections absent from an older baseline (recorded before they
         # existed) have no reference to regress against.
@@ -332,7 +425,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--out", type=Path, default=None,
                         help="write the result JSON here")
-    parser.add_argument("--pr", type=int, default=7,
+    parser.add_argument("--pr", type=int, default=8,
                         help="PR number this point belongs to")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of repeats per timed section")

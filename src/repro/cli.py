@@ -22,9 +22,15 @@ Subcommands:
 * ``stability SOC`` — seed-stability of the table metrics.
 * ``cache verify|gc`` — integrity-check / prune the on-disk cache store.
 
-``optimize``, ``evaluate`` and ``table`` accept ``--verify`` to re-check
-the produced schedule with the independent post-condition verifier
-(``docs/resilience.md``).
+Every experiment command (``pareto``, ``scaling``, ``table``,
+``volume``, ``compare``, ``multisite``, ``sensitivity``, ``stability``)
+runs through the declarative plan layer
+(:mod:`repro.experiments.plan` / :class:`~repro.experiments.runner.PlanRunner`)
+and uniformly accepts ``--jobs``, ``--cache``, ``--sweep-backend``,
+``--resume`` and ``--verify``, plus ``--profile`` for the unified JSON
+run report (``docs/experiments.md``).  ``optimize`` and ``evaluate``
+also accept ``--verify`` for the independent schedule post-condition
+verifier (``docs/resilience.md``).
 
 See ``docs/cli.md`` for worked examples of every command.
 """
@@ -42,7 +48,6 @@ from repro.experiments.reporting import render_table, save_result
 from repro.experiments.table_runner import (
     DEFAULT_GROUP_COUNTS,
     DEFAULT_WIDTHS,
-    run_table_experiment,
 )
 from repro.sitest.generator import generate_random_patterns
 from repro.soc.benchmarks import available_benchmarks, load_benchmark
@@ -68,56 +73,96 @@ def _make_cache(args: argparse.Namespace):
     return EvaluationCache(store_dir=store_dir)
 
 
-def _emit_profile(
-    args: argparse.Namespace,
-    command: str,
-    arguments: dict,
-    wall_seconds: float,
-    instrumentation,
-    cache,
-) -> None:
-    """Write (or print) the ``--profile`` JSON run report."""
-    destination = getattr(args, "profile", None)
-    if destination is None:
-        return
-    from repro.runtime import RunReport
-
-    report = RunReport.build(
-        command=command,
-        arguments=arguments,
-        wall_seconds=wall_seconds,
-        instrumentation=instrumentation,
-        cache=cache,
-    )
-    if destination == "-":
-        print()
-        print(report.summary())
-    else:
-        report.save(destination)
-        print(f"run report written to {destination}")
+#: Where ``--resume`` without a PATH puts its checkpoint files.
+DEFAULT_CHECKPOINT_DIR = "results/checkpoints"
 
 
-def _add_runtime_flags(parser: argparse.ArgumentParser,
-                       with_cache: bool = False) -> None:
-    """The shared ``--jobs`` / ``--cache`` / ``--profile`` options."""
-    parser.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for the sweep cells (1 = serial)",
-    )
-    if with_cache:
-        from repro.runtime.cache import DEFAULT_STORE_DIR
+def _make_checkpoint(args: argparse.Namespace, plan):
+    """Build the ``--resume`` checkpoint for ``plan``, or ``None``.
 
-        parser.add_argument(
-            "--cache", nargs="?", const=str(DEFAULT_STORE_DIR), default=None,
-            metavar="DIR",
-            help="memoize evaluation cells on disk "
-            f"(default directory: {DEFAULT_STORE_DIR})",
+    Without an explicit PATH the file is derived from the plan's content
+    fingerprint under :data:`DEFAULT_CHECKPOINT_DIR`, so resuming the
+    same experiment finds the same checkpoint and a different experiment
+    never aliases it.
+    """
+    resume = getattr(args, "resume", None)
+    if resume is None:
+        return None
+    from pathlib import Path
+
+    from repro.resilience.checkpoint import SweepCheckpoint
+
+    if resume == "auto":
+        tag = plan.fingerprint().split("-", 1)[1][:16]
+        resume = Path(DEFAULT_CHECKPOINT_DIR) / f"{plan.name}-{tag}.json"
+    checkpoint = SweepCheckpoint(resume)
+    if checkpoint.resumed_from_disk:
+        print(
+            f"resuming from {checkpoint.path} "
+            f"({len(checkpoint)} recorded cells)"
         )
-    parser.add_argument(
-        "--profile", nargs="?", const="-", default=None, metavar="PATH",
-        help="emit a JSON run report (counters, timers, cache statistics); "
-        "without PATH, print a summary to stdout",
-    )
+    return checkpoint
+
+
+def _runtime_arguments(args: argparse.Namespace) -> dict:
+    """The uniform runtime-flag tail of a run report's arguments."""
+    return {
+        "jobs": args.jobs,
+        "cache": args.cache,
+        "sweep_backend": args.sweep_backend,
+        "resume": args.resume,
+        "verify": getattr(args, "verify", False),
+    }
+
+
+def _run_plan(args: argparse.Namespace, command: str, make_plan,
+              arguments: dict, render) -> int:
+    """Execute one experiment plan under the uniform runtime flags.
+
+    ``make_plan`` is called inside the instrumentation context (so any
+    parent-side preparation it does — e.g. building SI groups — is
+    counted), then the plan runs through :class:`PlanRunner` with the
+    command's ``--jobs/--cache/--sweep-backend/--resume/--verify``
+    settings and ``render(run)`` prints the command's output.
+    ``--profile`` then emits the unified run report
+    (:func:`repro.experiments.reporting.experiment_report`).
+    """
+    from repro.experiments.runner import PlanRunner
+    from repro.runtime import Instrumentation, use_instrumentation
+
+    cache = _make_cache(args)
+    instrumentation = Instrumentation()
+    start = time.perf_counter()
+    with use_instrumentation(instrumentation):
+        plan = make_plan()
+        checkpoint = _make_checkpoint(args, plan)
+        runner = PlanRunner(
+            jobs=args.jobs,
+            cache=cache,
+            checkpoint=checkpoint,
+            sweep_backend=args.sweep_backend,
+            verify=getattr(args, "verify", False),
+        )
+        run = runner.run(plan)
+    render(run)
+    destination = getattr(args, "profile", None)
+    if destination is not None:
+        from repro.experiments.reporting import experiment_report
+
+        report = experiment_report(
+            command,
+            arguments,
+            run,
+            wall_seconds=time.perf_counter() - start,
+            instrumentation=instrumentation,
+        )
+        if destination == "-":
+            print()
+            print(report.summary())
+        else:
+            report.save(destination)
+            print(f"run report written to {destination}")
+    return 0
 
 
 def _add_verify_flag(parser: argparse.ArgumentParser) -> None:
@@ -166,6 +211,40 @@ def _add_sweep_backend_flag(parser: argparse.ArgumentParser) -> None:
         help="sweep fan-out machinery: the classic one-shot process pool, "
         "the persistent work-stealing worker pool, or auto-select "
         "(results are bit-identical either way)",
+    )
+
+
+def _add_experiment_flags(parser: argparse.ArgumentParser) -> None:
+    """The uniform plan-runner flags every experiment command accepts:
+    ``--jobs``, ``--cache``, ``--sweep-backend``, ``--resume``,
+    ``--verify`` — plus ``--profile`` for the unified run report."""
+    from repro.runtime.cache import DEFAULT_STORE_DIR
+
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the plan cells (1 = serial; results "
+        "are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--cache", nargs="?", const=str(DEFAULT_STORE_DIR), default=None,
+        metavar="DIR",
+        help="memoize plan cells on disk, shared across experiments "
+        f"(default directory: {DEFAULT_STORE_DIR})",
+    )
+    _add_sweep_backend_flag(parser)
+    parser.add_argument(
+        "--resume", nargs="?", const="auto", default=None, metavar="PATH",
+        help="record every completed cell to a crash-safe checkpoint and "
+        "replay recorded cells on the next run; without PATH the file "
+        "is derived from the plan fingerprint under "
+        f"{DEFAULT_CHECKPOINT_DIR}/",
+    )
+    _add_verify_flag(parser)
+    parser.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the unified JSON run report (plan fingerprint, "
+        "backend, cell counts, counters, timers, cache statistics); "
+        "without PATH, print a summary to stdout",
     )
 
 
@@ -279,100 +358,98 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_pareto(args: argparse.Namespace) -> int:
-    from repro.experiments.pareto import format_curve, sweep_widths
-    from repro.runtime import Instrumentation, use_instrumentation
+    from repro.experiments.pareto import format_curve, pareto_plan
 
     soc = _load_soc(args.soc)
-    instrumentation = Instrumentation()
-    start = time.perf_counter()
-    with use_instrumentation(instrumentation):
-        groups = _si_groups_for(args, soc)
-        curve = sweep_widths(
-            soc, tuple(args.widths), groups=groups, jobs=args.jobs,
-            sweep_backend=args.sweep_backend,
-        )
-    print(format_curve(curve))
-    _emit_profile(
+    return _run_plan(
         args,
         "pareto",
+        lambda: pareto_plan(
+            soc, tuple(args.widths), groups=_si_groups_for(args, soc)
+        ),
         {
             "soc": args.soc,
             "widths": list(args.widths),
             "patterns": args.patterns,
             "parts": args.parts,
             "seed": args.seed,
-            "jobs": args.jobs,
-            "sweep_backend": args.sweep_backend,
+            **_runtime_arguments(args),
         },
-        time.perf_counter() - start,
-        instrumentation,
-        None,
+        lambda run: print(format_curve(run.report)),
     )
-    return 0
 
 
 def _cmd_scaling(args: argparse.Namespace) -> int:
     from repro.experiments.scaling import (
         format_scaling_report,
-        run_scaling_study,
+        scaling_plan,
     )
 
-    points = run_scaling_study(
-        tuple(args.cores),
-        w_max=args.wmax,
-        pattern_count=args.patterns,
-        parts=args.parts,
-        seed=args.seed,
+    return _run_plan(
+        args,
+        "scaling",
+        lambda: scaling_plan(
+            tuple(args.cores),
+            w_max=args.wmax,
+            pattern_count=args.patterns,
+            parts=args.parts,
+            seed=args.seed,
+        ),
+        {
+            "cores": list(args.cores),
+            "wmax": args.wmax,
+            "patterns": args.patterns,
+            "parts": args.parts,
+            "seed": args.seed,
+            **_runtime_arguments(args),
+        },
+        lambda run: print(format_scaling_report(run.report)),
     )
-    print(format_scaling_report(points))
-    return 0
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
-    from repro.runtime import Instrumentation, use_instrumentation
+    from repro.core.optimizer import resolve_optimizer_backend
+    from repro.experiments.table_runner import (
+        print_table_progress,
+        table_plan,
+    )
 
+    resolve_optimizer_backend(args.optimizer_backend)  # fail fast
     soc = _load_soc(args.soc)
-    cache = _make_cache(args)
-    instrumentation = Instrumentation()
-    start = time.perf_counter()
-    with use_instrumentation(instrumentation):
-        result = run_table_experiment(
+
+    def render(run) -> None:
+        result = run.report
+        result.elapsed_seconds = run.wall_seconds
+        if args.verbose:
+            print_table_progress(result)
+        print(render_table(result))
+        print(f"(elapsed: {result.elapsed_seconds:.1f}s)")
+        if args.json:
+            save_result(result, args.json)
+            print(f"JSON written to {args.json}")
+
+    return _run_plan(
+        args,
+        "table",
+        lambda: table_plan(
             soc,
             args.patterns,
             widths=tuple(args.widths),
             group_counts=tuple(args.parts),
             seed=args.seed,
-            verbose=args.verbose,
-            jobs=args.jobs,
-            cache=cache,
-            verify=args.verify,
             optimizer_backend=args.optimizer_backend,
-            sweep_backend=args.sweep_backend,
-        )
-    print(render_table(result))
-    print(f"(elapsed: {result.elapsed_seconds:.1f}s)")
-    if args.json:
-        save_result(result, args.json)
-        print(f"JSON written to {args.json}")
-    _emit_profile(
-        args,
-        "table",
+        ),
         {
             "soc": args.soc,
             "patterns": args.patterns,
             "widths": list(args.widths),
             "parts": list(args.parts),
             "seed": args.seed,
-            "jobs": args.jobs,
-            "cache": getattr(args, "cache", None),
             "optimizer_backend": args.optimizer_backend,
-            "sweep_backend": args.sweep_backend,
+            **_runtime_arguments(args),
         },
-        time.perf_counter() - start,
-        instrumentation,
-        cache,
+        render,
     )
-    return 0
 
 
 def _si_groups_for(args: argparse.Namespace, soc: Soc):
@@ -432,18 +509,30 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 def _cmd_volume(args: argparse.Namespace) -> int:
     from repro.experiments.compaction_study import (
         format_volume_report,
-        measure_compaction,
+        volume_plan,
     )
 
     soc = _load_soc(args.soc)
-    patterns = generate_random_patterns(soc, args.patterns, seed=args.seed)
-    volumes = measure_compaction(
-        soc, patterns, tuple(args.parts), seed=args.seed, jobs=args.jobs,
-        backend=args.compaction_backend,
-        sweep_backend=args.sweep_backend,
+    return _run_plan(
+        args,
+        "volume",
+        lambda: volume_plan(
+            soc,
+            args.patterns,
+            group_counts=tuple(args.parts),
+            seed=args.seed,
+            backend=args.compaction_backend,
+        ),
+        {
+            "soc": args.soc,
+            "patterns": args.patterns,
+            "parts": list(args.parts),
+            "seed": args.seed,
+            "compaction_backend": args.compaction_backend,
+            **_runtime_arguments(args),
+        },
+        lambda run: print(format_volume_report(run.report)),
     )
-    print(format_volume_report(volumes))
-    return 0
 
 
 def _cmd_coverage(args: argparse.Namespace) -> int:
@@ -478,56 +567,100 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro.experiments.compare import (
-        compare_optimizers,
-        format_comparison,
-    )
+    from repro.experiments.compare import compare_plan, format_comparison
 
     soc = _load_soc(args.soc)
-    groups = _si_groups_for(args, soc)
-    comparison = compare_optimizers(
-        soc, args.wmax, groups, annealing_steps=args.sa_steps
+    return _run_plan(
+        args,
+        "compare",
+        lambda: compare_plan(
+            soc,
+            args.wmax,
+            groups=_si_groups_for(args, soc),
+            annealing_steps=args.sa_steps,
+        ),
+        {
+            "soc": args.soc,
+            "wmax": args.wmax,
+            "patterns": args.patterns,
+            "parts": args.parts,
+            "seed": args.seed,
+            "sa_steps": args.sa_steps,
+            **_runtime_arguments(args),
+        },
+        lambda run: print(format_comparison(run.report)),
     )
-    print(format_comparison(comparison))
-    return 0
 
 
 def _cmd_multisite(args: argparse.Namespace) -> int:
     from repro.experiments.multisite import (
         format_multisite_report,
-        run_multisite_study,
+        multisite_plan,
     )
 
     soc = _load_soc(args.soc)
-    groups = _si_groups_for(args, soc)
-    study = run_multisite_study(soc, args.channels, groups=groups)
-    print(format_multisite_report(study))
-    return 0
+    return _run_plan(
+        args,
+        "multisite",
+        lambda: multisite_plan(
+            soc, args.channels, groups=_si_groups_for(args, soc)
+        ),
+        {
+            "soc": args.soc,
+            "channels": args.channels,
+            "patterns": args.patterns,
+            "parts": args.parts,
+            "seed": args.seed,
+            **_runtime_arguments(args),
+        },
+        lambda run: print(format_multisite_report(run.report)),
+    )
 
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.experiments.sensitivity import (
         format_sensitivity_report,
-        run_sensitivity_study,
+        sensitivity_plan,
     )
 
     soc = _load_soc(args.soc)
-    points = run_sensitivity_study(
-        soc, args.patterns, args.wmax, parts=args.parts, seed=args.seed
+    return _run_plan(
+        args,
+        "sensitivity",
+        lambda: sensitivity_plan(
+            soc, args.patterns, args.wmax, parts=args.parts, seed=args.seed
+        ),
+        {
+            "soc": args.soc,
+            "wmax": args.wmax,
+            "patterns": args.patterns,
+            "parts": args.parts,
+            "seed": args.seed,
+            **_runtime_arguments(args),
+        },
+        lambda run: print(format_sensitivity_report(run.report)),
     )
-    print(format_sensitivity_report(points))
-    return 0
 
 
 def _cmd_stability(args: argparse.Namespace) -> int:
-    from repro.experiments.stability import run_stability_study
+    from repro.experiments.stability import stability_plan
 
     soc = _load_soc(args.soc)
-    report = run_stability_study(
-        soc, args.patterns, args.wmax, seeds=tuple(args.seeds)
+    return _run_plan(
+        args,
+        "stability",
+        lambda: stability_plan(
+            soc, args.patterns, args.wmax, seeds=tuple(args.seeds)
+        ),
+        {
+            "soc": args.soc,
+            "wmax": args.wmax,
+            "patterns": args.patterns,
+            "seeds": list(args.seeds),
+            **_runtime_arguments(args),
+        },
+        lambda run: print(run.report.format()),
     )
-    print(report.format())
-    return 0
 
 
 def _cmd_cache_verify(args: argparse.Namespace) -> int:
@@ -622,8 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
     pareto.add_argument("--patterns", type=int, default=0)
     pareto.add_argument("--parts", type=int, default=4)
     pareto.add_argument("--seed", type=int, default=1)
-    _add_runtime_flags(pareto)
-    _add_sweep_backend_flag(pareto)
+    _add_experiment_flags(pareto)
     pareto.set_defaults(func=_cmd_pareto)
 
     scaling = sub.add_parser(
@@ -635,6 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
     scaling.add_argument("--patterns", type=int, default=2_000)
     scaling.add_argument("--parts", type=int, default=4)
     scaling.add_argument("--seed", type=int, default=0)
+    _add_experiment_flags(scaling)
     scaling.set_defaults(func=_cmd_scaling)
 
     table = sub.add_parser("table", help="regenerate a Table 2/3 experiment")
@@ -647,10 +780,8 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--seed", type=int, default=1)
     table.add_argument("--json", help="also write a JSON summary here")
     table.add_argument("--verbose", action="store_true")
-    _add_runtime_flags(table, with_cache=True)
+    _add_experiment_flags(table)
     _add_optimizer_backend_flag(table)
-    _add_sweep_backend_flag(table)
-    _add_verify_flag(table)
     table.set_defaults(func=_cmd_table)
 
     bounds = sub.add_parser("bounds",
@@ -691,12 +822,8 @@ def build_parser() -> argparse.ArgumentParser:
     volume.add_argument("--patterns", type=int, default=5_000)
     volume.add_argument("--parts", type=int, nargs="+", default=[1, 2, 4, 8])
     volume.add_argument("--seed", type=int, default=1)
-    volume.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for the sweep cells (1 = serial)",
-    )
+    _add_experiment_flags(volume)
     _add_backend_flag(volume)
-    _add_sweep_backend_flag(volume)
     volume.set_defaults(func=_cmd_volume)
 
     coverage = sub.add_parser(
@@ -728,6 +855,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--parts", type=int, default=4)
     compare.add_argument("--seed", type=int, default=1)
     compare.add_argument("--sa-steps", type=int, default=4_000)
+    _add_experiment_flags(compare)
     compare.set_defaults(func=_cmd_compare)
 
     multisite = sub.add_parser(
@@ -739,6 +867,7 @@ def build_parser() -> argparse.ArgumentParser:
     multisite.add_argument("--patterns", type=int, default=0)
     multisite.add_argument("--parts", type=int, default=4)
     multisite.add_argument("--seed", type=int, default=1)
+    _add_experiment_flags(multisite)
     multisite.set_defaults(func=_cmd_multisite)
 
     sensitivity = sub.add_parser(
@@ -749,6 +878,7 @@ def build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument("--patterns", type=int, default=2_000)
     sensitivity.add_argument("--parts", type=int, default=4)
     sensitivity.add_argument("--seed", type=int, default=1)
+    _add_experiment_flags(sensitivity)
     sensitivity.set_defaults(func=_cmd_sensitivity)
 
     stability = sub.add_parser(
@@ -758,6 +888,7 @@ def build_parser() -> argparse.ArgumentParser:
     stability.add_argument("--wmax", type=int, default=24)
     stability.add_argument("--patterns", type=int, default=2_000)
     stability.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    _add_experiment_flags(stability)
     stability.set_defaults(func=_cmd_stability)
 
     from repro.runtime.cache import DEFAULT_STORE_DIR

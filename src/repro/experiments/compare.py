@@ -8,6 +8,13 @@ Contenders: TR-Architect (InTest-only, then pay for SI), Algorithm 2,
 Algorithm 2 with exact SI scheduling, simulated annealing (cold and warm
 started), the Test Bus architecture, and — when the instance is small
 enough — the exact enumeration optimizer.
+
+The shoot-out is the declarative :class:`ComparePlan`: one cell per
+contender plus a ``bound`` cell, so ``jobs > 1`` races the optimizers
+concurrently.  The warm-started SA cell consumes Algorithm 2's
+architecture through a :class:`~repro.experiments.plan.CellRef`
+projection.  Contender runtimes are measured inside each cell; a cache
+or checkpoint hit replays the recorded runtime along with the result.
 """
 
 from __future__ import annotations
@@ -21,6 +28,16 @@ from repro.core.bounds import bound_report
 from repro.core.exact import MAX_EXACT_CORES, exact_optimize
 from repro.core.optimizer import optimize_tam
 from repro.core.scheduling import TamEvaluator
+from repro.experiments.plan import (
+    CellRef,
+    CellSpec,
+    ExperimentPlan,
+    PlanKind,
+    register_plan_kind,
+    register_projection,
+)
+from repro.experiments.runner import PlanRunner
+from repro.runtime.cache import EvaluationCache
 from repro.soc.model import Soc
 from repro.tam.testbus import optimize_testbus
 from repro.tam.tr_architect import si_oblivious_total
@@ -50,12 +67,228 @@ class Comparison:
         return min(self.contenders, key=lambda c: c.t_total)
 
 
+# ---------------------------------------------------------------------------
+# Cell functions (module-level: they ship to worker processes).  Each
+# returns a plain-JSON contender record; runtimes are in-cell wall clock.
+# ---------------------------------------------------------------------------
+
+
+def _timed(name: str, runner) -> dict:
+    started = time.perf_counter()
+    total = runner()
+    return {
+        "name": name,
+        "t_total": total,
+        "seconds": time.perf_counter() - started,
+    }
+
+
+def _bound_cell_fn(soc, w_max, groups) -> int:
+    return bound_report(soc, w_max, groups).t_total_bound
+
+
+def _tr_cell_fn(soc, w_max, groups) -> dict:
+    return _timed(
+        "TR-Architect + post-hoc SI",
+        lambda: si_oblivious_total(soc, w_max, groups).t_total,
+    )
+
+
+def _alg2_cell_fn(soc, w_max, groups) -> dict:
+    from repro.runtime.codec import architecture_to_dict
+
+    started = time.perf_counter()
+    result = optimize_tam(soc, w_max, groups)
+    return {
+        "name": "Algorithm 2",
+        "t_total": result.t_total,
+        "seconds": time.perf_counter() - started,
+        # Shipped so the warm-started SA cell can take over exactly here.
+        "architecture": architecture_to_dict(result.architecture),
+    }
+
+
+def _exact_si_cell_fn(soc, w_max, groups) -> dict:
+    return _timed(
+        "Algorithm 2 + exact SI schedule",
+        lambda: optimize_tam(
+            soc, w_max, groups,
+            evaluator=TamEvaluator(soc, groups, exact_schedule=True),
+        ).t_total,
+    )
+
+
+def _sa_cell_fn(soc, w_max, groups, steps) -> dict:
+    return _timed(
+        "simulated annealing",
+        lambda: anneal_tam(
+            soc, w_max, groups,
+            config=AnnealingConfig(steps=steps, seed=1),
+        ).t_total,
+    )
+
+
+def _sa_warm_cell_fn(soc, w_max, groups, steps, architecture) -> dict:
+    from repro.runtime.codec import architecture_from_dict
+
+    return _timed(
+        "SA warm-started from Alg. 2",
+        lambda: anneal_tam(
+            soc, w_max, groups,
+            config=AnnealingConfig(steps=steps, seed=1),
+            initial=architecture_from_dict(architecture),
+        ).t_total,
+    )
+
+
+def _testbus_cell_fn(soc, w_max, groups) -> dict:
+    return _timed(
+        "Test Bus architecture",
+        lambda: optimize_testbus(soc, w_max, groups).t_total,
+    )
+
+
+def _exact_cell_fn(soc, w_max, groups) -> dict:
+    return _timed(
+        "exact enumeration",
+        lambda: exact_optimize(soc, w_max, groups).result.t_total,
+    )
+
+
+def _architecture_of(value: dict) -> dict:
+    return value["architecture"]
+
+
+register_projection("contender.architecture", _architecture_of)
+
+
+def _compare_params(params: dict) -> tuple:
+    soc = params["soc"]
+    w_max = params["w_max"]
+    groups = tuple(params.get("groups", ()))
+    annealing_steps = params.get("annealing_steps", 4_000)
+    include_exact = params.get("include_exact")
+    if include_exact is None:
+        include_exact = len(soc) <= MAX_EXACT_CORES and w_max <= 12
+    return soc, w_max, groups, annealing_steps, include_exact
+
+
+def _contender_cells(params: dict) -> tuple[tuple[str, ...], ...]:
+    """The contender slate for ``params``: (cell_id, fn, extra args)."""
+    _soc, _w_max, groups, steps, include_exact = _compare_params(params)
+    slate: list[tuple] = [
+        ("contender/tr", _tr_cell_fn, ()),
+        ("contender/alg2", _alg2_cell_fn, ()),
+    ]
+    if len(groups) <= 7:
+        slate.append(("contender/exact_si", _exact_si_cell_fn, ()))
+    slate.append(("contender/sa", _sa_cell_fn, (steps,)))
+    slate.append(
+        (
+            "contender/sa_warm",
+            _sa_warm_cell_fn,
+            (
+                steps,
+                CellRef("contender/alg2", project="contender.architecture"),
+            ),
+        )
+    )
+    slate.append(("contender/testbus", _testbus_cell_fn, ()))
+    if include_exact:
+        slate.append(("contender/exact", _exact_cell_fn, ()))
+    return tuple(slate)
+
+
+class ComparePlan(PlanKind):
+    """The optimizer shoot-out as a declarative cell graph."""
+
+    name = "compare"
+
+    def expand(self, params: dict) -> tuple[CellSpec, ...]:
+        soc, w_max, groups, _steps, _exact = _compare_params(params)
+        cells = [
+            CellSpec(
+                cell_id="bound",
+                kind="bound",
+                fn=_bound_cell_fn,
+                args=(soc, w_max, groups),
+            )
+        ]
+        for cell_id, fn, extra in _contender_cells(params):
+            cells.append(
+                CellSpec(
+                    cell_id=cell_id,
+                    kind="contender",
+                    fn=fn,
+                    args=(soc, w_max, groups, *extra),
+                )
+            )
+        return tuple(cells)
+
+    def assemble(self, params: dict, results: dict) -> Comparison:
+        soc, w_max, _groups, _steps, _exact = _compare_params(params)
+        contenders = tuple(
+            Contender(
+                name=results[cell_id]["name"],
+                t_total=results[cell_id]["t_total"],
+                seconds=results[cell_id]["seconds"],
+            )
+            for cell_id, _fn, _extra in _contender_cells(params)
+        )
+        return Comparison(
+            soc_name=soc.name,
+            w_max=w_max,
+            bound=results["bound"],
+            contenders=contenders,
+        )
+
+    def verify(self, params: dict, results: dict) -> list[str]:
+        """No contender may beat the lower bound — an achieved time below
+        it means a broken schedule (or a broken bound)."""
+        bound = results["bound"]
+        return [
+            f"{record['name']}: T_soc={record['t_total']} beats the "
+            f"lower bound {bound}"
+            for cell_id, _fn, _extra in _contender_cells(params)
+            for record in (results[cell_id],)
+            if record["t_total"] < bound
+        ]
+
+
+register_plan_kind(ComparePlan)
+
+
+def compare_plan(
+    soc: Soc,
+    w_max: int,
+    groups: tuple[SITestGroup, ...] = (),
+    annealing_steps: int = 4_000,
+    include_exact: bool | None = None,
+) -> ExperimentPlan:
+    """The declarative plan for one optimizer shoot-out."""
+    return ExperimentPlan(
+        "compare",
+        {
+            "soc": soc,
+            "w_max": w_max,
+            "groups": tuple(groups),
+            "annealing_steps": annealing_steps,
+            "include_exact": include_exact,
+        },
+    )
+
+
 def compare_optimizers(
     soc: Soc,
     w_max: int,
     groups: tuple[SITestGroup, ...] = (),
     annealing_steps: int = 4_000,
     include_exact: bool | None = None,
+    jobs: int = 1,
+    sweep_backend: str = "auto",
+    cache: EvaluationCache | None = None,
+    checkpoint=None,
+    verify: bool = False,
 ) -> Comparison:
     """Run every applicable optimizer on the instance.
 
@@ -66,72 +299,34 @@ def compare_optimizers(
         annealing_steps: Budget for the SA contenders.
         include_exact: Force the enumeration optimizer on/off; by default
             it runs only when the SOC is small enough.
+        jobs: Worker processes racing the contenders (1 = serial;
+            achieved times are identical either way).
+        sweep_backend: Cell fan-out backend (see
+            :data:`repro.runtime.executor.SWEEP_BACKENDS`).
+        cache: Optional evaluation cache; a warm hit replays a
+            contender's result including its recorded runtime.
+        checkpoint: Optional
+            :class:`~repro.resilience.checkpoint.SweepCheckpoint`.
+        verify: Independently check every contender against the lower
+            bound and raise on a violation.
     """
-    if include_exact is None:
-        include_exact = len(soc) <= MAX_EXACT_CORES and w_max <= 12
-
-    contenders = []
-
-    def timed(name, runner):
-        started = time.perf_counter()
-        total = runner()
-        contenders.append(
-            Contender(name=name, t_total=total,
-                      seconds=time.perf_counter() - started)
-        )
-
-    timed(
-        "TR-Architect + post-hoc SI",
-        lambda: si_oblivious_total(soc, w_max, groups).t_total,
+    runner = PlanRunner(
+        jobs=jobs,
+        cache=cache,
+        checkpoint=checkpoint,
+        sweep_backend=sweep_backend,
+        verify=verify,
     )
-    started = time.perf_counter()
-    algorithm2 = optimize_tam(soc, w_max, groups)
-    contenders.append(
-        Contender(
-            name="Algorithm 2",
-            t_total=algorithm2.t_total,
-            seconds=time.perf_counter() - started,
+    run = runner.run(
+        compare_plan(
+            soc,
+            w_max,
+            groups=groups,
+            annealing_steps=annealing_steps,
+            include_exact=include_exact,
         )
     )
-    if len(groups) <= 7:
-        timed(
-            "Algorithm 2 + exact SI schedule",
-            lambda: optimize_tam(
-                soc, w_max, groups,
-                evaluator=TamEvaluator(soc, groups, exact_schedule=True),
-            ).t_total,
-        )
-    timed(
-        "simulated annealing",
-        lambda: anneal_tam(
-            soc, w_max, groups,
-            config=AnnealingConfig(steps=annealing_steps, seed=1),
-        ).t_total,
-    )
-    timed(
-        "SA warm-started from Alg. 2",
-        lambda: anneal_tam(
-            soc, w_max, groups,
-            config=AnnealingConfig(steps=annealing_steps, seed=1),
-            initial=algorithm2.architecture,
-        ).t_total,
-    )
-    timed(
-        "Test Bus architecture",
-        lambda: optimize_testbus(soc, w_max, groups).t_total,
-    )
-    if include_exact:
-        timed(
-            "exact enumeration",
-            lambda: exact_optimize(soc, w_max, groups).result.t_total,
-        )
-
-    return Comparison(
-        soc_name=soc.name,
-        w_max=w_max,
-        bound=bound_report(soc, w_max, groups).t_total_bound,
-        contenders=tuple(contenders),
-    )
+    return run.report
 
 
 def format_comparison(comparison: Comparison) -> str:

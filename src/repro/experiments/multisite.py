@@ -9,7 +9,11 @@ commercially.
 
 The study reuses the full SI-aware optimizer per site width, so the SI
 test burden (which scales differently with width than InTest) is part of
-the economics.
+the economics.  It is the declarative :class:`MultisitePlan` — one
+``optimize/{sites}`` cell per site count, keyed by
+:func:`~repro.runtime.cache.optimize_cache_key` and therefore sharing
+optimizer runs with the Pareto and table experiments through the same
+evaluation cache.
 """
 
 from __future__ import annotations
@@ -18,6 +22,14 @@ from dataclasses import dataclass
 
 from repro.compaction.groups import SITestGroup
 from repro.core.optimizer import optimize_tam
+from repro.experiments.plan import (
+    CellSpec,
+    ExperimentPlan,
+    PlanKind,
+    register_plan_kind,
+)
+from repro.experiments.runner import PlanRunner
+from repro.runtime.cache import EvaluationCache, optimize_cache_key
 from repro.soc.model import Soc
 
 
@@ -52,11 +64,119 @@ class MultisiteStudy:
         return max(self.points, key=lambda point: point.throughput)
 
 
+def _multisite_cell_fn(soc, width, groups):
+    """Plan cell: optimize one per-site width."""
+    return optimize_tam(soc, width, groups=groups)
+
+
+def _multisite_params(params: dict) -> tuple:
+    soc = params["soc"]
+    channels = params["channels"]
+    groups = tuple(params.get("groups", ()))
+    site_counts = params.get("site_counts")
+    if channels <= 0:
+        raise ValueError("channel budget must be positive")
+    if site_counts is None:
+        site_counts = tuple(
+            sites for sites in range(1, channels + 1)
+            if channels % sites == 0
+        )
+    else:
+        site_counts = tuple(site_counts)
+    for sites in site_counts:
+        if sites <= 0 or channels % sites != 0:
+            raise ValueError(
+                f"site count {sites} does not divide {channels} channels"
+            )
+    return soc, channels, groups, site_counts
+
+
+class MultisitePlan(PlanKind):
+    """The multisite sweep as a declarative cell graph."""
+
+    name = "multisite"
+
+    def expand(self, params: dict) -> tuple[CellSpec, ...]:
+        soc, channels, groups, site_counts = _multisite_params(params)
+        return tuple(
+            CellSpec(
+                cell_id=f"optimize/{sites}",
+                kind="optimize",
+                fn=_multisite_cell_fn,
+                args=(soc, channels // sites, groups),
+                cache_key=optimize_cache_key(soc, channels // sites, groups),
+            )
+            for sites in site_counts
+        )
+
+    def assemble(self, params: dict, results: dict) -> MultisiteStudy:
+        soc, channels, _groups, site_counts = _multisite_params(params)
+        points = tuple(
+            SitePoint(
+                sites=sites,
+                width_per_site=channels // sites,
+                t_soc=results[f"optimize/{sites}"].t_total,
+            )
+            for sites in site_counts
+        )
+        return MultisiteStudy(
+            soc_name=soc.name, channels=channels, points=points
+        )
+
+    def verify(self, params: dict, results: dict) -> list[str]:
+        """Re-verify every per-site schedule — cache hits included."""
+        from repro.resilience.verify import verify_optimization
+        from repro.runtime.instrumentation import incr
+
+        soc, channels, groups, site_counts = _multisite_params(params)
+        violations = []
+        for sites in site_counts:
+            found = verify_optimization(
+                soc, results[f"optimize/{sites}"], groups
+            )
+            incr("verify.schedules_checked")
+            if found:
+                incr("verify.schedules_failed")
+                violations.extend(
+                    f"sites={sites} W={channels // sites}: {v}"
+                    for v in found
+                )
+        return violations
+
+
+register_plan_kind(MultisitePlan)
+
+
+def multisite_plan(
+    soc: Soc,
+    channels: int,
+    groups: tuple[SITestGroup, ...] = (),
+    site_counts: tuple[int, ...] | None = None,
+) -> ExperimentPlan:
+    """The declarative plan for one multisite study."""
+    return ExperimentPlan(
+        "multisite",
+        {
+            "soc": soc,
+            "channels": channels,
+            "groups": tuple(groups),
+            "site_counts": (
+                None if site_counts is None else tuple(site_counts)
+            ),
+        },
+    )
+
+
 def run_multisite_study(
     soc: Soc,
     channels: int,
     groups: tuple[SITestGroup, ...] = (),
     site_counts: tuple[int, ...] | None = None,
+    jobs: int = 1,
+    sweep_backend: str = "auto",
+    cache: EvaluationCache | None = None,
+    checkpoint=None,
+    verify: bool = False,
 ) -> MultisiteStudy:
     """Sweep site counts that divide the channel budget.
 
@@ -66,33 +186,31 @@ def run_multisite_study(
         groups: SI test groups (same per die).
         site_counts: Counts to sweep; defaults to every divisor of
             ``channels`` that leaves at least one wire per site.
+        jobs: Worker processes for the per-site optimizer cells.
+        sweep_backend: Cell fan-out backend (see
+            :data:`repro.runtime.executor.SWEEP_BACKENDS`).
+        cache: Optional evaluation cache shared with the other
+            experiments (per-site cells reuse table/Pareto optimizer
+            results at the same width).
+        checkpoint: Optional
+            :class:`~repro.resilience.checkpoint.SweepCheckpoint`.
+        verify: Independently re-verify every per-site schedule.
 
     Raises:
         ValueError: On a non-positive channel budget or a site count that
             does not divide it.
     """
-    if channels <= 0:
-        raise ValueError("channel budget must be positive")
-    if site_counts is None:
-        site_counts = tuple(
-            sites for sites in range(1, channels + 1)
-            if channels % sites == 0
-        )
-    points = []
-    for sites in site_counts:
-        if sites <= 0 or channels % sites != 0:
-            raise ValueError(
-                f"site count {sites} does not divide {channels} channels"
-            )
-        width = channels // sites
-        result = optimize_tam(soc, width, groups=groups)
-        points.append(
-            SitePoint(sites=sites, width_per_site=width,
-                      t_soc=result.t_total)
-        )
-    return MultisiteStudy(
-        soc_name=soc.name, channels=channels, points=tuple(points)
+    runner = PlanRunner(
+        jobs=jobs,
+        cache=cache,
+        checkpoint=checkpoint,
+        sweep_backend=sweep_backend,
+        verify=verify,
     )
+    run = runner.run(
+        multisite_plan(soc, channels, groups=groups, site_counts=site_counts)
+    )
+    return run.report
 
 
 def format_multisite_report(study: MultisiteStudy) -> str:

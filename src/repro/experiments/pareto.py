@@ -6,6 +6,13 @@ finds its *knee* — the budget past which extra wires stop paying — via
 the maximum-distance-to-chord criterion.  The DFT area model from
 :mod:`repro.wrapper.cells` can be folded in to express both axes in
 comparable silicon terms.
+
+The sweep is the declarative :class:`ParetoPlan` — one ``optimize/{w}``
+cell per budget, keyed by
+:func:`~repro.runtime.cache.optimize_cache_key` so curve points are
+shared with the table and multisite experiments through the same
+evaluation cache — executed by
+:class:`~repro.experiments.runner.PlanRunner`.
 """
 
 from __future__ import annotations
@@ -14,11 +21,14 @@ from dataclasses import dataclass
 
 from repro.compaction.groups import SITestGroup
 from repro.core.optimizer import optimize_tam
-from repro.runtime.executor import run_cells
-from repro.runtime.instrumentation import (
-    absorb_snapshot,
-    call_with_instrumentation,
+from repro.experiments.plan import (
+    CellSpec,
+    ExperimentPlan,
+    PlanKind,
+    register_plan_kind,
 )
+from repro.experiments.runner import PlanRunner
+from repro.runtime.cache import EvaluationCache, optimize_cache_key
 from repro.soc.model import Soc
 
 
@@ -82,11 +92,96 @@ class ParetoCurve:
         return tuple(dominated)
 
 
-def _pareto_cell(spec):
-    """Sweep cell: one budget of the trade-off curve."""
-    soc, w_max, groups, capture_cycles = spec
-    return call_with_instrumentation(
-        optimize_tam, soc, w_max, groups=groups, capture_cycles=capture_cycles
+def _pareto_cell_fn(soc, w_max, groups, capture_cycles):
+    """Plan cell: one budget of the trade-off curve."""
+    return optimize_tam(
+        soc, w_max, groups=groups, capture_cycles=capture_cycles
+    )
+
+
+def _pareto_params(params: dict) -> tuple:
+    soc = params["soc"]
+    widths = tuple(params["widths"])
+    groups = tuple(params.get("groups", ()))
+    capture_cycles = params.get("capture_cycles", 1)
+    return soc, widths, groups, capture_cycles
+
+
+class ParetoPlan(PlanKind):
+    """The width sweep as a declarative cell graph."""
+
+    name = "pareto"
+
+    def expand(self, params: dict) -> tuple[CellSpec, ...]:
+        soc, widths, groups, capture_cycles = _pareto_params(params)
+        if not widths:
+            raise ValueError("need at least one width")
+        if list(widths) != sorted(set(widths)):
+            raise ValueError("widths must be strictly increasing")
+        return tuple(
+            CellSpec(
+                cell_id=f"optimize/{w_max}",
+                kind="optimize",
+                fn=_pareto_cell_fn,
+                args=(soc, w_max, groups, capture_cycles),
+                cache_key=optimize_cache_key(
+                    soc, w_max, groups, capture_cycles
+                ),
+            )
+            for w_max in widths
+        )
+
+    def assemble(self, params: dict, results: dict) -> ParetoCurve:
+        soc, widths, _groups, _cycles = _pareto_params(params)
+        points = []
+        for w_max in widths:
+            result = results[f"optimize/{w_max}"]
+            points.append(
+                ParetoPoint(
+                    w_max=w_max,
+                    t_total=result.t_total,
+                    t_in=result.evaluation.t_in,
+                    t_si=result.evaluation.t_si,
+                )
+            )
+        return ParetoCurve(soc_name=soc.name, points=tuple(points))
+
+    def verify(self, params: dict, results: dict) -> list[str]:
+        """Re-verify every swept schedule — cache hits included."""
+        from repro.resilience.verify import verify_optimization
+        from repro.runtime.instrumentation import incr
+
+        soc, widths, groups, _cycles = _pareto_params(params)
+        violations = []
+        for w_max in widths:
+            found = verify_optimization(
+                soc, results[f"optimize/{w_max}"], groups
+            )
+            incr("verify.schedules_checked")
+            if found:
+                incr("verify.schedules_failed")
+                violations.extend(f"W_max={w_max}: {v}" for v in found)
+        return violations
+
+
+register_plan_kind(ParetoPlan)
+
+
+def pareto_plan(
+    soc: Soc,
+    widths: tuple[int, ...],
+    groups: tuple[SITestGroup, ...] = (),
+    capture_cycles: int = 1,
+) -> ExperimentPlan:
+    """The declarative plan for one width sweep."""
+    return ExperimentPlan(
+        "pareto",
+        {
+            "soc": soc,
+            "widths": tuple(widths),
+            "groups": tuple(groups),
+            "capture_cycles": capture_cycles,
+        },
     )
 
 
@@ -97,6 +192,9 @@ def sweep_widths(
     capture_cycles: int = 1,
     jobs: int = 1,
     sweep_backend: str = "auto",
+    cache: EvaluationCache | None = None,
+    checkpoint=None,
+    verify: bool = False,
 ) -> ParetoCurve:
     """Optimize the SOC at each budget and collect the trade-off curve.
 
@@ -104,33 +202,24 @@ def sweep_widths(
     processes; the curve is identical to a serial sweep.  ``sweep_backend``
     picks the fan-out machinery (see
     :data:`repro.runtime.executor.SWEEP_BACKENDS`); the curve is
-    backend-independent.
+    backend-independent.  ``cache`` and ``checkpoint`` memoize and resume
+    individual curve points; ``verify`` independently re-checks every
+    swept schedule.
 
     Raises:
         ValueError: If ``widths`` is empty or not strictly increasing.
     """
-    if not widths:
-        raise ValueError("need at least one width")
-    if list(widths) != sorted(set(widths)):
-        raise ValueError("widths must be strictly increasing")
-    cells = run_cells(
-        _pareto_cell,
-        [(soc, w_max, groups, capture_cycles) for w_max in widths],
+    runner = PlanRunner(
         jobs=jobs,
-        backend=sweep_backend,
+        cache=cache,
+        checkpoint=checkpoint,
+        sweep_backend=sweep_backend,
+        verify=verify,
     )
-    points = []
-    for w_max, (result, snapshot) in zip(widths, cells):
-        absorb_snapshot(snapshot)
-        points.append(
-            ParetoPoint(
-                w_max=w_max,
-                t_total=result.t_total,
-                t_in=result.evaluation.t_in,
-                t_si=result.evaluation.t_si,
-            )
-        )
-    return ParetoCurve(soc_name=soc.name, points=tuple(points))
+    run = runner.run(
+        pareto_plan(soc, widths, groups=groups, capture_cycles=capture_cycles)
+    )
+    return run.report
 
 
 def format_curve(curve: ParetoCurve) -> str:

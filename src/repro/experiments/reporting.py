@@ -1,11 +1,72 @@
-"""Rendering of experiment results in the paper's table layout."""
+"""Rendering of experiment results: the paper's table layout and the
+unified JSON run report every plan-driven experiment emits.
+
+:func:`experiment_report` is the single emitter behind ``--profile`` and
+``tools/run_experiments.py``: one schema
+(:class:`~repro.runtime.instrumentation.RunReport` — ``command``,
+``arguments``, ``counters``, ``timers``, ``cache``, ``plan``) for every
+experiment, with the executed plan's fingerprint, backend, and cell
+accounting under the ``plan`` key.  Argument key names follow the CLI
+flag names (``soc``, ``patterns``, ``widths``, ``parts``, ``seed``,
+``jobs``, ``cache``, ``sweep_backend``, ``resume``, ``verify``) so
+reports from different experiments diff cleanly.
+"""
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
 
+from repro.experiments.runner import PlanRun
 from repro.experiments.table_runner import TableResult
+from repro.runtime.instrumentation import RunReport
+
+
+def plan_block(run: PlanRun) -> dict:
+    """The standardized ``plan`` section of a run report."""
+    return {
+        "name": run.plan.name,
+        "fingerprint": run.fingerprint,
+        "backend": run.backend,
+        "jobs": run.jobs,
+        "cells": {
+            "expanded": run.cells,
+            "executed": run.executed,
+            "cached": run.cached,
+            "resumed": run.resumed,
+            "pruned": run.pruned,
+        },
+    }
+
+
+def experiment_report(
+    command: str,
+    arguments: dict,
+    run: PlanRun,
+    wall_seconds: float | None = None,
+    instrumentation=None,
+) -> RunReport:
+    """The unified run report of one executed plan.
+
+    Args:
+        command: CLI command (equals the plan kind for the built-ins).
+        arguments: The run's parameters, keyed by CLI flag name.
+        run: The :class:`~repro.experiments.runner.PlanRun` to report.
+        wall_seconds: End-to-end elapsed time; defaults to the plan
+            run's own wall clock.
+        instrumentation: Instrumentation to snapshot (current if None).
+    """
+    report = RunReport.build(
+        command=command,
+        arguments=arguments,
+        wall_seconds=(
+            run.wall_seconds if wall_seconds is None else wall_seconds
+        ),
+        instrumentation=instrumentation,
+        plan=plan_block(run),
+    )
+    report.cache = dict(run.cache_stats)
+    return report
 
 
 def render_table(result: TableResult) -> str:

@@ -1,0 +1,435 @@
+"""PlanRunner: one executor for every declarative experiment plan.
+
+:class:`PlanRunner` takes an :class:`~repro.experiments.plan.ExperimentPlan`
+and drives its cell graph to completion through the existing runtime —
+:func:`repro.runtime.executor.run_cells` fan-out (serial / classic pool /
+persistent work-stealing workers), the keyed
+:class:`~repro.runtime.cache.EvaluationCache`, and
+:class:`~repro.resilience.checkpoint.SweepCheckpoint` resume — so every
+experiment gets ``--jobs/--cache/--sweep-backend/--resume/--verify``
+uniformly, with counter totals identical to a serial run.
+
+The execution model is a deterministic wave loop over the cell graph:
+
+1. resolve cache keys (eager keys immediately; lazy ``key_fn`` keys as
+   soon as their ``key_deps`` results exist);
+2. look each newly-keyed cell up — checkpoint first (resume
+   correctness), then the cache — and record hits back into the
+   checkpoint so it alone can resume the plan;
+3. compute the *needed* set: unresolved output cells, plus —
+   transitively — the dependencies of every needed cell that is known to
+   execute.  A cell needed only by an unresolved cell whose lookup is
+   still pending (lazy key not yet computable) stays deferred: this is
+   what lets a cached downstream cell prune its expensive upstream
+   producer (e.g. a cached baseline pricing skips the SI-oblivious
+   optimizer run entirely);
+4. execute every needed cell whose dependencies are resolved — one
+   :func:`run_cells` batch per wave, in expansion order, sharing one
+   warm :class:`~repro.runtime.pool.WorkerPool` across all waves on the
+   ``workers`` backend — absorb worker snapshots, cache and checkpoint
+   the results, and loop.
+
+When the loop drains, still-unresolved cells are *pruned* (never
+needed), the kind's ``verify`` hook re-checks results independently when
+requested, and the kind's pure ``assemble`` builds the report object.
+
+Heavy inputs travel as :class:`~repro.runtime.pool.PatternsRef`
+references: the runner points them at the cache's shared state store
+when one is configured, materializes them parent-side for the classic
+one-shot pool (whose disposable workers cannot amortize generation), and
+otherwise lets the cell resolve them through the warm per-process state
+cache — exactly the protocol the table experiment hand-rolled before.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+
+from repro.experiments.plan import (
+    UNCACHED,
+    CellRef,
+    CellSpec,
+    ExperimentPlan,
+    plan_cell_key,
+    plan_kind,
+    project,
+)
+from repro.runtime.cache import EvaluationCache
+from repro.runtime.executor import resolve_sweep_backend, run_cells
+from repro.runtime.instrumentation import (
+    absorb_snapshot,
+    call_with_instrumentation,
+    incr,
+)
+from repro.runtime.pool import (
+    PatternsRef,
+    PoolUnavailable,
+    WorkerPool,
+    default_warmup,
+    resolve_patterns,
+)
+from repro.soc.model import Soc
+
+
+def _execute_plan_cell(spec):
+    """Worker entry for every plan cell: ``fn(*args)`` under fresh
+    instrumentation, snapshot shipped back with the value."""
+    fn, args = spec
+    return call_with_instrumentation(fn, *args)
+
+
+@dataclass
+class PlanRun:
+    """Everything a :meth:`PlanRunner.run` produced.
+
+    Attributes:
+        plan: The executed plan.
+        fingerprint: Its content hash (checkpoint/dedup scope).
+        report: The kind's assembled report object.
+        results: Cell results by cell id (pruned cells absent).
+        backend: The resolved sweep backend (``pool``/``workers``).
+        jobs: Worker process count the run was configured with.
+        wall_seconds: End-to-end elapsed time.
+        cells: Total cells in the expanded graph.
+        executed: Cells actually computed this run.
+        cached: Cells served by the evaluation cache.
+        resumed: Cells replayed from the checkpoint.
+        pruned: Cells never needed (all consumers served warm).
+        cache_stats: :meth:`EvaluationCache.stats` snapshot (empty when
+            no cache was configured).
+    """
+
+    plan: ExperimentPlan
+    fingerprint: str
+    report: object
+    results: dict[str, object] = field(default_factory=dict)
+    backend: str = "pool"
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    cells: int = 0
+    executed: int = 0
+    cached: int = 0
+    resumed: int = 0
+    pruned: int = 0
+    cache_stats: dict = field(default_factory=dict)
+
+
+class PlanRunner:
+    """Execute any registered plan with caching, resume, and fan-out.
+
+    Args:
+        jobs: Worker processes for cell fan-out (1 = serial; results are
+            bit-identical either way).
+        cache: Optional :class:`EvaluationCache` shared across runs.
+        checkpoint: Optional
+            :class:`~repro.resilience.checkpoint.SweepCheckpoint`; cells
+            found in it are replayed, every completed cell (cache hits
+            included) is recorded.
+        sweep_backend: One of
+            :data:`repro.runtime.executor.SWEEP_BACKENDS`.
+        verify: Run the plan kind's independent verification over the
+            results and raise on any violation.
+        timeout: Optional per-cell budget in seconds.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: EvaluationCache | None = None,
+        checkpoint=None,
+        sweep_backend: str = "auto",
+        verify: bool = False,
+        timeout: float | None = None,
+    ) -> None:
+        resolve_sweep_backend(sweep_backend)  # fail fast on a typo
+        self.jobs = jobs
+        self.cache = cache
+        self.checkpoint = checkpoint
+        self.sweep_backend = sweep_backend
+        self.verify = verify
+        self.timeout = timeout
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _lookup(self, key: str):
+        """Checkpoint first (resume correctness), then the cache.
+
+        Returns ``(value, origin)`` with origin ``"resumed"``/``"cached"``,
+        or ``(None, None)`` on a miss.
+        """
+        if self.checkpoint is not None and key in self.checkpoint:
+            value = self.checkpoint.fetch(key)
+            if value is not None:
+                return value, "resumed"
+        if self.cache is not None:
+            value = self.cache.get(key)
+            if value is not None:
+                return value, "cached"
+        return None, None
+
+    def _record(self, key: str, value) -> None:
+        if self.checkpoint is not None:
+            self.checkpoint.record(key, value)
+
+    def _state_store_dir(self) -> str | None:
+        if self.cache is not None and self.cache.store_dir is not None:
+            return str(self.cache.store_dir / "state")
+        return None
+
+    # -- the run ----------------------------------------------------------
+
+    def run(self, plan: ExperimentPlan) -> PlanRun:
+        """Drive ``plan`` to completion and assemble its report."""
+        backend = resolve_sweep_backend(self.sweep_backend, jobs=self.jobs)
+        start = time.perf_counter()
+        fingerprint = plan.fingerprint()
+        cells = plan.expand()
+        incr("plan.cells_expanded", len(cells))
+
+        pool: WorkerPool | None = None
+        pool_failed = False
+
+        def sweep_pool() -> WorkerPool | None:
+            """The run's shared warm worker pool (``workers`` backend
+            only), created on first parallel wave; ``None`` means the
+            classic pool (requested, or workers unavailable here)."""
+            nonlocal pool, pool_failed
+            if backend != "workers" or self.jobs <= 1 or pool_failed:
+                return None
+            if pool is None:
+                try:
+                    pool = WorkerPool(self.jobs, warmup=default_warmup)
+                except PoolUnavailable:
+                    pool_failed = True
+                    return None
+            return pool
+
+        run = PlanRun(
+            plan=plan,
+            fingerprint=fingerprint,
+            report=None,
+            backend=backend,
+            jobs=self.jobs,
+            cells=len(cells),
+        )
+        try:
+            self._drain(cells, fingerprint, run, sweep_pool)
+        finally:
+            if pool is not None:
+                pool.close()
+
+        kind = plan_kind(plan.name)
+        params = dict(plan.params)
+        if self.verify:
+            violations = kind.verify(params, dict(run.results))
+            if violations:
+                from repro.resilience.verify import ScheduleVerificationError
+
+                raise ScheduleVerificationError(list(violations))
+        run.report = kind.assemble(params, dict(run.results))
+        if self.cache is not None:
+            run.cache_stats = self.cache.stats()
+        run.wall_seconds = time.perf_counter() - start
+        return run
+
+    def _drain(self, cells, fingerprint, run: PlanRun, sweep_pool) -> None:
+        """The wave loop: resolve keys, look up, execute needed cells."""
+        by_id = {cell.cell_id: cell for cell in cells}
+        results = run.results
+        keys: dict[str, str] = {}
+        looked: set[str] = set()
+        lookups_enabled = self.cache is not None or self.checkpoint is not None
+
+        def unresolved():
+            return [cell for cell in cells if cell.cell_id not in results]
+
+        while True:
+            # 1+2. Resolve cache keys and run warm lookups to a fixpoint:
+            # a lookup hit can make another cell's lazy key computable
+            # within the same wave.
+            while True:
+                changed = False
+                for cell in unresolved():
+                    if cell.cell_id in keys:
+                        continue
+                    if cell.cache_key == UNCACHED:
+                        keys[cell.cell_id] = UNCACHED
+                    elif cell.cache_key is not None:
+                        keys[cell.cell_id] = cell.cache_key
+                    elif cell.key_fn is None:
+                        keys[cell.cell_id] = plan_cell_key(
+                            fingerprint, cell.cell_id
+                        )
+                    elif all(dep in results for dep in cell.key_deps):
+                        keys[cell.cell_id] = cell.key_fn(
+                            tuple(results[dep] for dep in cell.key_deps)
+                        )
+                    else:
+                        continue
+                    changed = True
+                if lookups_enabled:
+                    for cell in unresolved():
+                        key = keys.get(cell.cell_id)
+                        if (
+                            key is None
+                            or key == UNCACHED
+                            or cell.cell_id in looked
+                        ):
+                            continue
+                        looked.add(cell.cell_id)
+                        value, origin = self._lookup(key)
+                        if origin is None:
+                            continue
+                        changed = True
+                        results[cell.cell_id] = value
+                        self._record(key, value)
+                        if origin == "resumed":
+                            run.resumed += 1
+                            incr("plan.cells_resumed")
+                        else:
+                            run.cached += 1
+                            incr("plan.cells_cached")
+                if not changed:
+                    break
+            pending = unresolved()
+            if not pending:
+                break
+
+            # 3. The needed set.  A cell is known to execute once its key
+            # is resolved and its lookup came back empty (or lookups are
+            # off); its dependencies are then needed too.  A cell whose
+            # fate is still open (lazy key pending) pins only its
+            # key_deps — everything else stays deferred, prunable.
+            def will_execute(cell_id: str) -> bool:
+                key = keys.get(cell_id)
+                if key is None:
+                    return False
+                return (
+                    key == UNCACHED
+                    or not lookups_enabled
+                    or cell_id in looked
+                )
+
+            pending_ids = {cell.cell_id for cell in pending}
+            needed = {
+                cell.cell_id for cell in pending if cell.output
+            }
+            while True:
+                grown = set(needed)
+                for cell_id in needed:
+                    cell = by_id[cell_id]
+                    pinned = (
+                        cell.deps if will_execute(cell_id) else cell.key_deps
+                    )
+                    grown.update(
+                        dep for dep in pinned if dep in pending_ids
+                    )
+                if grown == needed:
+                    break
+                needed = grown
+
+            if not needed:
+                break  # everything left is prunable
+
+            # 4. Execute the ready slice of the needed set as one batch.
+            batch = [
+                cell
+                for cell in pending
+                if cell.cell_id in needed
+                and will_execute(cell.cell_id)
+                and all(dep in results for dep in cell.deps)
+            ]
+            if not batch:
+                raise RuntimeError(
+                    "plan wave deadlock: needed cells "
+                    f"{sorted(needed)!r} have no runnable member"
+                )
+            self._run_batch(batch, results, keys, run, sweep_pool)
+
+        pruned = [cell for cell in cells if cell.cell_id not in results]
+        run.pruned = len(pruned)
+        if pruned:
+            incr("plan.cells_pruned", len(pruned))
+
+    def _run_batch(self, batch, results, keys, run, sweep_pool) -> None:
+        """Fan one wave of cells out through :func:`run_cells`."""
+        store_dir = self._state_store_dir()
+        spool = sweep_pool()
+        specs = []
+        for cell in batch:
+            args = _resolve_args(cell.args, results, store_dir)
+            if spool is None and self.jobs > 1:
+                # Classic one-shot pool: disposable workers cannot
+                # amortize reference resolution, so materialize in the
+                # parent (through the same state cache) and ship whole.
+                args = _materialize_refs(args)
+            specs.append((cell.fn, args))
+        outcomes = run_cells(
+            _execute_plan_cell,
+            specs,
+            jobs=self.jobs,
+            timeout=self.timeout,
+            backend="workers" if spool is not None else "pool",
+            pool=spool,
+            shard_keys=(
+                [cell.shard_key for cell in batch]
+                if spool is not None
+                else None
+            ),
+        )
+        for cell, (value, snapshot) in zip(batch, outcomes):
+            absorb_snapshot(snapshot)
+            results[cell.cell_id] = value
+            run.executed += 1
+            incr("plan.cells_executed")
+            key = keys[cell.cell_id]
+            if key != UNCACHED:
+                if self.cache is not None:
+                    self.cache.put(key, value)
+                self._record(key, value)
+
+
+def _resolve_args(value, results, store_dir):
+    """Substitute cell results for :class:`CellRef` args (through their
+    projections) and point state references at the shared store."""
+    if isinstance(value, CellRef):
+        return project(value, results[value.cell_id])
+    if isinstance(value, PatternsRef):
+        if value.store_dir is None and store_dir is not None:
+            return dataclasses.replace(value, store_dir=store_dir)
+        return value
+    if isinstance(value, tuple):
+        return tuple(_resolve_args(item, results, store_dir) for item in value)
+    if isinstance(value, list):
+        return [_resolve_args(item, results, store_dir) for item in value]
+    if isinstance(value, dict):
+        return {
+            key: _resolve_args(item, results, store_dir)
+            for key, item in value.items()
+        }
+    return value
+
+
+def _materialize_refs(args: tuple) -> tuple:
+    """Resolve every :class:`PatternsRef` in ``args`` parent-side (classic
+    pool protocol).  The owning SOC is found in the same args tuple —
+    the convention every built-in plan follows."""
+    soc = next((item for item in args if isinstance(item, Soc)), None)
+
+    def materialize(value):
+        if isinstance(value, PatternsRef):
+            if soc is None:
+                raise ValueError(
+                    "cell args carry a PatternsRef but no Soc to "
+                    "resolve it against"
+                )
+            return resolve_patterns(soc, value)
+        if isinstance(value, tuple):
+            return tuple(materialize(item) for item in value)
+        if isinstance(value, list):
+            return [materialize(item) for item in value]
+        return value
+
+    return tuple(materialize(item) for item in args)

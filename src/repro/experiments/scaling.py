@@ -5,6 +5,13 @@ Sweeps synthesized SOCs of growing core counts through the full pipeline
 runtime, achieved time and the lower-bound gap.  Answers the adoption
 question the shipped benchmarks cannot: how does the tool behave on SOCs
 bigger (or differently mixed) than the ITC'02 set?
+
+The sweep is the declarative :class:`ScalingPlan` — one ``scale/{n}``
+cell per core count running the whole pipeline (the SOC is synthesized
+inside the cell, so plan parameters stay tiny).  Cells carry the default
+plan-scoped cache key; note that the recorded stage runtimes are part of
+the cell value, so a cache or checkpoint hit replays the originally
+measured seconds.
 """
 
 from __future__ import annotations
@@ -12,11 +19,14 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.compaction.horizontal import build_si_test_groups
-from repro.core.bounds import bound_report
-from repro.core.optimizer import optimize_tam
-from repro.sitest.generator import generate_random_patterns
-from repro.soc.synth import DEFAULT_MIX, synthesize_soc
+from repro.experiments.plan import (
+    CellSpec,
+    ExperimentPlan,
+    PlanKind,
+    register_plan_kind,
+)
+from repro.experiments.runner import PlanRunner
+from repro.runtime.cache import EvaluationCache
 
 
 @dataclass(frozen=True)
@@ -31,52 +41,155 @@ class ScalingPoint:
     compaction_seconds: float
 
 
+def _scaling_cell_fn(core_count, w_max, pattern_count, parts, seed) -> dict:
+    """Plan cell: the full pipeline at one synthesized SOC size."""
+    from repro.compaction.horizontal import build_si_test_groups
+    from repro.core.bounds import bound_report
+    from repro.core.optimizer import optimize_tam
+    from repro.sitest.generator import generate_random_patterns
+    from repro.soc.synth import DEFAULT_MIX, synthesize_soc
+
+    soc = synthesize_soc(
+        f"scale{core_count}", core_count, mix=DEFAULT_MIX, seed=seed
+    )
+    patterns = generate_random_patterns(soc, pattern_count, seed=seed)
+
+    started = time.perf_counter()
+    grouping = build_si_test_groups(
+        soc, patterns, parts=min(parts, core_count), seed=seed
+    )
+    compaction_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    result = optimize_tam(soc, w_max, groups=grouping.groups)
+    optimize_seconds = time.perf_counter() - started
+
+    report = bound_report(soc, w_max, grouping.groups)
+    return {
+        "core_count": core_count,
+        "w_max": w_max,
+        "t_total": result.t_total,
+        "bound_gap": report.gap(result.t_total),
+        "optimize_seconds": optimize_seconds,
+        "compaction_seconds": compaction_seconds,
+    }
+
+
+def _scaling_params(params: dict) -> tuple:
+    core_counts = tuple(params["core_counts"])
+    w_max = params.get("w_max", 32)
+    pattern_count = params.get("pattern_count", 2_000)
+    parts = params.get("parts", 4)
+    seed = params.get("seed", 0)
+    if not core_counts:
+        raise ValueError("need at least one core count")
+    if pattern_count < 0 or w_max <= 0 or parts <= 0:
+        raise ValueError("invalid sweep parameters")
+    return core_counts, w_max, pattern_count, parts, seed
+
+
+class ScalingPlan(PlanKind):
+    """The scaling sweep as a declarative cell graph."""
+
+    name = "scaling"
+
+    def expand(self, params: dict) -> tuple[CellSpec, ...]:
+        core_counts, w_max, pattern_count, parts, seed = _scaling_params(
+            params
+        )
+        return tuple(
+            CellSpec(
+                cell_id=f"scale/{core_count}",
+                kind="scaling",
+                fn=_scaling_cell_fn,
+                args=(core_count, w_max, pattern_count, parts, seed),
+            )
+            for core_count in core_counts
+        )
+
+    def assemble(
+        self, params: dict, results: dict
+    ) -> tuple[ScalingPoint, ...]:
+        core_counts, *_rest = _scaling_params(params)
+        return tuple(
+            ScalingPoint(**results[f"scale/{core_count}"])
+            for core_count in core_counts
+        )
+
+    def verify(self, params: dict, results: dict) -> list[str]:
+        """The lower-bound gap must stay sane at every size: a negative
+        gap means the achieved time beat the bound."""
+        core_counts, *_rest = _scaling_params(params)
+        return [
+            f"{core_count} cores: bound gap "
+            f"{results[f'scale/{core_count}']['bound_gap']:.4f} is negative"
+            for core_count in core_counts
+            if results[f"scale/{core_count}"]["bound_gap"] < 0
+        ]
+
+
+register_plan_kind(ScalingPlan)
+
+
+def scaling_plan(
+    core_counts: tuple[int, ...],
+    w_max: int = 32,
+    pattern_count: int = 2_000,
+    parts: int = 4,
+    seed: int = 0,
+) -> ExperimentPlan:
+    """The declarative plan for one scaling sweep."""
+    return ExperimentPlan(
+        "scaling",
+        {
+            "core_counts": tuple(core_counts),
+            "w_max": w_max,
+            "pattern_count": pattern_count,
+            "parts": parts,
+            "seed": seed,
+        },
+    )
+
+
 def run_scaling_study(
     core_counts: tuple[int, ...],
     w_max: int = 32,
     pattern_count: int = 2_000,
     parts: int = 4,
     seed: int = 0,
+    jobs: int = 1,
+    sweep_backend: str = "auto",
+    cache: EvaluationCache | None = None,
+    checkpoint=None,
+    verify: bool = False,
 ) -> tuple[ScalingPoint, ...]:
     """Run the pipeline at each SOC size and collect the scaling points.
+
+    Sizes are independent, so ``jobs > 1`` fans them out over worker
+    processes (per-stage seconds are measured inside each cell either
+    way).  ``cache``/``checkpoint`` memoize and resume whole sizes —
+    replayed points carry their originally measured runtimes.
 
     Raises:
         ValueError: On an empty size list or non-positive parameters.
     """
-    if not core_counts:
-        raise ValueError("need at least one core count")
-    if pattern_count < 0 or w_max <= 0 or parts <= 0:
-        raise ValueError("invalid sweep parameters")
-
-    points = []
-    for core_count in core_counts:
-        soc = synthesize_soc(
-            f"scale{core_count}", core_count, mix=DEFAULT_MIX, seed=seed
+    runner = PlanRunner(
+        jobs=jobs,
+        cache=cache,
+        checkpoint=checkpoint,
+        sweep_backend=sweep_backend,
+        verify=verify,
+    )
+    run = runner.run(
+        scaling_plan(
+            core_counts,
+            w_max=w_max,
+            pattern_count=pattern_count,
+            parts=parts,
+            seed=seed,
         )
-        patterns = generate_random_patterns(soc, pattern_count, seed=seed)
-
-        started = time.perf_counter()
-        grouping = build_si_test_groups(
-            soc, patterns, parts=min(parts, core_count), seed=seed
-        )
-        compaction_seconds = time.perf_counter() - started
-
-        started = time.perf_counter()
-        result = optimize_tam(soc, w_max, groups=grouping.groups)
-        optimize_seconds = time.perf_counter() - started
-
-        report = bound_report(soc, w_max, grouping.groups)
-        points.append(
-            ScalingPoint(
-                core_count=core_count,
-                w_max=w_max,
-                t_total=result.t_total,
-                bound_gap=report.gap(result.t_total),
-                optimize_seconds=optimize_seconds,
-                compaction_seconds=compaction_seconds,
-            )
-        )
-    return tuple(points)
+    )
+    return run.report
 
 
 def format_scaling_report(points: tuple[ScalingPoint, ...]) -> str:

@@ -3,6 +3,13 @@
 The paper reports single-seed results; this harness reruns a table row at
 several pattern-set seeds and reports the spread of the headline deltas,
 so a reader can tell signal from pattern-generation noise.
+
+The study is the declarative :class:`StabilityPlan` — the union of one
+:class:`~repro.experiments.table_runner.TablePlan` cell graph per seed,
+composed with :func:`~repro.experiments.plan.namespaced` under
+``seed/{s}/`` prefixes.  Every per-seed cell keeps its content-hash
+cache key, so a stability run shares grouping and optimizer results with
+plain table runs through the same evaluation cache.
 """
 
 from __future__ import annotations
@@ -10,7 +17,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.experiments.table_runner import run_table_experiment
+from repro.experiments.plan import (
+    CellSpec,
+    ExperimentPlan,
+    PlanKind,
+    namespaced,
+    plan_kind,
+    register_plan_kind,
+    subset,
+)
+from repro.experiments.runner import PlanRunner
+from repro.runtime.cache import EvaluationCache
 from repro.sitest.generator import GeneratorConfig
 from repro.soc.model import Soc
 
@@ -66,6 +83,118 @@ class StabilityReport:
         return "\n".join(lines)
 
 
+def _stability_params(params: dict) -> tuple:
+    soc = params["soc"]
+    pattern_count = params["pattern_count"]
+    w_max = params["w_max"]
+    seeds = tuple(params.get("seeds", (1, 2, 3)))
+    group_counts = tuple(params.get("group_counts", (1, 4)))
+    config = params.get("generator_config") or GeneratorConfig()
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return soc, pattern_count, w_max, seeds, group_counts, config
+
+
+def _table_params_for_seed(params: dict, seed: int) -> dict:
+    soc, pattern_count, w_max, _seeds, group_counts, config = (
+        _stability_params(params)
+    )
+    return {
+        "soc": soc,
+        "pattern_count": pattern_count,
+        "widths": (w_max,),
+        "group_counts": group_counts,
+        "seed": seed,
+        "generator_config": config,
+    }
+
+
+class StabilityPlan(PlanKind):
+    """The seed sweep as a union of namespaced table plans."""
+
+    name = "stability"
+
+    def expand(self, params: dict) -> tuple[CellSpec, ...]:
+        table = plan_kind("table")
+        _soc, _count, _w_max, seeds, *_rest = _stability_params(params)
+        cells: list[CellSpec] = []
+        for seed in seeds:
+            cells.extend(
+                namespaced(
+                    f"seed/{seed}",
+                    table.expand(_table_params_for_seed(params, seed)),
+                )
+            )
+        return tuple(cells)
+
+    def assemble(self, params: dict, results: dict) -> StabilityReport:
+        table = plan_kind("table")
+        soc, pattern_count, w_max, seeds, *_rest = _stability_params(params)
+        delta_baseline = []
+        delta_grouping = []
+        t_min = []
+        for seed in seeds:
+            table_result = table.assemble(
+                _table_params_for_seed(params, seed),
+                subset(f"seed/{seed}", results),
+            )
+            row = table_result.rows[0]
+            delta_baseline.append(row.delta_baseline_pct)
+            delta_grouping.append(row.delta_grouping_pct)
+            t_min.append(float(row.t_min))
+        return StabilityReport(
+            soc_name=soc.name,
+            pattern_count=pattern_count,
+            w_max=w_max,
+            seeds=tuple(seeds),
+            delta_baseline=StabilityRow(
+                "dT_[8] (%)", tuple(delta_baseline)
+            ),
+            delta_grouping=StabilityRow("dT_g (%)", tuple(delta_grouping)),
+            t_min=StabilityRow("T_min (cc)", tuple(t_min)),
+        )
+
+    def verify(self, params: dict, results: dict) -> list[str]:
+        """Delegate to the table kind's schedule verification per seed."""
+        table = plan_kind("table")
+        _soc, _count, _w_max, seeds, *_rest = _stability_params(params)
+        violations = []
+        for seed in seeds:
+            violations.extend(
+                f"seed={seed}: {v}"
+                for v in table.verify(
+                    _table_params_for_seed(params, seed),
+                    subset(f"seed/{seed}", results),
+                )
+            )
+        return violations
+
+
+register_plan_kind(StabilityPlan)
+
+
+def stability_plan(
+    soc: Soc,
+    pattern_count: int,
+    w_max: int,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    group_counts: tuple[int, ...] = (1, 4),
+    generator_config: GeneratorConfig = GeneratorConfig(),
+) -> ExperimentPlan:
+    """The declarative plan for one seed-stability study."""
+    return ExperimentPlan(
+        "stability",
+        {
+            "soc": soc,
+            "pattern_count": pattern_count,
+            "w_max": w_max,
+            "seeds": tuple(seeds),
+            "group_counts": tuple(group_counts),
+            "generator_config": generator_config,
+        },
+    )
+
+
 def run_stability_study(
     soc: Soc,
     pattern_count: int,
@@ -73,36 +202,37 @@ def run_stability_study(
     seeds: tuple[int, ...] = (1, 2, 3),
     group_counts: tuple[int, ...] = (1, 4),
     generator_config: GeneratorConfig = GeneratorConfig(),
+    jobs: int = 1,
+    sweep_backend: str = "auto",
+    cache: EvaluationCache | None = None,
+    checkpoint=None,
+    verify: bool = False,
 ) -> StabilityReport:
     """Rerun one table cell across ``seeds`` and collect the spreads.
+
+    Seeds expand into independent table sub-graphs, so ``jobs > 1`` fans
+    all seeds' cells out together; ``cache``/``checkpoint`` memoize and
+    resume at cell granularity, and the cache is shared with plain table
+    runs over the same inputs.
 
     Raises:
         ValueError: If no seeds are given.
     """
-    if not seeds:
-        raise ValueError("need at least one seed")
-    delta_baseline = []
-    delta_grouping = []
-    t_min = []
-    for seed in seeds:
-        result = run_table_experiment(
+    runner = PlanRunner(
+        jobs=jobs,
+        cache=cache,
+        checkpoint=checkpoint,
+        sweep_backend=sweep_backend,
+        verify=verify,
+    )
+    run = runner.run(
+        stability_plan(
             soc,
             pattern_count,
-            widths=(w_max,),
+            w_max,
+            seeds=seeds,
             group_counts=group_counts,
-            seed=seed,
             generator_config=generator_config,
         )
-        row = result.rows[0]
-        delta_baseline.append(row.delta_baseline_pct)
-        delta_grouping.append(row.delta_grouping_pct)
-        t_min.append(float(row.t_min))
-    return StabilityReport(
-        soc_name=soc.name,
-        pattern_count=pattern_count,
-        w_max=w_max,
-        seeds=tuple(seeds),
-        delta_baseline=StabilityRow("dT_[8] (%)", tuple(delta_baseline)),
-        delta_grouping=StabilityRow("dT_g (%)", tuple(delta_grouping)),
-        t_min=StabilityRow("T_min (cc)", tuple(t_min)),
     )
+    return run.report

@@ -14,41 +14,50 @@ reports:
   ``ΔT_[8] = (T_[8] - T_min) / T_[8]`` and
   ``ΔT_g = (T_g_1 - T_min) / T_g_1``.
 
-Groupings depend only on (SOC, pattern seed, ``N_r``, group count), so they
-are computed once per experiment and shared across the width sweep.
+The experiment is expressed as the reference :class:`TablePlan` — a
+declarative cell graph executed by
+:class:`~repro.experiments.runner.PlanRunner` (see
+:mod:`repro.experiments.plan`), which replaces the bespoke two-phase
+orchestration this module used to hand-roll:
 
-The sweep decomposes into independent cells — one grouping per group
-count, one optimizer run per (``W_max``, group count) pair plus the
-InTest-only baseline per width — which ``jobs > 1`` fans out over worker
-processes via :mod:`repro.runtime.executor`.  Cell results are reassembled
-in deterministic (width, group count) order, so the produced table is
-byte-identical to the serial one.  An optional
-:class:`~repro.runtime.cache.EvaluationCache` memoizes grouping and
-optimization cells across runs; a grouping produced by a sweep cell (or
-restored from the cache) carries an empty ``compactions`` tuple (see
-:mod:`repro.runtime.codec`) — the harness reads only the group metadata,
-and the per-group merged pattern lists would dominate the result traffic
-between worker and parent.
+* one ``grouping/{i}`` cell per group count, keyed by
+  :func:`~repro.runtime.cache.grouping_cache_key`, sharing the SI pattern
+  set as a :class:`~repro.runtime.pool.PatternsRef` (warm workers
+  generate it once per process; cells are sharded by its fingerprint so
+  they land together);
+* per width, one ``optimize/{w}/{i}`` cell per grouping whose cache key
+  derives *lazily* from the grouping result it consumes
+  (:class:`~repro.experiments.plan.CellRef` dependency edges), plus the
+  InTest-only ``optimize/{w}/base`` cell (``output=False``);
+* one ``baseline/{w}`` pricing cell per width — the SI-oblivious
+  architecture priced with the *best* grouping — keyed by
+  :func:`~repro.runtime.cache.baseline_cache_key` over all grouping
+  fingerprints.  When that key is warm the runner *prunes* the
+  ``optimize/{w}/base`` producer entirely, exactly as the hand-rolled
+  harness skipped it.
 
-With the ``workers`` sweep backend (the default resolution of ``auto``
-for ``jobs > 1``) one persistent :class:`~repro.runtime.pool.WorkerPool`
-spans both cell phases: workers warm up once (C engines pre-loaded), the
-SI pattern set travels as a :class:`~repro.runtime.pool.PatternsRef`
-resolved through each worker's warm state cache instead of being pickled
-into every grouping cell, and grouping cells are routed to workers by
-their pattern fingerprint so the set is materialized as few times as
-possible.  The serial path resolves the same reference through the same
-(parent-process) cache, so repeated sweeps over one (SOC, seed, ``N_r``,
-config) generate the pattern set exactly once per process.
+Groupings produced by a sweep cell (or restored from the cache) carry an
+empty ``compactions`` tuple (see :mod:`repro.runtime.codec`) — the
+harness reads only group metadata, and per-group merged pattern lists
+would dominate worker→parent traffic.  All sweep backends, job counts,
+and warm/cold cache states produce byte-identical tables.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.compaction.horizontal import GroupingResult, build_si_test_groups
 from repro.core.optimizer import evaluate_architecture, optimize_tam
+from repro.experiments.plan import (
+    CellRef,
+    CellSpec,
+    ExperimentPlan,
+    PlanKind,
+    register_plan_kind,
+    register_projection,
+)
+from repro.experiments.runner import PlanRunner
 from repro.runtime.cache import (
     EvaluationCache,
     baseline_cache_key,
@@ -57,21 +66,10 @@ from repro.runtime.cache import (
     optimize_cache_key,
     patterns_cache_key,
 )
-from repro.runtime.executor import resolve_sweep_backend, run_cells
-from repro.runtime.instrumentation import (
-    absorb_snapshot,
-    call_with_instrumentation,
-)
-from repro.runtime.pool import (
-    PatternsRef,
-    PoolUnavailable,
-    WorkerPool,
-    default_warmup,
-    resolve_patterns,
-)
+from repro.runtime.instrumentation import incr
+from repro.runtime.pool import PatternsRef, resolve_patterns
 from repro.sitest.generator import GeneratorConfig
 from repro.soc.model import Soc
-from repro.tam.tr_architect import tr_architect
 
 DEFAULT_GROUP_COUNTS = (1, 2, 4, 8)
 DEFAULT_WIDTHS = (8, 16, 24, 32, 40, 48, 56, 64)
@@ -122,8 +120,13 @@ class TableResult:
     elapsed_seconds: float = 0.0
 
 
-def _grouping_cell(spec) -> tuple[GroupingResult, dict]:
-    """Sweep cell: one two-dimensional compaction run (one group count).
+# ---------------------------------------------------------------------------
+# Cell functions (module-level: they ship to worker processes).
+# ---------------------------------------------------------------------------
+
+
+def _grouping_cell_fn(soc, patterns, parts, seed) -> GroupingResult:
+    """Plan cell: one two-dimensional compaction run (one group count).
 
     ``patterns`` may be the materialized list (classic pool protocol) or a
     :class:`PatternsRef` resolved through the warm per-process state cache
@@ -133,25 +136,245 @@ def _grouping_cell(spec) -> tuple[GroupingResult, dict]:
     """
     from repro.runtime.codec import grouping_from_dict, grouping_to_dict
 
-    soc, patterns, parts, seed = spec
     if isinstance(patterns, PatternsRef):
         patterns = resolve_patterns(soc, patterns)
-
-    def build() -> GroupingResult:
-        grouping = build_si_test_groups(soc, patterns, parts=parts, seed=seed)
-        return grouping_from_dict(grouping_to_dict(grouping))
-
-    return call_with_instrumentation(build)
+    grouping = build_si_test_groups(soc, patterns, parts=parts, seed=seed)
+    return grouping_from_dict(grouping_to_dict(grouping))
 
 
-def _optimize_cell(spec) -> tuple[object, dict]:
-    """Sweep cell: one ``TAM_Optimization`` run (one width, one grouping;
-    an empty group tuple is the TR-Architect baseline).  The spec carries
+def _optimize_cell_fn(soc, w_max, groups, backend):
+    """Plan cell: one ``TAM_Optimization`` run (one width, one grouping;
+    an empty group tuple is the TR-Architect baseline).  The args carry
     the optimizer backend so a :class:`~repro.runtime.executor.CellError`
     report names the engine that was active when the cell failed."""
-    soc, w_max, groups, backend = spec
-    return call_with_instrumentation(
-        optimize_tam, soc, w_max, groups=groups, backend=backend
+    return optimize_tam(soc, w_max, groups=groups, backend=backend)
+
+
+def _baseline_cell_fn(soc, baseline, groups_of_counts) -> dict:
+    """Plan cell: price the SI-oblivious architecture — schedule the SI
+    tests of every grouping on it and keep the best total (conservative
+    baseline, see module docstring)."""
+    return {
+        "t_baseline": min(
+            evaluate_architecture(
+                soc, baseline.architecture, groups
+            ).t_total
+            for groups in groups_of_counts
+        )
+    }
+
+
+def _groups_of(grouping: GroupingResult):
+    return grouping.groups
+
+
+register_projection("grouping.groups", _groups_of)
+
+
+# ---------------------------------------------------------------------------
+# The reference plan kind.
+# ---------------------------------------------------------------------------
+
+
+def _table_params(params: dict) -> tuple:
+    soc = params["soc"]
+    pattern_count = params["pattern_count"]
+    widths = tuple(params.get("widths", DEFAULT_WIDTHS))
+    group_counts = tuple(params.get("group_counts", DEFAULT_GROUP_COUNTS))
+    seed = params.get("seed", 1)
+    config = params.get("generator_config") or GeneratorConfig()
+    optimizer_backend = params.get("optimizer_backend", "auto")
+    return soc, pattern_count, widths, group_counts, seed, config, \
+        optimizer_backend
+
+
+def _optimize_key(soc, w_max):
+    def key(values):
+        (grouping,) = values
+        return optimize_cache_key(soc, w_max, grouping.groups)
+
+    return key
+
+
+def _baseline_key(soc, w_max):
+    def key(values):
+        return baseline_cache_key(
+            soc, w_max,
+            [groups_fingerprint(grouping.groups) for grouping in values],
+        )
+
+    return key
+
+
+class TablePlan(PlanKind):
+    """The Table 2/3 sweep as a declarative cell graph (module docstring)."""
+
+    name = "table"
+
+    def expand(self, params: dict) -> tuple[CellSpec, ...]:
+        (soc, pattern_count, widths, group_counts, seed, config,
+         optimizer_backend) = _table_params(params)
+        patterns_fp = patterns_cache_key(
+            soc, seed, pattern_count, config=config
+        )
+        patterns_ref = PatternsRef(
+            count=pattern_count,
+            seed=seed,
+            config=config,
+            fingerprint=patterns_fp,
+            store_dir=None,  # the runner points this at the cache's store
+        )
+        cells: list[CellSpec] = []
+        for parts in group_counts:
+            cells.append(
+                CellSpec(
+                    cell_id=f"grouping/{parts}",
+                    kind="grouping",
+                    fn=_grouping_cell_fn,
+                    args=(soc, patterns_ref, parts, seed),
+                    cache_key=grouping_cache_key(
+                        soc, seed, pattern_count, parts, config=config
+                    ),
+                    shard_key=patterns_fp,
+                )
+            )
+        grouping_ids = tuple(f"grouping/{parts}" for parts in group_counts)
+        for w_max in widths:
+            cells.append(
+                CellSpec(
+                    cell_id=f"optimize/{w_max}/base",
+                    kind="optimize",
+                    fn=_optimize_cell_fn,
+                    args=(soc, w_max, (), optimizer_backend),
+                    cache_key=optimize_cache_key(soc, w_max, ()),
+                    output=False,  # pruned when the baseline price is warm
+                )
+            )
+            for parts in group_counts:
+                cells.append(
+                    CellSpec(
+                        cell_id=f"optimize/{w_max}/{parts}",
+                        kind="optimize",
+                        fn=_optimize_cell_fn,
+                        args=(
+                            soc,
+                            w_max,
+                            CellRef(
+                                f"grouping/{parts}",
+                                project="grouping.groups",
+                            ),
+                            optimizer_backend,
+                        ),
+                        key_fn=_optimize_key(soc, w_max),
+                        key_deps=(f"grouping/{parts}",),
+                    )
+                )
+            cells.append(
+                CellSpec(
+                    cell_id=f"baseline/{w_max}",
+                    kind="baseline",
+                    fn=_baseline_cell_fn,
+                    args=(
+                        soc,
+                        CellRef(f"optimize/{w_max}/base"),
+                        tuple(
+                            CellRef(cell_id, project="grouping.groups")
+                            for cell_id in grouping_ids
+                        ),
+                    ),
+                    key_fn=_baseline_key(soc, w_max),
+                    key_deps=grouping_ids,
+                )
+            )
+        return tuple(cells)
+
+    def assemble(self, params: dict, results: dict) -> TableResult:
+        (soc, pattern_count, widths, group_counts, seed, _config,
+         _backend) = _table_params(params)
+        result = TableResult(
+            soc_name=soc.name,
+            pattern_count=pattern_count,
+            seed=seed,
+            group_counts=tuple(group_counts),
+        )
+        for parts in group_counts:
+            result.groupings[parts] = results[f"grouping/{parts}"]
+        for w_max in widths:
+            result.rows.append(
+                TableRow(
+                    w_max=w_max,
+                    t_baseline=results[f"baseline/{w_max}"]["t_baseline"],
+                    t_grouped={
+                        parts: results[f"optimize/{w_max}/{parts}"].t_total
+                        for parts in group_counts
+                    },
+                )
+            )
+        return result
+
+    def verify(self, params: dict, results: dict) -> list[str]:
+        """Independently re-verify every optimized schedule present in the
+        results — cache and checkpoint hits included (the pruned
+        SI-oblivious cells are absent by design)."""
+        from repro.resilience.verify import (
+            ScheduleVerificationError,
+            verify_optimization,
+        )
+
+        (soc, _count, widths, group_counts, _seed, _config,
+         _backend) = _table_params(params)
+        optimized_of: dict[tuple[int, int | None], object] = {}
+        for w_max in widths:
+            for parts in (None, *group_counts):
+                cell_id = (
+                    f"optimize/{w_max}/base"
+                    if parts is None
+                    else f"optimize/{w_max}/{parts}"
+                )
+                if cell_id in results:
+                    optimized_of[(w_max, parts)] = results[cell_id]
+        for (w_max, parts), optimized in sorted(
+            optimized_of.items(), key=lambda item: (item[0][0], repr(item[0][1]))
+        ):
+            groups = (
+                ()
+                if parts is None
+                else results[f"grouping/{parts}"].groups
+            )
+            violations = verify_optimization(soc, optimized, groups)
+            incr("verify.schedules_checked")
+            if violations:
+                incr("verify.schedules_failed")
+                raise ScheduleVerificationError(
+                    [f"W_max={w_max} i={parts}: {v}" for v in violations]
+                )
+        return []
+
+
+register_plan_kind(TablePlan)
+
+
+def table_plan(
+    soc: Soc,
+    pattern_count: int,
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+    group_counts: tuple[int, ...] = DEFAULT_GROUP_COUNTS,
+    seed: int = 1,
+    generator_config: GeneratorConfig = GeneratorConfig(),
+    optimizer_backend: str = "auto",
+) -> ExperimentPlan:
+    """The declarative plan for one Table 2/3 experiment."""
+    return ExperimentPlan(
+        "table",
+        {
+            "soc": soc,
+            "pattern_count": pattern_count,
+            "widths": tuple(widths),
+            "group_counts": tuple(group_counts),
+            "seed": seed,
+            "generator_config": generator_config,
+            "optimizer_backend": optimizer_backend,
+        },
     )
 
 
@@ -179,7 +402,7 @@ def run_table_experiment(
         group_counts: Group counts ``i`` for the ``T_g_i`` columns.
         seed: Seed for the random SI pattern set.
         generator_config: Pattern generator knobs (paper defaults).
-        verbose: Print progress lines while running.
+        verbose: Print progress lines after running.
         jobs: Worker processes for the sweep cells (1 = serial; the table
             is identical either way).
         cache: Optional evaluation cache memoizing grouping and optimizer
@@ -204,256 +427,51 @@ def run_table_experiment(
     from repro.core.optimizer import resolve_optimizer_backend
 
     resolve_optimizer_backend(optimizer_backend)  # fail fast on a typo
-    backend = resolve_sweep_backend(sweep_backend, jobs=jobs)
-    start = time.perf_counter()
-
-    pool: WorkerPool | None = None
-    pool_failed = False
-
-    def sweep_pool() -> WorkerPool | None:
-        """The sweep's shared warm worker pool (``workers`` backend only),
-        created on first parallel phase; ``None`` means use the classic
-        pool (requested, or persistent workers unavailable here)."""
-        nonlocal pool, pool_failed
-        if backend != "workers" or jobs <= 1 or pool_failed:
-            return None
-        if pool is None:
-            try:
-                pool = WorkerPool(jobs, warmup=default_warmup)
-            except PoolUnavailable:
-                pool_failed = True
-                return None
-        return pool
-
-    def lookup(key):
-        """Checkpoint first (resume correctness), then the cache."""
-        if checkpoint is not None and key in checkpoint:
-            value = checkpoint.fetch(key)
-            if value is not None:
-                return value
-        if cache is not None:
-            return cache.get(key)
-        return None
-
-    def record(key, value):
-        if checkpoint is not None:
-            checkpoint.record(key, value)
-
-    result = TableResult(
-        soc_name=soc.name,
-        pattern_count=pattern_count,
-        seed=seed,
-        group_counts=tuple(group_counts),
+    runner = PlanRunner(
+        jobs=jobs,
+        cache=cache,
+        checkpoint=checkpoint,
+        sweep_backend=sweep_backend,
+        verify=verify,
     )
-    try:
-        _run_phases(
-            soc, pattern_count, widths, group_counts, seed,
-            generator_config, verbose, jobs, cache, checkpoint,
-            verify, optimizer_backend, lookup, record, result, sweep_pool,
+    run = runner.run(
+        table_plan(
+            soc,
+            pattern_count,
+            widths=widths,
+            group_counts=group_counts,
+            seed=seed,
+            generator_config=generator_config,
+            optimizer_backend=optimizer_backend,
         )
-    finally:
-        if pool is not None:
-            pool.close()
-    result.elapsed_seconds = time.perf_counter() - start
+    )
+    result: TableResult = run.report
+    result.elapsed_seconds = run.wall_seconds
+    if verbose:
+        print_table_progress(result)
     return result
 
 
-def _run_phases(
-    soc, pattern_count, widths, group_counts, seed, generator_config,
-    verbose, jobs, cache, checkpoint, verify, optimizer_backend, lookup,
-    record, result, sweep_pool,
-) -> None:
-    """Body of :func:`run_table_experiment`: the grouping and optimizer
-    phases plus verification and row assembly, factored out so the sweep
-    pool's lifecycle wraps it cleanly."""
-    # --- Groupings: one cell per group count, cached and parallel. -------
-    grouping_keys = {
-        parts: grouping_cache_key(
-            soc, seed, pattern_count, parts, config=generator_config
+def print_table_progress(result: TableResult) -> None:
+    """Print the per-grouping and per-row progress lines (the
+    ``--verbose`` rendering, shared by the library path and the CLI)."""
+    tag = f"[{result.soc_name} N_r={result.pattern_count}]"
+    for parts in result.group_counts:
+        grouping = result.groupings[parts]
+        sizes = [group.patterns for group in grouping.groups]
+        print(
+            f"{tag} grouping i={parts}: "
+            f"patterns {sizes} (residual holds {grouping.cut_patterns} "
+            "originals)"
         )
-        for parts in group_counts
-    }
-    pending_parts = list(group_counts)
-    if cache is not None or checkpoint is not None:
-        still_pending = []
-        for parts in pending_parts:
-            hit = lookup(grouping_keys[parts])
-            if hit is not None:
-                result.groupings[parts] = hit
-                record(grouping_keys[parts], hit)
-            else:
-                still_pending.append(parts)
-        pending_parts = still_pending
-
-    if pending_parts:
-        patterns_ref = PatternsRef(
-            count=pattern_count,
-            seed=seed,
-            config=generator_config,
-            fingerprint=patterns_cache_key(
-                soc, seed, pattern_count, config=generator_config
-            ),
-            store_dir=(
-                str(cache.store_dir / "state")
-                if cache is not None and cache.store_dir is not None
-                else None
-            ),
+    for row in result.rows:
+        grouped = " ".join(
+            f"T_g{parts}={row.t_grouped[parts]}"
+            for parts in result.group_counts
         )
-        spool = sweep_pool()
-        if spool is None and jobs > 1:
-            # Classic one-shot pool: its disposable workers cannot
-            # amortize generation, so materialize once in the parent
-            # (through the same state cache) and ship per cell.
-            spec_patterns = resolve_patterns(soc, patterns_ref)
-        else:
-            # Serial parent or warm workers resolve the reference through
-            # their per-process state cache.
-            spec_patterns = patterns_ref
-        cells = run_cells(
-            _grouping_cell,
-            [(soc, spec_patterns, parts, seed) for parts in pending_parts],
-            jobs=jobs,
-            backend="workers" if spool is not None else "pool",
-            pool=spool,
-            shard_keys=(
-                [patterns_ref.fingerprint] * len(pending_parts)
-                if spool is not None else None
-            ),
+        print(
+            f"{tag} W={row.w_max}: "
+            f"T_[8]={row.t_baseline} {grouped} "
+            f"dT8={row.delta_baseline_pct:.2f}% "
+            f"dTg={row.delta_grouping_pct:.2f}%"
         )
-        for parts, (grouping, snapshot) in zip(pending_parts, cells):
-            absorb_snapshot(snapshot)
-            result.groupings[parts] = grouping
-            if cache is not None:
-                cache.put(grouping_keys[parts], grouping)
-            record(grouping_keys[parts], grouping)
-
-    if verbose:
-        for parts in group_counts:
-            grouping = result.groupings[parts]
-            sizes = [group.patterns for group in grouping.groups]
-            print(
-                f"[{soc.name} N_r={pattern_count}] grouping i={parts}: "
-                f"patterns {sizes} (residual holds {grouping.cut_patterns} "
-                "originals)"
-            )
-
-    # --- Optimizer cells: per width, the baseline plus one run per -------
-    # --- grouping; only cache misses are fanned out.                -------
-    all_groupings = [
-        groups_fingerprint(result.groupings[parts].groups)
-        for parts in group_counts
-    ]
-    baseline_keys = {
-        w_max: baseline_cache_key(soc, w_max, all_groupings)
-        for w_max in widths
-    }
-    optimize_keys = {
-        (w_max, parts): optimize_cache_key(
-            soc,
-            w_max,
-            () if parts is None else result.groupings[parts].groups,
-        )
-        for w_max in widths
-        for parts in (None, *group_counts)
-    }
-
-    t_baseline_of: dict[int, int] = {}
-    optimized_of: dict[tuple[int, int | None], object] = {}
-    specs: list[tuple[int, int | None]] = []
-    for w_max in widths:
-        cached_baseline = lookup(baseline_keys[w_max])
-        if cached_baseline is not None:
-            t_baseline_of[w_max] = cached_baseline["t_baseline"]
-            record(baseline_keys[w_max], cached_baseline)
-            baseline_parts = ()  # baseline architecture not needed
-        else:
-            baseline_parts = (None,)
-        for parts in (*baseline_parts, *group_counts):
-            hit = lookup(optimize_keys[(w_max, parts)])
-            if hit is not None:
-                optimized_of[(w_max, parts)] = hit
-                record(optimize_keys[(w_max, parts)], hit)
-                continue
-            specs.append((w_max, parts))
-
-    cell_args = [
-        (
-            soc,
-            w_max,
-            () if parts is None else result.groupings[parts].groups,
-            optimizer_backend,
-        )
-        for w_max, parts in specs
-    ]
-    spool = sweep_pool()
-    for (w_max, parts), (optimized, snapshot) in zip(
-        specs,
-        run_cells(
-            _optimize_cell, cell_args, jobs=jobs,
-            backend="workers" if spool is not None else "pool",
-            pool=spool,
-        ),
-    ):
-        absorb_snapshot(snapshot)
-        optimized_of[(w_max, parts)] = optimized
-        if cache is not None:
-            cache.put(optimize_keys[(w_max, parts)], optimized)
-        record(optimize_keys[(w_max, parts)], optimized)
-
-    if verify:
-        from repro.resilience.verify import (
-            ScheduleVerificationError,
-            verify_optimization,
-        )
-        from repro.runtime.instrumentation import incr
-
-        for (w_max, parts), optimized in sorted(
-            optimized_of.items(), key=lambda item: (item[0][0], repr(item[0][1]))
-        ):
-            groups = () if parts is None else result.groupings[parts].groups
-            violations = verify_optimization(soc, optimized, groups)
-            incr("verify.schedules_checked")
-            if violations:
-                incr("verify.schedules_failed")
-                raise ScheduleVerificationError(
-                    [f"W_max={w_max} i={parts}: {v}" for v in violations]
-                )
-
-    # --- Assemble rows in deterministic width order. ---------------------
-    for w_max in widths:
-        if w_max not in t_baseline_of:
-            baseline = optimized_of[(w_max, None)]
-            t_baseline_of[w_max] = min(
-                evaluate_architecture(
-                    soc,
-                    baseline.architecture,
-                    result.groupings[parts].groups,
-                ).t_total
-                for parts in group_counts
-            )
-            if cache is not None:
-                cache.put(
-                    baseline_keys[w_max],
-                    {"t_baseline": t_baseline_of[w_max]},
-                )
-            record(
-                baseline_keys[w_max], {"t_baseline": t_baseline_of[w_max]}
-            )
-        t_grouped = {
-            parts: optimized_of[(w_max, parts)].t_total
-            for parts in group_counts
-        }
-        row = TableRow(
-            w_max=w_max, t_baseline=t_baseline_of[w_max], t_grouped=t_grouped
-        )
-        result.rows.append(row)
-        if verbose:
-            grouped = " ".join(
-                f"T_g{parts}={t_grouped[parts]}" for parts in group_counts
-            )
-            print(
-                f"[{soc.name} N_r={pattern_count}] W={w_max}: "
-                f"T_[8]={row.t_baseline} {grouped} "
-                f"dT8={row.delta_baseline_pct:.2f}% "
-                f"dTg={row.delta_grouping_pct:.2f}%"
-            )

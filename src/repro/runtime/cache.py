@@ -322,6 +322,10 @@ class EvaluationCache:
         }
 
 
+def _identity(value):
+    return value
+
+
 def default_codecs() -> dict:
     """The key-prefix -> ``(encode, decode)`` map of the standard result
     kinds (also used by :class:`repro.resilience.checkpoint.SweepCheckpoint`
@@ -331,7 +335,10 @@ def default_codecs() -> dict:
     return {
         "grouping": (codec.grouping_to_dict, codec.grouping_from_dict),
         "optimize": (codec.optimization_to_dict, codec.optimization_from_dict),
-        "baseline": (lambda value: value, lambda payload: payload),
+        "baseline": (_identity, _identity),
+        # Generic plan cells (repro.experiments.plan) hold plain-JSON
+        # values by contract, so identity round-trips exactly.
+        "plancell": (_identity, _identity),
     }
 
 

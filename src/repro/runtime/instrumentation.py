@@ -149,6 +149,9 @@ class RunReport:
         counters: Counter totals (serial-equivalent, see module docstring).
         timers: Accumulated timer figures.
         cache: Cache statistics (hits/misses/...), empty when no cache.
+        plan: Executed-plan block (name, fingerprint, backend, cell
+            counts) for plan-driven runs; empty otherwise.  See
+            :func:`repro.experiments.reporting.experiment_report`.
     """
 
     command: str
@@ -157,6 +160,7 @@ class RunReport:
     counters: dict = field(default_factory=dict)
     timers: dict = field(default_factory=dict)
     cache: dict = field(default_factory=dict)
+    plan: dict = field(default_factory=dict)
 
     @staticmethod
     def build(
@@ -165,6 +169,7 @@ class RunReport:
         wall_seconds: float,
         instrumentation: Instrumentation | None = None,
         cache=None,
+        plan: dict | None = None,
     ) -> "RunReport":
         """Assemble a report from the run's instrumentation and cache."""
         snapshot = (instrumentation or _CURRENT).snapshot()
@@ -175,6 +180,7 @@ class RunReport:
             counters=snapshot["counters"],
             timers=snapshot["timers"],
             cache=cache.stats() if cache is not None else {},
+            plan=dict(plan) if plan else {},
         )
 
     def to_dict(self) -> dict:
@@ -194,6 +200,7 @@ class RunReport:
                 for name, entry in sorted(self.timers.items())
             },
             "cache": self.cache,
+            "plan": self.plan,
         }
 
     def to_json(self) -> str:

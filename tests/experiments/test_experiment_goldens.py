@@ -1,0 +1,35 @@
+"""Byte-identical golden checks for every experiment kind.
+
+The goldens under ``tests/experiments/goldens/`` were captured from the
+pre-plan-layer experiment runners (see
+``tools/generate_experiment_goldens.py``).  Regenerating each payload
+through the plan layer must reproduce the committed files byte for
+byte — the refactor is not allowed to move a single digit.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import generate_experiment_goldens as golden_tool  # noqa: E402
+
+
+def test_every_golden_is_committed():
+    committed = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert committed == set(golden_tool.GOLDENS)
+
+
+@pytest.mark.parametrize("name", sorted(golden_tool.GOLDENS))
+def test_regenerated_payload_is_byte_identical(name):
+    payload = golden_tool.GOLDENS[name]()
+    actual = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    expected = (GOLDEN_DIR / f"{name}.json").read_text()
+    assert actual == expected

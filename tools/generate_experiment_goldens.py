@@ -1,0 +1,236 @@
+"""Regenerate the experiment golden files under tests/experiments/goldens/.
+
+Each golden captures the *deterministic* output of one experiment harness
+on a bundled ITC'02 SOC at small N — pattern counts, test times, derived
+percentages — with wall-clock fields stripped.  The golden suite
+(``tests/experiments/test_experiment_goldens.py``) regenerates the same
+values and compares byte-for-byte, so any refactor of the experiment
+layer (e.g. the plan/cell-graph migration) is pinned to the exact
+pre-refactor results.
+
+Usage::
+
+    PYTHONPATH=src python tools/generate_experiment_goldens.py
+
+The configurations here are intentionally tiny (seconds each); they are
+equivalence anchors, not benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+GOLDEN_DIR = (
+    Path(__file__).resolve().parent.parent
+    / "tests" / "experiments" / "goldens"
+)
+
+
+def golden_table() -> dict:
+    from repro.experiments.reporting import render_table, result_to_dict
+    from repro.experiments.table_runner import run_table_experiment
+    from repro.soc.benchmarks import load_benchmark
+
+    result = run_table_experiment(
+        load_benchmark("d695"), 400, widths=(8, 16), group_counts=(1, 2),
+        seed=3,
+    )
+    payload = result_to_dict(result)
+    payload.pop("elapsed_seconds", None)
+    return {"json": payload, "text": render_table(result)}
+
+
+def golden_pareto() -> dict:
+    from repro.compaction.horizontal import build_si_test_groups
+    from repro.experiments.pareto import format_curve, sweep_widths
+    from repro.sitest.generator import generate_random_patterns
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    patterns = generate_random_patterns(soc, 300, seed=1)
+    groups = build_si_test_groups(soc, patterns, parts=2, seed=1).groups
+    curve = sweep_widths(soc, (8, 16, 24), groups=groups)
+    return {
+        "soc": curve.soc_name,
+        "points": [
+            {
+                "w_max": point.w_max,
+                "t_total": point.t_total,
+                "t_in": point.t_in,
+                "t_si": point.t_si,
+            }
+            for point in curve.points
+        ],
+        "knee_w_max": curve.knee().w_max,
+        "text": format_curve(curve),
+    }
+
+
+def golden_volume() -> dict:
+    from repro.experiments.compaction_study import (
+        format_volume_report,
+        measure_compaction,
+    )
+    from repro.sitest.generator import generate_random_patterns
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    patterns = generate_random_patterns(soc, 400, seed=1)
+    volumes = measure_compaction(soc, patterns, (1, 2), seed=1)
+    return {
+        "volumes": [
+            {
+                "parts": volume.parts,
+                "patterns_before": volume.patterns_before,
+                "patterns_after": volume.patterns_after,
+                "volume_before": volume.volume_before,
+                "volume_after": volume.volume_after,
+                "residual_patterns": volume.residual_patterns,
+            }
+            for volume in volumes
+        ],
+        "text": format_volume_report(volumes),
+    }
+
+
+def golden_compare() -> dict:
+    from repro.compaction.horizontal import build_si_test_groups
+    from repro.experiments.compare import compare_optimizers
+    from repro.sitest.generator import generate_random_patterns
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    patterns = generate_random_patterns(soc, 200, seed=1)
+    groups = build_si_test_groups(soc, patterns, parts=2, seed=1).groups
+    comparison = compare_optimizers(soc, 8, groups, annealing_steps=300)
+    # Runtimes are wall-clock and excluded from the golden on purpose.
+    return {
+        "soc": comparison.soc_name,
+        "w_max": comparison.w_max,
+        "bound": comparison.bound,
+        "contenders": [
+            {"name": contender.name, "t_total": contender.t_total}
+            for contender in comparison.contenders
+        ],
+        "best": comparison.best().name,
+    }
+
+
+def golden_multisite() -> dict:
+    from repro.compaction.horizontal import build_si_test_groups
+    from repro.experiments.multisite import (
+        format_multisite_report,
+        run_multisite_study,
+    )
+    from repro.sitest.generator import generate_random_patterns
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    patterns = generate_random_patterns(soc, 200, seed=1)
+    groups = build_si_test_groups(soc, patterns, parts=2, seed=1).groups
+    study = run_multisite_study(soc, 16, groups=groups)
+    return {
+        "soc": study.soc_name,
+        "channels": study.channels,
+        "points": [
+            {
+                "sites": point.sites,
+                "width_per_site": point.width_per_site,
+                "t_soc": point.t_soc,
+            }
+            for point in study.points
+        ],
+        "best_sites": study.best().sites,
+        "text": format_multisite_report(study),
+    }
+
+
+def golden_scaling() -> dict:
+    from repro.experiments.scaling import run_scaling_study
+
+    points = run_scaling_study((6, 8), w_max=16, pattern_count=400,
+                               parts=2, seed=0)
+    # compaction/optimize seconds are wall-clock and excluded on purpose.
+    return {
+        "points": [
+            {
+                "core_count": point.core_count,
+                "w_max": point.w_max,
+                "t_total": point.t_total,
+                "bound_gap": round(point.bound_gap, 10),
+            }
+            for point in points
+        ]
+    }
+
+
+def golden_sensitivity() -> dict:
+    from repro.experiments.sensitivity import (
+        format_sensitivity_report,
+        run_sensitivity_study,
+    )
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    points = run_sensitivity_study(soc, 300, 16, parts=2, seed=1)
+    return {
+        "points": [
+            {
+                "label": point.label,
+                "compacted_patterns": point.compacted_patterns,
+                "t_total": point.t_total,
+            }
+            for point in points
+        ],
+        "text": format_sensitivity_report(points),
+    }
+
+
+def golden_stability() -> dict:
+    from repro.experiments.stability import run_stability_study
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    report = run_stability_study(
+        soc, 300, 16, seeds=(1, 2), group_counts=(1, 2)
+    )
+    return {
+        "soc": report.soc_name,
+        "pattern_count": report.pattern_count,
+        "w_max": report.w_max,
+        "seeds": list(report.seeds),
+        "delta_baseline": list(report.delta_baseline.values),
+        "delta_grouping": list(report.delta_grouping.values),
+        "t_min": list(report.t_min.values),
+        "text": report.format(),
+    }
+
+
+GOLDENS = {
+    "table": golden_table,
+    "pareto": golden_pareto,
+    "volume": golden_volume,
+    "compare": golden_compare,
+    "multisite": golden_multisite,
+    "scaling": golden_scaling,
+    "sensitivity": golden_sensitivity,
+    "stability": golden_stability,
+}
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, build in GOLDENS.items():
+        payload = build()
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -216,6 +216,39 @@ def _workers_backend():
         assert stolen == serial
 
 
+@check("experiment plans: every kind expands deterministically")
+def _plans():
+    from repro.experiments import registered_plans
+    from repro.experiments.compare import compare_plan
+    from repro.experiments.compaction_study import volume_plan
+    from repro.experiments.multisite import multisite_plan
+    from repro.experiments.pareto import pareto_plan
+    from repro.experiments.scaling import scaling_plan
+    from repro.experiments.sensitivity import sensitivity_plan
+    from repro.experiments.stability import stability_plan
+    from repro.experiments.table_runner import table_plan
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    plans = {
+        "table": table_plan(soc, 100, widths=(8,), group_counts=(1, 2)),
+        "pareto": pareto_plan(soc, (8, 16)),
+        "volume": volume_plan(soc, 100, group_counts=(1, 2)),
+        "compare": compare_plan(soc, 8),
+        "multisite": multisite_plan(soc, 16),
+        "scaling": scaling_plan((4, 6), w_max=8, pattern_count=100),
+        "sensitivity": sensitivity_plan(soc, 100, 8, parts=2),
+        "stability": stability_plan(soc, 100, 8, seeds=(1, 2)),
+    }
+    assert set(plans) == set(registered_plans())
+    for name, plan in plans.items():
+        first = [cell.signature() for cell in plan.expand()]
+        second = [cell.signature() for cell in plan.expand()]
+        assert first == second, f"{name} expansion is not deterministic"
+        assert plan.fingerprint() == plan.fingerprint()
+        assert first, f"{name} expanded to an empty graph"
+
+
 @check("CLI entry point")
 def _cli():
     from repro.cli import main
