@@ -112,7 +112,39 @@ def _runtime_arguments(args: argparse.Namespace) -> dict:
         "sweep_backend": args.sweep_backend,
         "resume": args.resume,
         "verify": getattr(args, "verify", False),
+        "policy": getattr(args, "policy", None),
+        "allow_partial": getattr(args, "allow_partial", False),
     }
+
+
+def _make_policy(args: argparse.Namespace):
+    """Build the run policy from ``--policy``/``--allow-partial``, or
+    ``None`` for the (behavior-identical) default policy."""
+    spec = getattr(args, "policy", None)
+    allow_partial = getattr(args, "allow_partial", False)
+    if spec is None and not allow_partial:
+        return None
+    from repro.runtime.supervision import RunPolicy
+
+    policy = RunPolicy.parse(spec) if spec else RunPolicy()
+    if allow_partial:
+        policy = policy.replace(allow_partial=True)
+    return policy
+
+
+def _render_partial(run) -> None:
+    """The partial-run banner: what was salvaged, what was quarantined."""
+    print(
+        f"PARTIAL RUN: {len(run.poisoned)} of {run.cells} cells "
+        "quarantined; no report assembled"
+    )
+    for cell_id, reason in sorted(run.poisoned.items()):
+        print(f"  poisoned {cell_id}: {reason}")
+    salvaged = run.executed + run.cached + run.resumed
+    print(
+        f"{salvaged} cells completed (checkpoint/cache keep them); "
+        "re-run with --resume to retry the quarantined cells"
+    )
 
 
 def _run_plan(args: argparse.Namespace, command: str, make_plan,
@@ -142,9 +174,13 @@ def _run_plan(args: argparse.Namespace, command: str, make_plan,
             checkpoint=checkpoint,
             sweep_backend=args.sweep_backend,
             verify=getattr(args, "verify", False),
+            policy=_make_policy(args),
         )
         run = runner.run(plan)
-    render(run)
+    if run.status == "partial":
+        _render_partial(run)
+    else:
+        render(run)
     destination = getattr(args, "profile", None)
     if destination is not None:
         from repro.experiments.reporting import experiment_report
@@ -240,6 +276,19 @@ def _add_experiment_flags(parser: argparse.ArgumentParser) -> None:
         f"{DEFAULT_CHECKPOINT_DIR}/",
     )
     _add_verify_flag(parser)
+    parser.add_argument(
+        "--policy", default=None, metavar="SPEC",
+        help="run supervision policy, comma-separated key=value pairs "
+        "(e.g. 'retries=4,backoff=0.5,timeout=120,breaker=0.5,"
+        "allow-partial'); see docs/supervision.md for the schema",
+    )
+    parser.add_argument(
+        "--allow-partial", action="store_true",
+        help="quarantine cells that exhaust their retry budget (and "
+        "their dependents) instead of aborting: the run completes with "
+        "an explicit partial report and the checkpoint records the "
+        "poisoned cells for a later --resume retry",
+    )
     parser.add_argument(
         "--profile", nargs="?", const="-", default=None, metavar="PATH",
         help="emit the unified JSON run report (plan fingerprint, "
@@ -664,8 +713,17 @@ def _cmd_stability(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache_verify(args: argparse.Namespace) -> int:
-    from repro.runtime.cache import verify_store
+    from repro.runtime.cache import audit_store, verify_store
 
+    if args.json:
+        import json as json_module
+
+        report = audit_store(args.dir)
+        if args.quarantine:
+            report["problems"] = verify_store(args.dir, quarantine=True)
+            report["quarantined"] = len(report["problems"])
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+        return 0 if not report["problems"] else 1
     problems = verify_store(args.dir, quarantine=args.quarantine)
     if not problems:
         print(f"{args.dir}: store healthy")
@@ -680,10 +738,12 @@ def _cmd_cache_verify(args: argparse.Namespace) -> int:
 def _cmd_cache_gc(args: argparse.Namespace) -> int:
     from repro.runtime.cache import gc_store
 
-    removed = gc_store(args.dir)
+    removed = gc_store(args.dir, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
     for name in removed:
-        print(f"removed {name}")
-    print(f"{args.dir}: {len(removed)} files pruned")
+        print(f"{verb} {name}")
+    tail = "would be pruned" if args.dry_run else "pruned"
+    print(f"{args.dir}: {len(removed)} files {tail}")
     return 0
 
 
@@ -910,6 +970,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="move each bad entry aside to <name>.corrupt so later runs "
         "recompute it",
     )
+    cache_verify.add_argument(
+        "--json", action="store_true",
+        help="emit a JSON health report (entry/debris counts, bytes, "
+        "per-kind totals, problems) instead of text",
+    )
     cache_verify.set_defaults(func=_cmd_cache_verify)
     cache_gc = cache_sub.add_parser(
         "gc", help="prune quarantined entries, stale temp files, and "
@@ -918,6 +983,10 @@ def build_parser() -> argparse.ArgumentParser:
     cache_gc.add_argument(
         "dir", nargs="?", default=str(DEFAULT_STORE_DIR),
         help="cache store directory",
+    )
+    cache_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be pruned without deleting anything",
     )
     cache_gc.set_defaults(func=_cmd_cache_gc)
     return parser

@@ -313,6 +313,13 @@ def available() -> bool:
                     fn = None
                 if fn is not None and _smoke(fn):
                     _engine = fn
+            if _engine is False:
+                # The engine was wanted but would not resolve on this
+                # host (no compiler, bad .so, failed smoke): disclose
+                # the pure-Python degradation once per process.
+                from repro.runtime.instrumentation import incr
+
+                incr("recovery.degraded.cscan")
     return _engine is not False
 
 

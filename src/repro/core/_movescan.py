@@ -862,6 +862,12 @@ def available() -> bool:
                 if (fns is not None and _smoke(fns[0])
                         and _smoke_distribute(fns[1])):
                     _engine = fns
+            if _engine is False:
+                # Wanted but unresolvable on this host: disclose the
+                # pure-Python degradation once per process.
+                from repro.runtime.instrumentation import incr
+
+                incr("recovery.degraded.movescan")
     return _engine is not False
 
 

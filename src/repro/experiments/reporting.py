@@ -19,24 +19,50 @@ from pathlib import Path
 
 from repro.experiments.runner import PlanRun
 from repro.experiments.table_runner import TableResult
-from repro.runtime.instrumentation import RunReport
+from repro.runtime.instrumentation import RunReport, get_instrumentation
 
 
-def plan_block(run: PlanRun) -> dict:
-    """The standardized ``plan`` section of a run report."""
-    return {
+def plan_block(run: PlanRun, counters: dict | None = None) -> dict:
+    """The standardized ``plan`` section of a run report.
+
+    With ``counters`` (the run's instrumentation counters) the block
+    also discloses fault injection, recovery actions, and resource-guard
+    hits under ``faults`` / ``recovery`` / ``guard`` sub-dicts, so a
+    partial or degraded run is auditable from the JSON alone.
+    """
+    block = {
         "name": run.plan.name,
         "fingerprint": run.fingerprint,
         "backend": run.backend,
         "jobs": run.jobs,
+        "status": run.status,
         "cells": {
             "expanded": run.cells,
             "executed": run.executed,
             "cached": run.cached,
             "resumed": run.resumed,
             "pruned": run.pruned,
+            "poisoned": len(run.poisoned),
         },
     }
+    if run.poisoned:
+        block["poisoned"] = dict(sorted(run.poisoned.items()))
+    if run.breaker_tripped:
+        block["breaker_tripped"] = True
+    if counters:
+        for section, prefix in (
+            ("faults", "faults.injected"),
+            ("recovery", "recovery."),
+            ("guard", "guard."),
+        ):
+            picked = {
+                name: value
+                for name, value in sorted(counters.items())
+                if name.startswith(prefix)
+            }
+            if picked:
+                block[section] = picked
+    return block
 
 
 def experiment_report(
@@ -56,14 +82,19 @@ def experiment_report(
             run's own wall clock.
         instrumentation: Instrumentation to snapshot (current if None).
     """
+    inst = (
+        instrumentation
+        if instrumentation is not None
+        else get_instrumentation()
+    )
     report = RunReport.build(
         command=command,
         arguments=arguments,
         wall_seconds=(
             run.wall_seconds if wall_seconds is None else wall_seconds
         ),
-        instrumentation=instrumentation,
-        plan=plan_block(run),
+        instrumentation=inst,
+        plan=plan_block(run, counters=dict(inst.counters)),
     )
     report.cache = dict(run.cache_stats)
     return report

@@ -57,11 +57,18 @@ from repro.experiments.plan import (
     project,
 )
 from repro.runtime.cache import EvaluationCache
-from repro.runtime.executor import resolve_sweep_backend, run_cells
+from repro.runtime.executor import CellError, resolve_sweep_backend, run_cells
 from repro.runtime.instrumentation import (
     absorb_snapshot,
     call_with_instrumentation,
     incr,
+)
+from repro.runtime.supervision import (
+    PlanDeadlineError,
+    RunPolicy,
+    current_breaker,
+    degraded_backend,
+    use_policy,
 )
 from repro.runtime.pool import (
     PatternsRef,
@@ -78,6 +85,17 @@ def _execute_plan_cell(spec):
     instrumentation, snapshot shipped back with the value."""
     fn, args = spec
     return call_with_instrumentation(fn, *args)
+
+
+def _valid_cell_payload(value) -> bool:
+    """Reject anything that is not the ``(value, snapshot)`` protocol
+    tuple — a sick worker shipping a garbage/partial payload must hit the
+    retry path, not crash the runner unpacking it."""
+    return (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and isinstance(value[1], dict)
+    )
 
 
 @dataclass
@@ -99,6 +117,13 @@ class PlanRun:
         pruned: Cells never needed (all consumers served warm).
         cache_stats: :meth:`EvaluationCache.stats` snapshot (empty when
             no cache was configured).
+        status: ``"complete"`` or — when poisoned cells were quarantined
+            under an ``allow_partial`` policy — ``"partial"`` (the
+            ``report`` is then ``None``).
+        poisoned: Cell id -> reason for every quarantined cell (budget
+            exhausted, poisoned dependency, breaker, plan deadline).
+        breaker_tripped: Whether the failure-rate circuit breaker opened
+            during the run.
     """
 
     plan: ExperimentPlan
@@ -114,6 +139,9 @@ class PlanRun:
     resumed: int = 0
     pruned: int = 0
     cache_stats: dict = field(default_factory=dict)
+    status: str = "complete"
+    poisoned: dict[str, str] = field(default_factory=dict)
+    breaker_tripped: bool = False
 
 
 class PlanRunner:
@@ -131,7 +159,12 @@ class PlanRunner:
             :data:`repro.runtime.executor.SWEEP_BACKENDS`.
         verify: Run the plan kind's independent verification over the
             results and raise on any violation.
-        timeout: Optional per-cell budget in seconds.
+        timeout: Optional per-cell budget in seconds (overrides the
+            policy's ``cell_timeout`` when both are set).
+        policy: Optional :class:`~repro.runtime.supervision.RunPolicy`
+            governing retries, deadlines, the circuit breaker, and
+            partial-run salvage; the default policy reproduces the
+            historical behavior exactly.
     """
 
     def __init__(
@@ -142,6 +175,7 @@ class PlanRunner:
         sweep_backend: str = "auto",
         verify: bool = False,
         timeout: float | None = None,
+        policy: RunPolicy | None = None,
     ) -> None:
         resolve_sweep_backend(sweep_backend)  # fail fast on a typo
         self.jobs = jobs
@@ -150,6 +184,7 @@ class PlanRunner:
         self.sweep_backend = sweep_backend
         self.verify = verify
         self.timeout = timeout
+        self.policy = policy if policy is not None else RunPolicy()
 
     # -- plumbing ---------------------------------------------------------
 
@@ -181,7 +216,18 @@ class PlanRunner:
     # -- the run ----------------------------------------------------------
 
     def run(self, plan: ExperimentPlan) -> PlanRun:
-        """Drive ``plan`` to completion and assemble its report."""
+        """Drive ``plan`` to completion and assemble its report.
+
+        Under an ``allow_partial`` policy a plan whose cells exhaust
+        their budgets completes as a ``status == "partial"`` run with
+        the quarantined cells enumerated in :attr:`PlanRun.poisoned`
+        and ``report`` left ``None``; otherwise the first exhausted
+        cell raises :class:`~repro.runtime.executor.CellError`.
+        """
+        with use_policy(self.policy):
+            return self._supervised_run(plan)
+
+    def _supervised_run(self, plan: ExperimentPlan) -> PlanRun:
         backend = resolve_sweep_backend(self.sweep_backend, jobs=self.jobs)
         start = time.perf_counter()
         fingerprint = plan.fingerprint()
@@ -194,9 +240,15 @@ class PlanRunner:
         def sweep_pool() -> WorkerPool | None:
             """The run's shared warm worker pool (``workers`` backend
             only), created on first parallel wave; ``None`` means the
-            classic pool (requested, or workers unavailable here)."""
+            classic pool (requested, workers unavailable here, or the
+            degradation ladder has retired the workers backend)."""
             nonlocal pool, pool_failed
-            if backend != "workers" or self.jobs <= 1 or pool_failed:
+            if (
+                backend != "workers"
+                or self.jobs <= 1
+                or pool_failed
+                or degraded_backend("workers") != "workers"
+            ):
                 return None
             if pool is None:
                 try:
@@ -220,6 +272,19 @@ class PlanRunner:
             if pool is not None:
                 pool.close()
 
+        breaker = current_breaker()
+        run.breaker_tripped = breaker is not None and breaker.tripped
+        if run.poisoned:
+            # Partial salvage: the report would be built from an
+            # incomplete result set, so it stays None — consumers key
+            # off ``status`` and the poisoned map instead.
+            run.status = "partial"
+            incr("plan.partial_runs")
+            if self.cache is not None:
+                run.cache_stats = self.cache.stats()
+            run.wall_seconds = time.perf_counter() - start
+            return run
+
         kind = plan_kind(plan.name)
         params = dict(plan.params)
         if self.verify:
@@ -234,6 +299,20 @@ class PlanRunner:
         run.wall_seconds = time.perf_counter() - start
         return run
 
+    def _poison(self, run: PlanRun, keys, cell_id: str, reason: str) -> None:
+        """Quarantine ``cell_id``: record the reason on the run (and in
+        the checkpoint when the cell has a durable key) so dependents
+        prune and a resume re-attempts it."""
+        run.poisoned[cell_id] = reason
+        incr("plan.cells_poisoned")
+        key = keys.get(cell_id)
+        if (
+            key is not None
+            and key != UNCACHED
+            and self.checkpoint is not None
+        ):
+            self.checkpoint.poison(key, reason)
+
     def _drain(self, cells, fingerprint, run: PlanRun, sweep_pool) -> None:
         """The wave loop: resolve keys, look up, execute needed cells."""
         by_id = {cell.cell_id: cell for cell in cells}
@@ -241,11 +320,52 @@ class PlanRunner:
         keys: dict[str, str] = {}
         looked: set[str] = set()
         lookups_enabled = self.cache is not None or self.checkpoint is not None
+        policy = self.policy
+        deadline = policy.plan_deadline
+        drain_start = time.monotonic()
+        ckpt_poisoned = (
+            dict(self.checkpoint.poisoned)
+            if self.checkpoint is not None
+            else {}
+        )
 
         def unresolved():
-            return [cell for cell in cells if cell.cell_id not in results]
+            return [
+                cell
+                for cell in cells
+                if cell.cell_id not in results
+                and cell.cell_id not in run.poisoned
+            ]
+
+        def quarantine_remaining(reason: str) -> None:
+            for cell in unresolved():
+                self._poison(run, keys, cell.cell_id, reason)
 
         while True:
+            if (
+                deadline is not None
+                and time.monotonic() - drain_start > deadline
+            ):
+                remaining = unresolved()
+                if not remaining:
+                    break
+                if policy.allow_partial:
+                    quarantine_remaining("plan deadline exceeded")
+                    break
+                raise PlanDeadlineError(
+                    f"plan exceeded its {deadline:g}s deadline with "
+                    f"{len(remaining)} cells unresolved"
+                )
+            breaker = current_breaker()
+            if (
+                breaker is not None
+                and breaker.tripped
+                and policy.allow_partial
+            ):
+                quarantine_remaining(
+                    f"circuit breaker open ({breaker.describe()})"
+                )
+                break
             # 1+2. Resolve cache keys and run warm lookups to a fixpoint:
             # a lookup hit can make another cell's lazy key computable
             # within the same wave.
@@ -279,6 +399,10 @@ class PlanRunner:
                         ):
                             continue
                         looked.add(cell.cell_id)
+                        if key in ckpt_poisoned:
+                            # Poisoned on a previous run: the resume
+                            # re-attempts it from scratch.
+                            incr("recovery.poison_retried")
                         value, origin = self._lookup(key)
                         if origin is None:
                             continue
@@ -296,6 +420,38 @@ class PlanRunner:
             pending = unresolved()
             if not pending:
                 break
+
+            # Poison propagation: a cell whose dependency (or key
+            # dependency) is quarantined can never run — quarantine it
+            # too, to a fixpoint, so the wave loop drains instead of
+            # deadlocking on an unrunnable needed set.
+            if run.poisoned:
+                while True:
+                    tainted = [
+                        cell
+                        for cell in pending
+                        if any(
+                            dep in run.poisoned
+                            for dep in (*cell.deps, *cell.key_deps)
+                        )
+                    ]
+                    if not tainted:
+                        break
+                    for cell in tainted:
+                        dep = next(
+                            d
+                            for d in (*cell.deps, *cell.key_deps)
+                            if d in run.poisoned
+                        )
+                        self._poison(
+                            run,
+                            keys,
+                            cell.cell_id,
+                            f"dependency {dep} poisoned",
+                        )
+                    pending = unresolved()
+                if not pending:
+                    break
 
             # 3. The needed set.  A cell is known to execute once its key
             # is resolved and its lookup came back empty (or lookups are
@@ -348,7 +504,12 @@ class PlanRunner:
                 )
             self._run_batch(batch, results, keys, run, sweep_pool)
 
-        pruned = [cell for cell in cells if cell.cell_id not in results]
+        pruned = [
+            cell
+            for cell in cells
+            if cell.cell_id not in results
+            and cell.cell_id not in run.poisoned
+        ]
         run.pruned = len(pruned)
         if pruned:
             incr("plan.cells_pruned", len(pruned))
@@ -366,11 +527,16 @@ class PlanRunner:
                 # parent (through the same state cache) and ship whole.
                 args = _materialize_refs(args)
             specs.append((cell.fn, args))
+        policy = self.policy
+        timeout = (
+            self.timeout if self.timeout is not None else policy.cell_timeout
+        )
         outcomes = run_cells(
             _execute_plan_cell,
             specs,
             jobs=self.jobs,
-            timeout=self.timeout,
+            timeout=timeout,
+            validate=_valid_cell_payload,
             backend="workers" if spool is not None else "pool",
             pool=spool,
             shard_keys=(
@@ -378,8 +544,17 @@ class PlanRunner:
                 if spool is not None
                 else None
             ),
+            on_error="return" if policy.allow_partial else "raise",
         )
-        for cell, (value, snapshot) in zip(batch, outcomes):
+        for cell, outcome in zip(batch, outcomes):
+            if isinstance(outcome, CellError):
+                cause = outcome.cause
+                reason = f"{type(cause).__name__}: {cause}"
+                if len(reason) > 200:
+                    reason = reason[:197] + "..."
+                self._poison(run, keys, cell.cell_id, reason)
+                continue
+            value, snapshot = outcome
             absorb_snapshot(snapshot)
             results[cell.cell_id] = value
             run.executed += 1

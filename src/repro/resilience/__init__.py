@@ -33,6 +33,7 @@ _SUBMODULE_OF = {
     "FaultPlan": "faults",
     "FaultPlanError": "faults",
     "GarbageResult": "faults",
+    "InjectedCellError": "faults",
     "check_fault": "faults",
     "fault_injection_active": "faults",
     "inject": "faults",

@@ -16,6 +16,14 @@ checkpoint file that fails its own checksum (machine died mid-``fsync``,
 disk corruption) is quarantined to ``*.corrupt`` and the sweep restarts
 from scratch rather than resuming from lies.
 
+Version 2 adds a ``poisoned`` section: cells quarantined by the run
+supervisor (:mod:`repro.runtime.supervision`) after exhausting their
+retry budget are recorded with their failure reason, so an operator can
+audit a partial sweep from the file alone.  A resumed run *re-attempts*
+poisoned cells — :meth:`SweepCheckpoint.record` pops the key from the
+poisoned section when the cell finally completes.  Version-1 files load
+unchanged (empty poisoned section).
+
 The :func:`~repro.resilience.faults.check_fault` site
 ``checkpoint.record`` runs just *after* a cell is recorded, so a
 ``sweep-abort`` fault kills the process at a precise, deterministic
@@ -34,11 +42,15 @@ from repro.runtime.cache import (
     stable_hash,
 )
 from repro.runtime.instrumentation import incr
+from repro.runtime.supervision import disk_preflight
 
 CHECKPOINT_FORMAT = "repro-sweep-checkpoint"
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+#: Versions :meth:`SweepCheckpoint._load` accepts (v1 = no poisoned section).
+CHECKPOINT_COMPAT_VERSIONS = (1, 2)
 
 __all__ = [
+    "CHECKPOINT_COMPAT_VERSIONS",
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
     "SweepCheckpoint",
@@ -74,6 +86,7 @@ class SweepCheckpoint:
         self.path = Path(path)
         self._codec_of = codec_of if codec_of is not None else default_codecs()
         self._cells: dict[str, object] = {}
+        self._poisoned: dict[str, str] = {}
         self.resumed_from_disk = False
         self._load()
 
@@ -94,6 +107,7 @@ class SweepCheckpoint:
             self._quarantine(problem)
             return
         self._cells = dict(entry["cells"])
+        self._poisoned = dict(entry.get("poisoned") or {})
         self.resumed_from_disk = True
         incr("checkpoint.loaded_cells", len(self._cells))
 
@@ -103,12 +117,20 @@ class SweepCheckpoint:
             return "not a JSON object"
         if entry.get("format") != CHECKPOINT_FORMAT:
             return f"unexpected format {entry.get('format')!r}"
-        if entry.get("version") != CHECKPOINT_VERSION:
-            return f"unsupported version {entry.get('version')!r}"
+        version = entry.get("version")
+        if version not in CHECKPOINT_COMPAT_VERSIONS:
+            return f"unsupported version {version!r}"
         cells = entry.get("cells")
         if not isinstance(cells, dict):
             return "missing cells"
-        if entry.get("checksum") != stable_hash(cells):
+        poisoned = entry.get("poisoned") or {}
+        if not isinstance(poisoned, dict):
+            return "malformed poisoned section"
+        if version == 1:
+            expected = stable_hash(cells)
+        else:
+            expected = stable_hash({"cells": cells, "poisoned": poisoned})
+        if entry.get("checksum") != expected:
             return "cells checksum mismatch"
         return None
 
@@ -156,6 +178,9 @@ class SweepCheckpoint:
             return
         encode, _ = codec
         self._cells[key] = encode(value)
+        # A poisoned cell that finally completed has recovered — drop
+        # the quarantine record with the same flush.
+        self._poisoned.pop(key, None)
         self._flush()
         incr("checkpoint.cells_recorded")
         from repro.resilience import faults
@@ -176,18 +201,42 @@ class SweepCheckpoint:
         incr("checkpoint.cells_resumed")
         return decode(self._cells[key])
 
+    @property
+    def poisoned(self) -> dict[str, str]:
+        """Key -> reason for every cell quarantined by the supervisor."""
+        return dict(self._poisoned)
+
+    def poison(self, key: str, reason: str) -> None:
+        """Record ``key`` as poisoned (budget exhausted) with ``reason``.
+
+        The cell stays out of :meth:`fetch`/``in`` — a resumed run
+        re-attempts it — but the quarantine survives the process, so a
+        partial sweep is auditable from the checkpoint file alone.
+        """
+        if self._poisoned.get(key) == reason:
+            return
+        self._poisoned[key] = reason
+        self._flush()
+        incr("checkpoint.cells_poisoned")
+
     def _flush(self) -> None:
+        if not disk_preflight(self.path.parent, "checkpoint"):
+            return
         entry = {
             "format": CHECKPOINT_FORMAT,
             "version": CHECKPOINT_VERSION,
             "cells": self._cells,
-            "checksum": stable_hash(self._cells),
+            "poisoned": self._poisoned,
+            "checksum": stable_hash(
+                {"cells": self._cells, "poisoned": self._poisoned}
+            ),
         }
         atomic_write_text(self.path, json.dumps(entry, sort_keys=True) + "\n")
 
     def clear(self) -> None:
         """Delete the checkpoint file and forget all recorded cells."""
         self._cells.clear()
+        self._poisoned.clear()
         self.resumed_from_disk = False
         try:
             self.path.unlink()

@@ -22,7 +22,7 @@ site                      hooked where
 ========================  ====================================================
 ``executor.cell``         :func:`repro.runtime.executor.run_cells` worker
                           boundary (kinds ``worker-crash``, ``worker-hang``,
-                          ``garbage-result``)
+                          ``garbage-result``, ``cell-error``)
 ``cache.store.write``     :meth:`repro.runtime.cache.EvaluationCache` disk
                           writes (kinds ``cache-truncate``, ``cache-bitflip``,
                           ``codec-mismatch``)
@@ -40,10 +40,14 @@ like ``"worker-hang@1:0.5,cache-bitflip@0"``; prefix a spec with
 ``worker:`` or ``parent:`` to scope it).  When nothing is active every
 hook is a single module-global ``None`` check — zero overhead.
 
-Each fault fires **at most once per process**; occurrence counters are
-per-process, so a plan activated through the environment behaves
-identically in pool workers (which inherit the variable) and in the
-parent.  :func:`FaultPlan.seeded` derives a randomized-but-reproducible
+Each fault fires **at most once per process** — except ``cell-error``,
+whose ``arg`` is a *repeat count*: it raises
+:class:`InjectedCellError` on ``arg`` consecutive site occurrences
+starting at ``at`` (``arg`` omitted = every occurrence from ``at`` on,
+i.e. a cell that can never succeed — the poison-quarantine trigger).
+Occurrence counters are per-process, so a plan activated through the
+environment behaves identically in pool workers (which inherit the
+variable) and in the parent.  :func:`FaultPlan.seeded` derives a randomized-but-reproducible
 plan from a seed for chaos fuzzing.
 
 Every injection increments ``faults.injected`` and
@@ -65,6 +69,7 @@ __all__ = [
     "FaultPlan",
     "FaultPlanError",
     "GarbageResult",
+    "InjectedCellError",
     "activate",
     "check_fault",
     "deactivate",
@@ -81,6 +86,7 @@ FAULT_KINDS: dict[str, str] = {
     "worker-crash": "executor.cell",
     "worker-hang": "executor.cell",
     "garbage-result": "executor.cell",
+    "cell-error": "executor.cell",
     "cache-truncate": "cache.store.write",
     "cache-bitflip": "cache.store.write",
     "codec-mismatch": "cache.store.write",
@@ -133,6 +139,17 @@ class Fault:
     def site(self) -> str:
         return FAULT_KINDS[self.kind]
 
+    @property
+    def repeats(self) -> float:
+        """How many consecutive site occurrences (from ``at``) this fault
+        fires on: 1 for every kind except ``cell-error``, whose ``arg``
+        is the repeat count (``None`` = unbounded)."""
+        if self.kind != "cell-error":
+            return 1
+        if self.arg is None:
+            return float("inf")
+        return max(1, int(self.arg))
+
     def to_spec(self) -> str:
         spec = f"{self.kind}@{self.at}"
         if self.arg is not None:
@@ -156,8 +173,13 @@ class FaultPlan:
         return len(self.faults)
 
     def faults_at(self, site: str, index: int) -> list[Fault]:
-        """Faults of ``site`` scheduled for occurrence ``index``."""
-        return [f for f in self._by_site.get(site, ()) if f.at == index]
+        """Faults of ``site`` whose firing window covers occurrence
+        ``index`` (``at <= index < at + repeats``)."""
+        return [
+            f
+            for f in self._by_site.get(site, ())
+            if f.at <= index < f.at + f.repeats
+        ]
 
     def to_spec(self) -> str:
         """Round-trippable textual form (the ``REPRO_FAULT_PLAN`` syntax)."""
@@ -205,6 +227,7 @@ class FaultPlan:
                                   "cache-truncate", "cache-bitflip"),
         count: int = 3,
         horizon: int = 8,
+        args: dict[str, float] | None = None,
     ) -> "FaultPlan":
         """A randomized-but-reproducible plan: ``count`` faults drawn from
         ``kinds`` with occurrence indices below ``horizon``.
@@ -212,16 +235,27 @@ class FaultPlan:
         The draw uses a dedicated :class:`random.Random`, so the same seed
         always yields the same plan on every platform.  Hard-kill kinds
         (``worker-crash``, ``sweep-abort``) are only included when asked
-        for explicitly.
+        for explicitly.  ``args`` maps a kind to the ``arg`` every drawn
+        fault of that kind carries (e.g. short hang seconds, or a
+        bounded ``cell-error`` repeat count for chaos fuzzing).
         """
         import random
 
         rng = random.Random(seed)
-        faults = [
-            Fault(kind=rng.choice(kinds), at=rng.randrange(horizon))
-            for _ in range(count)
-        ]
+        args = args or {}
+        faults = []
+        for _ in range(count):
+            kind = rng.choice(kinds)
+            faults.append(
+                Fault(kind=kind, at=rng.randrange(horizon), arg=args.get(kind))
+            )
         return cls(faults)
+
+
+class InjectedCellError(RuntimeError):
+    """The exception a ``cell-error`` fault raises in place of the cell
+    body — a stand-in for any deterministic in-cell failure (bad data,
+    numeric blowup, assertion) that survives serial retries."""
 
 
 class GarbageResult:
@@ -245,7 +279,7 @@ class GarbageResult:
 
 _PLAN: FaultPlan | bool | None = None
 _COUNTS: dict[str, int] = {}
-_SPENT: set[Fault] = set()
+_SPENT: dict[Fault, int] = {}  # fault -> times fired (capped at repeats)
 
 
 def _in_worker() -> bool:
@@ -340,14 +374,15 @@ def check_fault(site: str) -> Fault | None:
     _COUNTS[site] = index + 1
     in_worker = None
     for fault in plan.faults_at(site, index):
-        if fault in _SPENT:
+        fired = _SPENT.get(fault, 0)
+        if fired >= fault.repeats:
             continue
         if fault.scope != "any":
             if in_worker is None:
                 in_worker = _in_worker()
             if (fault.scope == "worker") != in_worker:
                 continue
-        _SPENT.add(fault)
+        _SPENT[fault] = fired + 1
         incr("faults.injected")
         incr(f"faults.injected.{fault.kind}")
         return fault
@@ -374,6 +409,10 @@ def perform(fault: Fault):
         return None
     if fault.kind == "garbage-result":
         return GarbageResult()
+    if fault.kind == "cell-error":
+        raise InjectedCellError(
+            f"injected cell error (fault {fault.to_spec()})"
+        )
     return None
 
 

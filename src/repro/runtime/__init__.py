@@ -17,12 +17,18 @@ machinery to run those cells fast and observably:
 * :mod:`repro.runtime.instrumentation` — counters and wall/CPU timers
   threaded through the optimizer, the compactor and the schedulers,
   emitted as a structured JSON run report.
+* :mod:`repro.runtime.supervision` — the declarative :class:`RunPolicy`
+  (retry budgets with deterministic backoff, deadlines, a failure-rate
+  circuit breaker), the backend degradation ladder, and the resource
+  guards (disk preflight, worker RSS watchdog) every execution layer
+  consults.
 * :mod:`repro.runtime.codec` — exact JSON round-trips for the cached
   result objects.
 """
 
 from repro.runtime.cache import (
     EvaluationCache,
+    audit_store,
     default_codecs,
     gc_store,
     grouping_cache_key,
@@ -56,20 +62,40 @@ from repro.runtime.instrumentation import (
     incr,
     use_instrumentation,
 )
+from repro.runtime.supervision import (
+    CircuitBreaker,
+    CircuitOpenError,
+    PlanDeadlineError,
+    PolicyError,
+    RetryPolicy,
+    RunPolicy,
+    current_breaker,
+    current_policy,
+    use_policy,
+)
 
 __all__ = [
     "CellError",
     "CellFailure",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "EvaluationCache",
     "Instrumentation",
     "PatternsRef",
+    "PlanDeadlineError",
+    "PolicyError",
     "PoolUnavailable",
+    "RetryPolicy",
+    "RunPolicy",
     "RunReport",
     "SWEEP_BACKENDS",
     "SharedStateStore",
     "WorkerPool",
     "absorb_snapshot",
+    "audit_store",
     "call_with_instrumentation",
+    "current_breaker",
+    "current_policy",
     "default_codecs",
     "gc_store",
     "get_instrumentation",
@@ -84,5 +110,6 @@ __all__ = [
     "soc_fingerprint",
     "stable_hash",
     "use_instrumentation",
+    "use_policy",
     "verify_store",
 ]

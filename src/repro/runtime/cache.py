@@ -36,6 +36,7 @@ from collections import OrderedDict
 from pathlib import Path
 
 from repro.runtime.instrumentation import incr
+from repro.runtime.supervision import disk_preflight
 from repro.sitest.generator import GeneratorConfig
 from repro.soc.model import Soc
 
@@ -273,6 +274,8 @@ class EvaluationCache:
         }
         text = json.dumps(entry, sort_keys=True) + "\n"
         text = _corrupted_by_fault(entry, text)
+        if not disk_preflight(self.store_dir, "cachestore"):
+            return  # skipped store = recompute later, never corruption
         self.store_dir.mkdir(parents=True, exist_ok=True)
         path = self._entry_path(key)
         # Atomic publish: a crash mid-write leaves only a stray *.tmp
@@ -434,19 +437,21 @@ def verify_store(
     return problems
 
 
-def gc_store(store_dir: str | Path) -> list[str]:
+def gc_store(store_dir: str | Path, dry_run: bool = False) -> list[str]:
     """Prune store debris: quarantined entries, stale temp files, and
     entries of an unsupported format/version.
 
     Healthy current-version entries are never touched.  Returns the
-    removed file names.
+    removed file names; with ``dry_run=True`` nothing is deleted and the
+    list is what *would* be removed.
     """
     store = Path(store_dir)
     removed: list[str] = []
     if not store.exists():
         return removed
     for path in sorted(store.glob("*.corrupt")) + sorted(store.glob("*.tmp")):
-        path.unlink(missing_ok=True)
+        if not dry_run:
+            path.unlink(missing_ok=True)
         removed.append(path.name)
     for path in sorted(store.glob("*.json")):
         stale = False
@@ -460,8 +465,42 @@ def gc_store(store_dir: str | Path) -> list[str]:
         ):
             stale = True
         if stale:
-            path.unlink(missing_ok=True)
+            if not dry_run:
+                path.unlink(missing_ok=True)
             removed.append(path.name)
-    if removed:
+    if removed and not dry_run:
         incr("cache.gc_removed", len(removed))
     return removed
+
+
+def audit_store(store_dir: str | Path) -> dict:
+    """A JSON-ready health report of an on-disk store, without mutating
+    it: entry/debris counts, total bytes, per-kind entry counts, and the
+    problem list :func:`verify_store` would report."""
+    store = Path(store_dir)
+    report = {
+        "store": str(store),
+        "exists": store.exists(),
+        "entries": 0,
+        "bytes": 0,
+        "kinds": {},
+        "corrupt_files": 0,
+        "tmp_files": 0,
+        "problems": [],
+    }
+    if not store.exists():
+        return report
+    kinds: dict[str, int] = {}
+    for path in sorted(store.glob("*.json")):
+        report["entries"] += 1
+        try:
+            report["bytes"] += path.stat().st_size
+        except OSError:  # pragma: no cover - entry vanished underneath us
+            continue
+        kind = path.stem.split("-", 1)[0]
+        kinds[kind] = kinds.get(kind, 0) + 1
+    report["kinds"] = dict(sorted(kinds.items()))
+    report["corrupt_files"] = len(list(store.glob("*.corrupt")))
+    report["tmp_files"] = len(list(store.glob("*.tmp")))
+    report["problems"] = verify_store(store)
+    return report

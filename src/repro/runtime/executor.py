@@ -46,24 +46,36 @@ input order, bit-identical to serial.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Callable, Sequence
 
 from repro.runtime.instrumentation import incr
+from repro.runtime.supervision import (
+    CircuitOpenError,
+    current_breaker,
+    current_policy,
+    degraded_backend,
+    note_backend_failure,
+)
 
 
 class CellError(RuntimeError):
-    """A sweep cell failed in the pool *and* in its serial retry."""
+    """A sweep cell failed every attempt its retry budget allowed."""
 
     def __init__(self, index: int, spec, cause: BaseException) -> None:
         super().__init__(
-            f"sweep cell {index} (spec {spec!r}) failed after parallel "
-            f"attempt and serial retry: {cause!r}"
+            f"sweep cell {index} (spec {spec!r}) failed after exhausting "
+            f"its retry budget: {cause!r}"
         )
         self.index = index
         self.spec = spec
         self.cause = cause
+
+
+#: Accepted ``on_error`` modes of :func:`run_cells`.
+ON_ERROR_MODES = ("raise", "return")
 
 
 #: Public name for the structured failure the executor escalates to.
@@ -104,6 +116,7 @@ def run_cells(
     pool=None,
     shard_keys: Sequence | None = None,
     warmup: Callable | None = None,
+    on_error: str = "raise",
 ) -> list:
     """Run ``worker(spec)`` for every spec, possibly in parallel.
 
@@ -132,25 +145,44 @@ def run_cells(
             share its warm state.  Ignored by the classic pool.
         warmup: Optional per-worker warm-up hook for a transient
             ``workers`` pool.  Ignored by the classic pool.
+        on_error: ``"raise"`` (default) escalates the first cell whose
+            retry budget is exhausted as :class:`CellError`; ``"return"``
+            places the :class:`CellError` *in the results list* at the
+            cell's slot and keeps going — the PlanRunner's partial-run
+            (poison quarantine) protocol.
 
     Returns:
         Results in the order of ``specs``.
 
     Raises:
-        CellError: When a cell fails its serial retry (or, with
-            ``retry=False``, its first attempt).
+        CellError: When a cell exhausts its retry budget (the budget is
+            :func:`repro.runtime.supervision.current_policy`'s retry
+            policy; ``retry=False`` means a single attempt) and
+            ``on_error`` is ``"raise"``.
     """
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(
+            f"unknown on_error mode {on_error!r}; expected one of "
+            f"{', '.join(ON_ERROR_MODES)}"
+        )
     specs = list(specs)
     resolved_backend = resolve_sweep_backend(
         backend, jobs=jobs, cells=len(specs)
     )
+    if pool is None:
+        # Repeated backend-level failure demotes a backend for the rest
+        # of the process (workers -> pool -> serial); an explicit warm
+        # pool is the caller's decision and stays untouched.
+        resolved_backend = degraded_backend(resolved_backend)
     if not specs:
         return []
     from repro.resilience.faults import wrap_worker
 
     worker = wrap_worker(worker)
-    if pool is None and (jobs <= 1 or len(specs) == 1):
-        return _run_serial(worker, specs, retry, validate)
+    if pool is None and (
+        jobs <= 1 or len(specs) == 1 or resolved_backend == "serial"
+    ):
+        return _run_serial(worker, specs, retry, validate, on_error)
 
     if pool is not None or resolved_backend == "workers":
         from repro.runtime.pool import PoolUnavailable, run_cells_stolen
@@ -161,15 +193,18 @@ def run_cells(
                 return pool.run(
                     worker, specs, timeout=timeout, retry=retry,
                     validate=validate, shard_keys=shard_keys,
+                    on_error=on_error,
                 )
             result = run_cells_stolen(
                 worker, specs, jobs=jobs, timeout=timeout, retry=retry,
                 validate=validate, warmup=warmup, shard_keys=shard_keys,
+                on_error=on_error,
             )
         except PoolUnavailable:
             # No persistent workers here; the classic pool below makes its
             # own serial-fallback decision.
             incr("recovery.workers_pool_fallback")
+            note_backend_failure("workers")
         else:
             incr("executor.backend.workers")
             return result
@@ -181,10 +216,12 @@ def run_cells(
         # No process support here (restricted sandbox); degrade gracefully.
         incr("executor.serial_fallbacks")
         incr("recovery.pool_serial_fallback")
-        return _run_serial(worker, specs, retry, validate)
+        note_backend_failure("pool")
+        return _run_serial(worker, specs, retry, validate, on_error)
 
     results: list = [None] * len(specs)
     needs_retry: list[tuple[int, BaseException]] = []
+    breaker = current_breaker()
     pool_broken = False
     timed_out = False
     try:
@@ -205,9 +242,12 @@ def run_cells(
                     (index, TimeoutError(f"cell exceeded {timeout}s"))
                 )
             except (Exception, CancelledError) as error:
-                if _is_pool_death(error):
+                if _is_pool_death(error) and not pool_broken:
+                    # One dead pool surfaces on every outstanding future;
+                    # count the incident once.
                     pool_broken = True
                     incr("executor.pool_failures")
+                    note_backend_failure("pool")
                 needs_retry.append((index, error))
             else:
                 problem = _invalid(validate, results[index])
@@ -216,26 +256,29 @@ def run_cells(
                     incr("executor.invalid_results")
                     incr("recovery.garbage_results")
                     needs_retry.append((index, problem))
+                elif breaker is not None:
+                    breaker.record(True)
     finally:
         # A timed-out or broken pool may hold hung workers; do not block
         # shutdown on them.
         pool.shutdown(wait=not (timed_out or pool_broken), cancel_futures=True)
 
     for index, cause in needs_retry:
-        if not retry:
-            raise CellError(index, specs[index], cause) from cause
-        incr("executor.cell_retries")
         try:
-            value = worker(specs[index])
-            problem = _invalid(validate, value)
-            if problem is not None:
-                raise problem
-        except Exception as error:
-            if error.__cause__ is None and error is not cause:
-                error.__cause__ = cause
-            raise CellError(index, specs[index], error) from error
-        results[index] = value
-        incr("recovery.cell_retry_ok")
+            results[index] = retry_cell(
+                worker, specs[index], index, cause, retry, validate
+            )
+        except CellError as failure:
+            if breaker is not None:
+                breaker.record(False)
+            if on_error == "return":
+                incr("executor.cells_failed")
+                results[index] = failure
+                continue
+            raise
+        else:
+            if breaker is not None:
+                breaker.record(True)
     return results
 
 
@@ -252,36 +295,145 @@ def _invalid(validate: Callable | None, value) -> Exception | None:
     return None
 
 
+def _backoff(retry_policy, token, attempt: int) -> None:
+    """Sleep the policy's deterministic backoff before retry ``attempt``."""
+    delay = retry_policy.delay(token, attempt)
+    if delay > 0:
+        incr("executor.backoff_sleeps")
+        time.sleep(delay)
+
+
+def bounded_call(worker: Callable, spec, timeout: float | None):
+    """Run ``worker(spec)`` under a wall-clock deadline.
+
+    The parent-side serial retry of a *hung* cell must not inherit the
+    hang: the call runs on a daemon thread and past ``timeout`` a
+    :class:`TimeoutError` is raised.  The abandoned attempt keeps running
+    on its thread until process exit; its result is discarded — the same
+    at-worst-duplicated-work contract as a killed pool worker.
+    """
+    if timeout is None:
+        return worker(spec)
+    import threading
+
+    outcome: list = []
+
+    def target() -> None:
+        try:
+            outcome.append((True, worker(spec)))
+        except BaseException as error:  # ship every failure to the caller
+            outcome.append((False, error))
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if not outcome:
+        incr("executor.cell_timeouts")
+        raise TimeoutError(f"serial retry exceeded {timeout}s")
+    ok, value = outcome[0]
+    if ok:
+        return value
+    raise value
+
+
+def retry_cell(
+    worker: Callable,
+    spec,
+    index: int,
+    first_cause: BaseException,
+    retry: bool,
+    validate: Callable | None = None,
+    timeout: float | None = None,
+) -> object:
+    """Serial retry attempts for a cell whose first attempt failed.
+
+    Runs attempts 2..N of the current policy's retry budget (with its
+    deterministic backoff between attempts) and returns the first good
+    value; raises :class:`CellError` when the budget is exhausted, the
+    breaker is open, or ``retry`` is off.  ``timeout`` bounds each retry
+    attempt via :func:`bounded_call` (the parent-takeover deadline).
+    """
+    cause = first_cause
+    if retry:
+        retry_policy = current_policy().retry
+        breaker = current_breaker()
+        for attempt in range(2, retry_policy.max_attempts + 1):
+            if breaker is not None and breaker.tripped:
+                break
+            incr("executor.cell_retries")
+            _backoff(retry_policy, index, attempt - 1)
+            try:
+                value = bounded_call(worker, spec, timeout)
+                problem = _invalid(validate, value)
+                if problem is not None:
+                    raise problem
+            except Exception as error:
+                if error.__cause__ is None and error is not cause:
+                    error.__cause__ = cause
+                cause = error
+                continue
+            incr("recovery.cell_retry_ok")
+            return value
+    raise CellError(index, spec, cause) from cause
+
+
 def _run_serial(
     worker: Callable,
     specs: list,
     retry: bool,
     validate: Callable | None = None,
+    on_error: str = "raise",
 ) -> list:
+    retry_policy = current_policy().retry
+    breaker = current_breaker()
     results = []
     for index, spec in enumerate(specs):
-        try:
-            value = worker(spec)
-            problem = _invalid(validate, value)
-            if problem is not None:
-                incr("recovery.garbage_results")
-                raise problem
-        except Exception as error:
-            if not retry:
-                raise CellError(index, spec, error) from error
-            incr("executor.cell_retries")
+        budget = retry_policy.max_attempts if retry else 1
+        cause: BaseException | None = None
+        value = None
+        for attempt in range(1, budget + 1):
+            if breaker is not None and breaker.tripped:
+                if cause is None:
+                    cause = CircuitOpenError(
+                        f"circuit breaker open ({breaker.describe()})"
+                    )
+                break
+            if attempt > 1:
+                incr("executor.cell_retries")
+                _backoff(retry_policy, index, attempt - 1)
             try:
                 value = worker(spec)
                 problem = _invalid(validate, value)
                 if problem is not None:
+                    if attempt == 1:
+                        incr("recovery.garbage_results")
                     raise problem
-            except Exception as second:
-                # Chain the retry's failure onto the original so neither
-                # traceback is lost in the escalation.
-                if second.__cause__ is None and second is not error:
-                    second.__cause__ = error
-                raise CellError(index, spec, second) from second
-            incr("recovery.cell_retry_ok")
+            except Exception as error:
+                if (
+                    cause is not None
+                    and error.__cause__ is None
+                    and error is not cause
+                ):
+                    # Chain the retry's failure onto the original so
+                    # neither traceback is lost in the escalation.
+                    error.__cause__ = cause
+                cause = error
+                continue
+            if attempt > 1:
+                incr("recovery.cell_retry_ok")
+            cause = None
+            break
+        if cause is not None:
+            if breaker is not None:
+                breaker.record(False)
+            failure = CellError(index, spec, cause)
+            if on_error == "return":
+                incr("executor.cells_failed")
+                results.append(failure)
+                continue
+            raise failure from cause
+        if breaker is not None:
+            breaker.record(True)
         results.append(value)
     return results
 

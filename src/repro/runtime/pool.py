@@ -56,6 +56,13 @@ from repro.runtime.instrumentation import (
     incr,
     use_instrumentation,
 )
+from repro.runtime.supervision import (
+    current_breaker,
+    current_policy,
+    disk_preflight,
+    note_backend_failure,
+    process_rss_bytes,
+)
 
 __all__ = [
     "PatternsRef",
@@ -137,6 +144,8 @@ class SharedStateStore:
         return value
 
     def put(self, key: str, value) -> None:
+        if not disk_preflight(self.directory, "statecache"):
+            return
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
@@ -250,6 +259,7 @@ def default_warmup() -> dict:
 _IDLE_WAIT = 0.05          # blocking wait on the own shard per idle loop
 _HEARTBEAT_EVERY = 0.5     # min seconds between idle heartbeats
 _STALL_RESCUE = 5.0        # silence after a worker death before re-enqueueing
+_RSS_CHECK_EVERY = 1.0     # min seconds between RSS watchdog sweeps
 
 
 def _take(queue):
@@ -467,25 +477,36 @@ class WorkerPool:
         retry: bool = True,
         validate=None,
         shard_keys=None,
+        on_error: str = "raise",
     ) -> list:
         """Run ``worker(spec)`` for every spec on the warm workers.
 
         Same contract as :func:`repro.runtime.executor.run_cells`:
         results in input order; a failed, hung, crashed-with-its-worker or
-        invalid cell is retried once serially in the parent, then
-        escalated to :class:`~repro.runtime.executor.CellError`.
+        invalid cell is retried serially in the parent under the current
+        :class:`~repro.runtime.supervision.RunPolicy`'s retry budget, then
+        escalated to :class:`~repro.runtime.executor.CellError` (or, with
+        ``on_error="return"``, placed in the results list).  Parent-side
+        retries are bounded by the same cell ``timeout`` the workers
+        enforce, and counted under ``pool.parent_takeover``.
         ``shard_keys`` (parallel to ``specs``) route cells sharing warm
         state to the same worker.
         """
-        from repro.runtime.executor import CellError, _invalid
+        from repro.runtime.executor import CellError, _invalid, retry_cell
 
         if self._closed:
             raise RuntimeError("worker pool is closed")
         specs = list(specs)
         if not specs:
             return []
+        policy = current_policy()
+        breaker = current_breaker()
         if timeout is None:
             timeout = self.timeout
+        if timeout is None:
+            timeout = policy.cell_timeout
+        max_rss = policy.max_worker_rss_bytes
+        next_rss_check = time.monotonic()
 
         batches = self._plan_batches(specs, shard_keys, worker)
         incr("executor.cells_submitted", len(specs))
@@ -581,8 +602,33 @@ class WorkerPool:
                     absorb_snapshot(message[2])
                 continue
 
-            # Queue idle: police cell deadlines and worker liveness.
+            # Queue idle: police cell deadlines, worker RSS and liveness.
             now = time.monotonic()
+            if max_rss is not None and now >= next_rss_check:
+                next_rss_check = now + _RSS_CHECK_EVERY
+                for worker_id, process in enumerate(self._workers):
+                    if worker_id in self._lost or not process.is_alive():
+                        continue
+                    rss = process_rss_bytes(process.pid)
+                    if rss is None or rss <= max_rss:
+                        continue
+                    incr("guard.rss_over_limit")
+                    cause = MemoryError(
+                        f"worker {worker_id} RSS {rss} bytes exceeds "
+                        f"the {max_rss}-byte policy limit"
+                    )
+                    # Retire the over-limit worker's in-flight cells to
+                    # the parent's serial path (re-running them on
+                    # another worker would likely blow the same limit),
+                    # then kill it and rescue the rest of its shard.
+                    for index in sorted(assigned.get(worker_id, ())):
+                        if not resolved[index]:
+                            incr("recovery.rss_retired_serial")
+                            fail(index, cause)
+                    process.kill()
+                    self._note_lost(
+                        worker_id, assigned, reassign, cause, len(specs)
+                    )
             for index, deadline in list(deadlines.items()):
                 if now >= deadline and not resolved[index]:
                     incr("executor.cell_timeouts")
@@ -613,8 +659,9 @@ class WorkerPool:
             if outstanding > 0 and not any(
                 process.is_alive() for process in self._workers
             ):
+                note_backend_failure("workers")
                 self._parent_takeover(
-                    specs, results, resolved, settle, fail, worker
+                    specs, results, resolved, settle, fail, worker, timeout
                 )
             elif (
                 outstanding > 0
@@ -646,22 +693,32 @@ class WorkerPool:
 
         self._drain_pending_messages(results, resolved)
 
+        if breaker is not None:
+            for index in range(len(specs)):
+                if index not in scheduled_retry:
+                    breaker.record(True)
         needs_retry.sort(key=lambda item: item[0])
         for index, cause in needs_retry:
-            if not retry:
-                raise CellError(index, specs[index], cause) from cause
-            incr("executor.cell_retries")
+            # Parent takeover of one cell: the retry runs in the parent
+            # under the same cell deadline the workers enforce, so a
+            # deterministic hang cannot stall the whole sweep here.
+            incr("pool.parent_takeover")
             try:
-                value = worker(specs[index])
-                problem = _invalid(validate, value)
-                if problem is not None:
-                    raise problem
-            except Exception as error:
-                if error.__cause__ is None and error is not cause:
-                    error.__cause__ = cause
-                raise CellError(index, specs[index], error) from error
-            results[index] = value
-            incr("recovery.cell_retry_ok")
+                results[index] = retry_cell(
+                    worker, specs[index], index, cause, retry, validate,
+                    timeout=timeout,
+                )
+            except CellError as failure:
+                if breaker is not None:
+                    breaker.record(False)
+                if on_error == "return":
+                    incr("executor.cells_failed")
+                    results[index] = failure
+                    continue
+                raise
+            else:
+                if breaker is not None:
+                    breaker.record(True)
         return results
 
     # -- internals --------------------------------------------------------
@@ -724,12 +781,18 @@ class WorkerPool:
                 reassign(index, cause)
 
     def _parent_takeover(self, specs, results, resolved, settle, fail,
-                         worker) -> None:
+                         worker, timeout=None) -> None:
         """Every worker is gone: drain the queues and finish serially.
 
         A result that was in flight when its worker died may be recomputed
         here; duplicates are ignored upstream, so that costs time only.
+        Each cell runs under the same ``timeout`` the workers enforced
+        (:func:`~repro.runtime.executor.bounded_call`), so a
+        deterministically hanging cell cannot turn the takeover into a
+        hang of the parent itself.
         """
+        from repro.runtime.executor import bounded_call
+
         incr("pool.parent_takeover")
         for queue in self._shard_queues:
             while _take(queue) is not None:
@@ -738,7 +801,7 @@ class WorkerPool:
             if resolved[index]:
                 continue
             try:
-                value = worker(specs[index])
+                value = bounded_call(worker, specs[index], timeout)
             except Exception as error:
                 fail(index, error)
             else:
@@ -772,6 +835,7 @@ def run_cells_stolen(
     validate=None,
     warmup=None,
     shard_keys=None,
+    on_error: str = "raise",
 ) -> list:
     """One-shot convenience: a transient :class:`WorkerPool` for one phase.
 
@@ -785,5 +849,5 @@ def run_cells_stolen(
     ) as pool:
         return pool.run(
             worker, specs, timeout=timeout, retry=retry,
-            validate=validate, shard_keys=shard_keys,
+            validate=validate, shard_keys=shard_keys, on_error=on_error,
         )

@@ -4,8 +4,18 @@ from __future__ import annotations
 
 import pytest
 
+from repro.runtime import supervision
 from repro.soc.benchmarks import load_benchmark
 from repro.soc.model import Core, CoreTest, Soc
+
+
+@pytest.fixture(autouse=True)
+def _fresh_degradation_ladder():
+    """The degradation ladder is sticky per-process by design; tests that
+    exercise backend failures must not leak demotions into later tests."""
+    supervision.reset_degradations()
+    yield
+    supervision.reset_degradations()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,129 @@
+"""Checkpoint corruption quarantine + poison quarantine, end to end.
+
+Satellite coverage for the supervision PR: a checkpoint corrupted
+mid-sweep must be quarantined to ``*.corrupt`` (never trusted, never
+fatal) and a fresh resume must reproduce the clean goldens
+bit-identically; a poisoned (budget-exhausted) cell recorded in the
+checkpoint must be re-attempted by the next run and its quarantine
+record dropped once it recovers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.optimizer import optimize_tam
+from repro.experiments.runner import PlanRunner
+from repro.resilience import faults
+from repro.resilience.checkpoint import (
+    CHECKPOINT_COMPAT_VERSIONS,
+    SweepCheckpoint,
+)
+from repro.runtime.cache import optimize_cache_key, stable_hash
+from repro.runtime.instrumentation import Instrumentation, use_instrumentation
+from repro.runtime.supervision import RunPolicy
+
+from tests.experiments.test_plan_equivalence import PLANS
+from tests.resilience.test_chaos_fuzz import _golden, _scrub, _soc
+
+
+def _partial_run(kind, checkpoint_path):
+    """Run ``kind`` under an unbounded cell-error fault: some cells land
+    in the checkpoint, the rest are poisoned — a genuine mid-sweep state."""
+    with faults.inject("cell-error@1"):
+        run = PlanRunner(
+            checkpoint=SweepCheckpoint(checkpoint_path),
+            policy=RunPolicy(allow_partial=True),
+        ).run(PLANS[kind](_soc()))
+    assert run.status == "partial"
+    assert checkpoint_path.is_file()
+    return run
+
+
+def _corrupt(path, mode):
+    text = path.read_text()
+    if mode == "truncated":
+        path.write_text(text[: len(text) // 2].rstrip("}\n "))
+    else:  # bitflip: valid JSON, checksum no longer matches
+        path.write_text(text.replace('"cells": {', '"cells": {"x": 1, ', 1))
+
+
+@pytest.mark.parametrize("kind", ["table", "sensitivity"])
+@pytest.mark.parametrize("mode", ["truncated", "bitflip"])
+def test_corrupt_checkpoint_quarantined_and_resume_matches_golden(
+    kind, mode, tmp_path
+):
+    golden = _golden(kind)
+    checkpoint_path = tmp_path / "checkpoint.json"
+    _partial_run(kind, checkpoint_path)
+    _corrupt(checkpoint_path, mode)
+
+    instrumentation = Instrumentation()
+    with use_instrumentation(instrumentation):
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            checkpoint = SweepCheckpoint(checkpoint_path)
+        assert not checkpoint.resumed_from_disk
+        assert len(checkpoint) == 0
+        assert (tmp_path / "checkpoint.json.corrupt").is_file()
+        run = PlanRunner(checkpoint=checkpoint).run(PLANS[kind](_soc()))
+
+    counters = instrumentation.counters
+    assert counters["recovery.checkpoint_quarantined"] == 1
+    assert run.status == "complete"
+    assert _scrub(run.report) == _scrub(golden.report)
+
+
+@pytest.mark.parametrize("kind", ["table", "sensitivity"])
+def test_poisoned_cells_survive_in_checkpoint_and_resume_converges(
+    kind, tmp_path
+):
+    golden = _golden(kind)
+    checkpoint_path = tmp_path / "checkpoint.json"
+    run = _partial_run(kind, checkpoint_path)
+
+    # Durable-key quarantines are auditable from the file alone...
+    on_disk = json.loads(checkpoint_path.read_text())
+    assert isinstance(on_disk.get("poisoned"), dict)
+    durable = SweepCheckpoint(checkpoint_path).poisoned
+    for key, reason in durable.items():
+        assert reason in set(run.poisoned.values())
+
+    # ...and a fault-free resume re-attempts them and clears the record.
+    instrumentation = Instrumentation()
+    with use_instrumentation(instrumentation):
+        resumed = PlanRunner(
+            checkpoint=SweepCheckpoint(checkpoint_path),
+            policy=RunPolicy(allow_partial=True),
+        ).run(PLANS[kind](_soc()))
+    assert resumed.status == "complete"
+    assert _scrub(resumed.report) == _scrub(golden.report)
+    if durable:
+        counters = instrumentation.counters
+        assert counters["recovery.poison_retried"] == len(durable)
+    assert SweepCheckpoint(checkpoint_path).poisoned == {}
+
+
+def test_version1_checkpoint_still_loads(tmp_path):
+    # Files written before the poisoned section existed (version 1,
+    # checksum over cells alone) must resume cleanly, not quarantine.
+    assert 1 in CHECKPOINT_COMPAT_VERSIONS
+    soc = _soc()
+    result = optimize_tam(soc, 8)
+    key = optimize_cache_key(soc, 8, ())
+    path = tmp_path / "checkpoint.json"
+    checkpoint = SweepCheckpoint(path)
+    checkpoint.record(key, result)
+
+    entry = json.loads(path.read_text())
+    entry.pop("poisoned")
+    entry["version"] = 1
+    entry["checksum"] = stable_hash(entry["cells"])
+    path.write_text(json.dumps(entry, sort_keys=True) + "\n")
+
+    legacy = SweepCheckpoint(path)
+    assert legacy.resumed_from_disk
+    assert legacy.poisoned == {}
+    assert legacy.fetch(key) == result
+    assert not (tmp_path / "checkpoint.json.corrupt").is_file()

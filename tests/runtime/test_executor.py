@@ -169,7 +169,7 @@ class TestErrorChaining:
         assert error.index == 1
         assert error.spec == 3
         assert "spec 3" in str(error)
-        assert "serial retry" in str(error)
+        assert "retry budget" in str(error)
 
     def test_original_traceback_is_chained(self):
         # CellError from-chains the retry failure, which itself chains

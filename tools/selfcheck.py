@@ -249,6 +249,48 @@ def _plans():
         assert first, f"{name} expanded to an empty graph"
 
 
+@check("supervision: every plan kind survives a poisoned cell as partial")
+def _supervision():
+    from repro.experiments import registered_plans
+    from repro.experiments.compare import compare_plan
+    from repro.experiments.compaction_study import volume_plan
+    from repro.experiments.multisite import multisite_plan
+    from repro.experiments.pareto import pareto_plan
+    from repro.experiments.runner import PlanRunner
+    from repro.experiments.scaling import scaling_plan
+    from repro.experiments.sensitivity import sensitivity_plan
+    from repro.experiments.stability import stability_plan
+    from repro.experiments.table_runner import table_plan
+    from repro.resilience import inject
+    from repro.runtime import RunPolicy
+    from repro.soc.benchmarks import load_benchmark
+
+    soc = load_benchmark("t5")
+    plans = {
+        "table": table_plan(soc, 100, widths=(8,), group_counts=(1, 2)),
+        "pareto": pareto_plan(soc, (8, 16)),
+        "volume": volume_plan(soc, 100, group_counts=(1, 2)),
+        "compare": compare_plan(soc, 8),
+        "multisite": multisite_plan(soc, 16),
+        "scaling": scaling_plan((4, 6), w_max=8, pattern_count=100),
+        "sensitivity": sensitivity_plan(soc, 100, 8, parts=2),
+        "stability": stability_plan(soc, 100, 8, seeds=(1, 2)),
+    }
+    assert set(plans) == set(registered_plans())
+    runner = PlanRunner(policy=RunPolicy(allow_partial=True))
+    for name, plan in plans.items():
+        # cell-error@1 with no repeat bound: the second executor.cell
+        # occurrence onward always raises, so a mid-graph cell exhausts
+        # its budget and must be quarantined, never crash the run.
+        with inject("cell-error@1"):
+            run = runner.run(plan)
+        assert run.status == "partial", (
+            f"{name}: expected a partial run, got {run.status!r}"
+        )
+        assert run.poisoned, f"{name}: no cells quarantined"
+        assert run.report is None, f"{name}: partial run built a report"
+
+
 @check("CLI entry point")
 def _cli():
     from repro.cli import main
