@@ -24,7 +24,12 @@ A point captures, in one run:
   default ``RunPolicy`` vs a fully armed one (backoff, timeout,
   deadline, breaker, partial salvage, RSS ceiling), gated at an
   absolute 2% budget at full scale (quick mode keeps a coarse noise
-  ceiling) with a result-identity check.
+  ceiling) with a result-identity check;
+* **service overhead** — submit-to-result wall-clock of the same table
+  plan through the :mod:`repro.service` HTTP job server vs a direct
+  ``PlanRunner`` run with identical persistence (fresh cache +
+  checkpoint per arm), gated at an absolute 5% budget at full scale,
+  plus the dedup-hit latency (re-submitting a finished fingerprint).
 
 Absolute seconds are machine-dependent, so the regression gate
 (``--check``) compares the machine-independent *ratios* — optimizer
@@ -414,6 +419,104 @@ def bench_supervision(
     }
 
 
+#: Absolute ceiling for ``service.overhead_pct`` enforced by ``--check``
+#: at full scale: HTTP parse + queue + journal + render bookkeeping must
+#: stay within 5% of a direct ``PlanRunner`` run.
+SERVICE_OVERHEAD_BUDGET_PCT = 5.0
+
+
+def bench_service(
+    soc_name, pattern_count, widths, parts, seed, repeats,
+    budget_pct=SERVICE_OVERHEAD_BUDGET_PCT,
+):
+    """Submit-to-result wall-clock through the job server vs a direct run.
+
+    Both arms execute the identical table plan from cold persistence
+    (fresh cache + checkpoint each iteration), so the service arm's
+    extra wall-clock is exactly its machinery: HTTP round-trips, queue
+    hand-off, journal writes, event bookkeeping, report rendering.  The
+    dedup figure times a re-submission of the finished fingerprint —
+    the joined job answers from the journal without re-executing.
+    """
+    from repro.experiments.render import render_report
+    from repro.resilience.checkpoint import SweepCheckpoint
+    from repro.service import ServiceClient, ServiceConfig
+    from repro.service.server import OptimizationService
+
+    soc = load_benchmark(soc_name)
+    plan = table_plan(
+        soc, pattern_count, widths=widths, group_counts=parts, seed=seed
+    )
+
+    def direct_once(workdir):
+        runner = PlanRunner(
+            jobs=1,
+            cache=EvaluationCache(store_dir=Path(workdir) / "cache"),
+            checkpoint=SweepCheckpoint(Path(workdir) / "checkpoint.json"),
+        )
+        start = time.perf_counter()
+        run_result = runner.run(plan)
+        return time.perf_counter() - start, render_report(
+            "table", run_result.report
+        )
+
+    def service_once(workdir):
+        service = OptimizationService(
+            ServiceConfig(state_dir=Path(workdir) / "state", jobs=1)
+        )
+        service.start()
+        try:
+            client = ServiceClient(service.url, timeout=600.0)
+            start = time.perf_counter()
+            job_id = client.submit(plan)["job"]["id"]
+            outcome = client.wait(job_id, timeout=600)
+            elapsed = time.perf_counter() - start
+            assert outcome["job"]["state"] == "ok"
+            start = time.perf_counter()
+            joined = client.submit(plan)
+            dedup = time.perf_counter() - start
+            assert joined["created"] is False
+            return elapsed, dedup, outcome["result"]["rendered"]
+        finally:
+            service.stop()
+
+    # Warm the process-wide memos so neither arm pays the cold start.
+    with tempfile.TemporaryDirectory() as workdir:
+        direct_once(workdir)
+
+    direct_seconds = rendered_direct = None
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as workdir:
+            elapsed, rendered_direct = direct_once(workdir)
+        if direct_seconds is None or elapsed < direct_seconds:
+            direct_seconds = elapsed
+    service_seconds = dedup_seconds = rendered_service = None
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as workdir:
+            elapsed, dedup, rendered_service = service_once(workdir)
+        if service_seconds is None or elapsed < service_seconds:
+            service_seconds = elapsed
+        if dedup_seconds is None or dedup < dedup_seconds:
+            dedup_seconds = dedup
+
+    overhead = service_seconds - direct_seconds
+    return {
+        "soc": soc_name,
+        "pattern_count": pattern_count,
+        "widths": list(widths),
+        "parts": list(parts),
+        "seed": seed,
+        "repeats": repeats,
+        "direct_seconds": round(direct_seconds, 4),
+        "service_seconds": round(service_seconds, 4),
+        "overhead_seconds": round(overhead, 4),
+        "overhead_pct": round(100.0 * overhead / direct_seconds, 3),
+        "dedup_hit_seconds": round(dedup_seconds, 4),
+        "budget_pct": budget_pct,
+        "identical": rendered_service == rendered_direct,
+    }
+
+
 def run(args) -> dict:
     if args.quick:
         optimizer = bench_optimizer(
@@ -432,6 +535,12 @@ def run(args) -> dict:
         # keeps a coarse sanity ceiling plus the identity check.
         supervision = bench_supervision(
             "t5", 20_000, (8, 16), (1, 2, 4), 3, max(2, args.repeats),
+            budget_pct=25.0,
+        )
+        # Same noise argument as supervision: the quick sweep is short
+        # enough that thread scheduling dominates a tight 5% budget.
+        service = bench_service(
+            "t5", 20_000, (8, 16), (1, 2, 4), 3, max(1, args.repeats - 1),
             budget_pct=25.0,
         )
     else:
@@ -454,6 +563,9 @@ def run(args) -> dict:
         supervision = bench_supervision(
             "t5", 60_000, (8, 16), (1, 2, 4), 3, args.repeats
         )
+        service = bench_service(
+            "t5", 60_000, (8, 16), (1, 2, 4), 3, args.repeats
+        )
     return {
         "format": RESULT_FORMAT,
         "version": RESULT_VERSION,
@@ -466,6 +578,7 @@ def run(args) -> dict:
         "sweep": sweep,
         "plan": plan,
         "supervision": supervision,
+        "service": service,
     }
 
 
@@ -497,6 +610,17 @@ def check(result, baseline_path, threshold) -> list[str]:
                 f"{supervision['overhead_pct']}% > "
                 f"{supervision['budget_pct']}%"
             )
+    service = result.get("service")
+    if service is not None:
+        if not service["identical"]:
+            failures.append(
+                "service run diverged from direct run (identical=false)"
+            )
+        if service["overhead_pct"] > service["budget_pct"]:
+            failures.append(
+                "service.overhead_pct over budget: "
+                f"{service['overhead_pct']}% > {service['budget_pct']}%"
+            )
     for section, metric in GATED_RATIOS:
         # Sections absent from an older baseline (recorded before they
         # existed) have no reference to regress against.
@@ -519,7 +643,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--out", type=Path, default=None,
                         help="write the result JSON here")
-    parser.add_argument("--pr", type=int, default=9,
+    parser.add_argument("--pr", type=int, default=10,
                         help="PR number this point belongs to")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of repeats per timed section")

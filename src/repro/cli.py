@@ -21,6 +21,13 @@ Subcommands:
 * ``sensitivity SOC`` — generator-knob sensitivity study.
 * ``stability SOC`` — seed-stability of the table metrics.
 * ``cache verify|gc`` — integrity-check / prune the on-disk cache store.
+* ``serve`` — run the optimization service (async HTTP job server).
+* ``submit`` — submit an experiment to a running service and wait.
+* ``jobs`` — list, inspect, or stream jobs on a running service.
+
+Exit codes are uniform across commands (``repro.runtime.status``):
+0 = ok, 1 = failed, 3 = partial (``--allow-partial`` salvage), 2 =
+argparse usage error, 87 = injected fault abort (test harness only).
 
 Every experiment command (``pareto``, ``scaling``, ``table``,
 ``volume``, ``compare``, ``multisite``, ``sensitivity``, ``stability``)
@@ -44,7 +51,7 @@ import time
 from repro.compaction.horizontal import build_si_test_groups
 from repro.compaction.vertical import BACKENDS
 from repro.core.optimizer import optimize_tam
-from repro.experiments.reporting import render_table, save_result
+from repro.experiments.reporting import save_result
 from repro.experiments.table_runner import (
     DEFAULT_GROUP_COUNTS,
     DEFAULT_WIDTHS,
@@ -158,9 +165,13 @@ def _run_plan(args: argparse.Namespace, command: str, make_plan,
     settings and ``render(run)`` prints the command's output.
     ``--profile`` then emits the unified run report
     (:func:`repro.experiments.reporting.experiment_report`).
+
+    Returns the uniform exit code for the run's status
+    (:mod:`repro.runtime.status`): 0 ok, 3 partial.
     """
     from repro.experiments.runner import PlanRunner
     from repro.runtime import Instrumentation, use_instrumentation
+    from repro.runtime.status import exit_code, run_status
 
     cache = _make_cache(args)
     instrumentation = Instrumentation()
@@ -198,7 +209,17 @@ def _run_plan(args: argparse.Namespace, command: str, make_plan,
         else:
             report.save(destination)
             print(f"run report written to {destination}")
-    return 0
+    return exit_code(run_status(run))
+
+
+def _plan_renderer(kind: str):
+    """The shared per-kind report renderer
+    (:func:`repro.experiments.render.render_report`) as a ``render``
+    callback for :func:`_run_plan` — the same registry the service uses,
+    so CLI output and service job results are byte-identical."""
+    from repro.experiments.render import render_report
+
+    return lambda run: print(render_report(kind, run.report))
 
 
 def _add_verify_flag(parser: argparse.ArgumentParser) -> None:
@@ -407,7 +428,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_pareto(args: argparse.Namespace) -> int:
-    from repro.experiments.pareto import format_curve, pareto_plan
+    from repro.experiments.pareto import pareto_plan
 
     soc = _load_soc(args.soc)
     return _run_plan(
@@ -424,15 +445,12 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
             "seed": args.seed,
             **_runtime_arguments(args),
         },
-        lambda run: print(format_curve(run.report)),
+        _plan_renderer("pareto"),
     )
 
 
 def _cmd_scaling(args: argparse.Namespace) -> int:
-    from repro.experiments.scaling import (
-        format_scaling_report,
-        scaling_plan,
-    )
+    from repro.experiments.scaling import scaling_plan
 
     return _run_plan(
         args,
@@ -452,7 +470,7 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
             "seed": args.seed,
             **_runtime_arguments(args),
         },
-        lambda run: print(format_scaling_report(run.report)),
+        _plan_renderer("scaling"),
     )
 
 
@@ -467,11 +485,13 @@ def _cmd_table(args: argparse.Namespace) -> int:
     soc = _load_soc(args.soc)
 
     def render(run) -> None:
+        from repro.experiments.render import render_report
+
         result = run.report
         result.elapsed_seconds = run.wall_seconds
         if args.verbose:
             print_table_progress(result)
-        print(render_table(result))
+        print(render_report("table", result))
         print(f"(elapsed: {result.elapsed_seconds:.1f}s)")
         if args.json:
             save_result(result, args.json)
@@ -556,10 +576,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _cmd_volume(args: argparse.Namespace) -> int:
-    from repro.experiments.compaction_study import (
-        format_volume_report,
-        volume_plan,
-    )
+    from repro.experiments.compaction_study import volume_plan
 
     soc = _load_soc(args.soc)
     return _run_plan(
@@ -580,7 +597,7 @@ def _cmd_volume(args: argparse.Namespace) -> int:
             "compaction_backend": args.compaction_backend,
             **_runtime_arguments(args),
         },
-        lambda run: print(format_volume_report(run.report)),
+        _plan_renderer("volume"),
     )
 
 
@@ -616,7 +633,7 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro.experiments.compare import compare_plan, format_comparison
+    from repro.experiments.compare import compare_plan
 
     soc = _load_soc(args.soc)
     return _run_plan(
@@ -637,15 +654,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             "sa_steps": args.sa_steps,
             **_runtime_arguments(args),
         },
-        lambda run: print(format_comparison(run.report)),
+        _plan_renderer("compare"),
     )
 
 
 def _cmd_multisite(args: argparse.Namespace) -> int:
-    from repro.experiments.multisite import (
-        format_multisite_report,
-        multisite_plan,
-    )
+    from repro.experiments.multisite import multisite_plan
 
     soc = _load_soc(args.soc)
     return _run_plan(
@@ -662,15 +676,12 @@ def _cmd_multisite(args: argparse.Namespace) -> int:
             "seed": args.seed,
             **_runtime_arguments(args),
         },
-        lambda run: print(format_multisite_report(run.report)),
+        _plan_renderer("multisite"),
     )
 
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
-    from repro.experiments.sensitivity import (
-        format_sensitivity_report,
-        sensitivity_plan,
-    )
+    from repro.experiments.sensitivity import sensitivity_plan
 
     soc = _load_soc(args.soc)
     return _run_plan(
@@ -687,7 +698,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
             "seed": args.seed,
             **_runtime_arguments(args),
         },
-        lambda run: print(format_sensitivity_report(run.report)),
+        _plan_renderer("sensitivity"),
     )
 
 
@@ -708,7 +719,7 @@ def _cmd_stability(args: argparse.Namespace) -> int:
             "seeds": list(args.seeds),
             **_runtime_arguments(args),
         },
-        lambda run: print(run.report.format()),
+        _plan_renderer("stability"),
     )
 
 
@@ -744,6 +755,135 @@ def _cmd_cache_gc(args: argparse.Namespace) -> int:
         print(f"{verb} {name}")
     tail = "would be pruned" if args.dry_run else "pruned"
     print(f"{args.dir}: {len(removed)} files {tail}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service import OptimizationService, ServiceConfig
+
+    service = OptimizationService(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            state_dir=Path(args.state_dir),
+            jobs=args.jobs,
+            sweep_backend=args.sweep_backend,
+            cache_dir=args.cache,
+            queue_limit=args.queue_limit,
+            policy=args.policy,
+            verify=args.verify,
+        )
+    )
+    service.start()
+    # Exact line first, flushed: scripts (and the test suite) discover a
+    # port-0 server by reading it from the pipe.
+    print(f"serving on {service.url}", flush=True)
+    stats = service.stats()
+    print(
+        f"state dir {args.state_dir} | jobs {args.jobs} | "
+        f"queue limit {args.queue_limit} | "
+        f"{stats['jobs']} journaled jobs restored",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        service.stop()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.runtime.status import STATUS_FAILED, exit_code
+    from repro.service import ServiceClient, build_plan
+
+    soc = _load_soc(args.soc) if args.soc is not None else None
+    plan = build_plan(
+        args.kind,
+        soc,
+        patterns=args.patterns,
+        wmax=args.wmax,
+        widths=args.widths,
+        parts=args.parts,
+        seed=args.seed,
+        seeds=args.seeds,
+        cores=args.cores,
+        channels=args.channels,
+        sa_steps=args.sa_steps,
+        arch=args.arch,
+        optimizer_backend=args.optimizer_backend,
+        compaction_backend=args.compaction_backend,
+    )
+    client = ServiceClient(args.url, timeout=args.timeout)
+    response = client.submit(
+        plan, priority=args.priority, fresh=args.fresh, tag=args.tag
+    )
+    job = response["job"]
+    verb = "submitted" if response["created"] else "joined"
+    print(
+        f"{verb} job {job['id']} ({response['fingerprint']})",
+        file=sys.stderr,
+    )
+    if args.no_wait:
+        print(job["id"])
+        return 0
+    outcome = client.wait(job["id"], timeout=args.timeout)
+    job = outcome["job"]
+    if job["state"] == "failed":
+        error = job.get("error") or {}
+        print(
+            f"job {job['id']} failed: "
+            f"{error.get('message', 'unknown error')}",
+            file=sys.stderr,
+        )
+        return exit_code(STATUS_FAILED)
+    result = outcome.get("result") or {}
+    if result.get("rendered"):
+        print(result["rendered"])
+    if job["state"] == "partial":
+        plan_block = result.get("plan") or {}
+        cells = plan_block.get("cells") or {}
+        print(
+            f"job {job['id']} completed PARTIAL "
+            f"({cells.get('poisoned', '?')} cells quarantined)",
+            file=sys.stderr,
+        )
+    return exit_code(job["state"])
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.runtime.status import exit_code
+    from repro.service import ServiceClient, TERMINAL_STATES
+
+    client = ServiceClient(args.url)
+    if args.job is None:
+        for job in client.jobs():
+            tag = f"  tag {job['tag']}" if job.get("tag") else ""
+            print(
+                f"{job['id']}  {job['state']:<8} {job['kind']:<12} "
+                f"prio {job['priority']:>4}  x{job['submissions']}"
+                f"{tag}"
+            )
+        return 0
+    if args.watch:
+        state = None
+        for event in client.events(args.job):
+            state = event.get("state", state)
+            print(json_module.dumps(event, sort_keys=True), flush=True)
+        if state in TERMINAL_STATES:
+            return exit_code(state)
+        return 0
+    print(
+        json_module.dumps(
+            client.job(args.job), indent=2, sort_keys=True
+        )
+    )
     return 0
 
 
@@ -951,6 +1091,121 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_flags(stability)
     stability.set_defaults(func=_cmd_stability)
 
+    serve = sub.add_parser(
+        "serve", help="run the optimization service (HTTP job server)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8787,
+        help="listen port (0 = pick a free port; the chosen port is "
+        "printed on startup)",
+    )
+    serve.add_argument(
+        "--state-dir", default="results/service",
+        help="durable state root: job journal, checkpoints, and the "
+        "shared evaluation cache live here",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per plan run (the warm pool is shared "
+        "across all jobs)",
+    )
+    _add_sweep_backend_flag(serve)
+    serve.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="shared evaluation cache directory "
+        "(default: <state-dir>/cache)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=256,
+        help="bounded job queue depth; submissions beyond it get "
+        "429 + Retry-After",
+    )
+    serve.add_argument(
+        "--policy", default=None, metavar="SPEC",
+        help="run supervision policy applied to every job "
+        "(same SPEC as the experiment commands)",
+    )
+    serve.add_argument(
+        "--verify", action="store_true",
+        help="independently verify every job's results before "
+        "reporting it ok",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit an experiment to a running service"
+    )
+    submit.add_argument(
+        "kind",
+        help="plan kind: table, pareto, volume, compare, multisite, "
+        "scaling, sensitivity, stability, optimize, evaluate",
+    )
+    submit.add_argument(
+        "soc", nargs="?", default=None,
+        help="benchmark name or .soc path (omit for 'scaling')",
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="service base URL",
+    )
+    submit.add_argument("--patterns", type=int, default=None)
+    submit.add_argument("--wmax", type=int, default=None)
+    submit.add_argument("--widths", type=int, nargs="+", default=None)
+    submit.add_argument("--parts", type=int, nargs="+", default=None)
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--seeds", type=int, nargs="+", default=None)
+    submit.add_argument("--cores", type=int, nargs="+", default=None)
+    submit.add_argument("--channels", type=int, default=None)
+    submit.add_argument("--sa-steps", type=int, default=None)
+    submit.add_argument(
+        "--arch", default=None,
+        help="architecture JSON (the 'evaluate' kind)",
+    )
+    submit.add_argument(
+        "--optimizer-backend", default=None,
+        help="TAM optimizer engine for kinds that take one",
+    )
+    submit.add_argument("--compaction-backend", default=None)
+    submit.add_argument(
+        "--priority", type=int, default=0,
+        help="queue priority (higher runs first; -100..100)",
+    )
+    submit.add_argument(
+        "--fresh", action="store_true",
+        help="bypass dedup: force a new job even if an identical plan "
+        "is already queued, running, or finished",
+    )
+    submit.add_argument("--tag", default=None, help="free-form job label")
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return immediately instead of "
+        "waiting for the result",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=3600.0,
+        help="seconds to wait for the result",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs_cmd = sub.add_parser(
+        "jobs", help="list or inspect jobs on a running service"
+    )
+    jobs_cmd.add_argument(
+        "job", nargs="?", default=None,
+        help="job id for a detail view (omit to list all jobs)",
+    )
+    jobs_cmd.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="service base URL",
+    )
+    jobs_cmd.add_argument(
+        "--watch", action="store_true",
+        help="stream the job's event feed (ndjson) until it finishes; "
+        "the exit code reflects the final state",
+    )
+    jobs_cmd.set_defaults(func=_cmd_jobs)
+
     from repro.runtime.cache import DEFAULT_STORE_DIR
 
     cache_cmd = sub.add_parser(
@@ -992,7 +1247,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _failure_exceptions() -> tuple:
+    """The exception types that are *failed runs*, not crashes: they
+    exit with the uniform ``failed`` code (1) and a one-line stderr
+    diagnostic instead of a traceback."""
+    from repro.resilience.validation import ValidationError
+    from repro.resilience.verify import ScheduleVerificationError
+    from repro.runtime.executor import CellError
+    from repro.runtime.supervision import (
+        CircuitOpenError,
+        PlanDeadlineError,
+        PolicyError,
+    )
+    from repro.service.client import ServiceError
+
+    return (
+        ValidationError,
+        ScheduleVerificationError,
+        CellError,
+        CircuitOpenError,
+        PlanDeadlineError,
+        PolicyError,
+        ServiceError,
+        TimeoutError,
+        ConnectionError,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
+    from repro.runtime.status import EXIT_FAILED
+
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
@@ -1005,6 +1289,9 @@ def main(argv: list[str] | None = None) -> int:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return 0
+    except _failure_exceptions() as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
 
 
 if __name__ == "__main__":

@@ -398,6 +398,8 @@ _BUILTIN_MODULES = {
     "scaling": "repro.experiments.scaling",
     "sensitivity": "repro.experiments.sensitivity",
     "stability": "repro.experiments.stability",
+    "optimize": "repro.experiments.single",
+    "evaluate": "repro.experiments.single",
 }
 
 

@@ -165,6 +165,11 @@ class PlanRunner:
             governing retries, deadlines, the circuit breaker, and
             partial-run salvage; the default policy reproduces the
             historical behavior exactly.
+        pool: Optional externally-owned warm
+            :class:`~repro.runtime.pool.WorkerPool` to reuse for the
+            ``workers`` backend instead of creating one per run (e.g.
+            the optimization service shares one pool across all jobs).
+            The caller keeps ownership: the runner never closes it.
     """
 
     def __init__(
@@ -176,6 +181,7 @@ class PlanRunner:
         verify: bool = False,
         timeout: float | None = None,
         policy: RunPolicy | None = None,
+        pool: WorkerPool | None = None,
     ) -> None:
         resolve_sweep_backend(sweep_backend)  # fail fast on a typo
         self.jobs = jobs
@@ -185,6 +191,7 @@ class PlanRunner:
         self.verify = verify
         self.timeout = timeout
         self.policy = policy if policy is not None else RunPolicy()
+        self.pool = pool
 
     # -- plumbing ---------------------------------------------------------
 
@@ -250,6 +257,8 @@ class PlanRunner:
                 or degraded_backend("workers") != "workers"
             ):
                 return None
+            if self.pool is not None:
+                return self.pool
             if pool is None:
                 try:
                     pool = WorkerPool(self.jobs, warmup=default_warmup)

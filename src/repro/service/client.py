@@ -1,0 +1,211 @@
+"""A small stdlib HTTP client for the optimization service.
+
+:class:`ServiceClient` wraps :mod:`http.client` — the same zero-
+dependency constraint as the server — and speaks the wire protocol of
+:mod:`repro.service.server`: submit plans, poll jobs, wait for results,
+iterate the chunked event stream.  Errors come back as
+:class:`ServiceError` carrying the HTTP status and the server's
+structured error body.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import urlparse
+
+from repro.experiments.plan import ExperimentPlan, plan_to_dict
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx service response.
+
+    Attributes:
+        status: HTTP status code.
+        body: Decoded JSON body (``{}`` when undecodable).
+        retry_after: Parsed ``Retry-After`` seconds, when present.
+    """
+
+    def __init__(
+        self, status: int, body: dict, retry_after: float | None = None
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.retry_after = retry_after
+        error = body.get("error", {}) if isinstance(body, dict) else {}
+        message = error.get("message") or f"HTTP {status}"
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """Talk to one running service instance.
+
+    Args:
+        url: Base URL, e.g. ``http://127.0.0.1:8787``.
+        timeout: Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        parsed = urlparse(url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ValueError(f"expected an http:// URL, got {url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict, dict]:
+        connection = self._connection()
+        try:
+            payload = (
+                None
+                if body is None
+                else json.dumps(body).encode("utf-8")
+            )
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except ValueError:
+                decoded = {}
+            return response.status, decoded, dict(response.getheaders())
+        finally:
+            connection.close()
+
+    def _checked(
+        self, method: str, path: str, body: dict | None = None,
+        accept: tuple[int, ...] = (200,),
+    ) -> tuple[int, dict]:
+        status, decoded, headers = self._request(method, path, body=body)
+        if status not in accept:
+            retry_after = headers.get("Retry-After")
+            raise ServiceError(
+                status,
+                decoded,
+                retry_after=(
+                    float(retry_after) if retry_after is not None else None
+                ),
+            )
+        return status, decoded
+
+    # -- API --------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._checked("GET", "/healthz")[1]
+
+    def stats(self) -> dict:
+        return self._checked("GET", "/stats")[1]
+
+    def submit(
+        self,
+        plan: ExperimentPlan | dict,
+        priority: int = 0,
+        fresh: bool = False,
+        tag: str | None = None,
+    ) -> dict:
+        """Submit a plan (or a prebuilt ``plan_to_dict`` payload).
+
+        Returns the submission response: ``{"job": ..., "created": ...,
+        "fingerprint": ...}``.
+
+        Raises:
+            ServiceError: 400 on a malformed plan, 429 with
+                ``retry_after`` set when the queue is full.
+        """
+        payload = (
+            plan_to_dict(plan)
+            if isinstance(plan, ExperimentPlan)
+            else plan
+        )
+        body: dict = {"plan": payload}
+        if priority:
+            body["priority"] = priority
+        if fresh:
+            body["fresh"] = True
+        if tag is not None:
+            body["tag"] = tag
+        return self._checked(
+            "POST", "/jobs", body=body, accept=(200, 201)
+        )[1]
+
+    def jobs(self) -> list[dict]:
+        return self._checked("GET", "/jobs")[1]["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._checked("GET", f"/jobs/{job_id}")[1]["job"]
+
+    def result(self, job_id: str) -> dict | None:
+        """The terminal result body, or ``None`` while pending."""
+        status, decoded = self._checked(
+            "GET", f"/jobs/{job_id}/result", accept=(200, 202)
+        )
+        if status == 202:
+            return None
+        return decoded
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.1
+    ) -> dict:
+        """Block until the job is terminal; returns the result response.
+
+        Rides the chunked event stream — the server pushes lifecycle
+        events and closes the stream at the terminal state, so a
+        finished job is observed immediately instead of on the next
+        poll tick.  Falls back to ``result`` polling if the stream
+        breaks mid-flight.
+
+        Raises:
+            TimeoutError: The job did not finish in ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        try:
+            for _ in self.events(job_id):
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"job {job_id} still pending after {timeout:g}s"
+                    )
+        except (OSError, ValueError):
+            pass  # broken stream; the polling loop below settles it
+        while True:
+            result = self.result(job_id)
+            if result is not None:
+                return result
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still pending after {timeout:g}s"
+                )
+            time.sleep(poll)
+
+    def events(self, job_id: str):
+        """Iterate the chunked event stream as decoded JSON lines;
+        the final line carries the result."""
+        connection = self._connection()
+        try:
+            connection.request("GET", f"/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    decoded = json.loads(raw) if raw else {}
+                except ValueError:
+                    decoded = {}
+                raise ServiceError(response.status, decoded)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()

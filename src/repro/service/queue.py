@@ -1,0 +1,102 @@
+"""Bounded priority queue feeding the service executor.
+
+A tiny heap-backed queue with the three properties the job server
+needs and nothing else:
+
+* **priority order** — larger ``priority`` drains first, ties drain in
+  submission (FIFO) order via a monotonic sequence number;
+* **bounded backpressure** — ``push`` on a full queue raises
+  :class:`QueueFullError` immediately (the HTTP layer turns it into
+  ``429`` + ``Retry-After``) instead of blocking an HTTP thread;
+* **blocking pop with shutdown** — the single executor thread parks in
+  :meth:`pop` under a condition variable; :meth:`close` wakes it with
+  ``None``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+__all__ = ["JobQueue", "QueueFullError"]
+
+
+class QueueFullError(Exception):
+    """The queue is at capacity; retry after the backlog drains.
+
+    Attributes:
+        retry_after: Suggested client wait in seconds.
+    """
+
+    def __init__(self, limit: int, retry_after: float) -> None:
+        self.limit = limit
+        self.retry_after = retry_after
+        super().__init__(
+            f"job queue is full ({limit} queued); retry in "
+            f"{retry_after:g}s"
+        )
+
+
+class JobQueue:
+    """Bounded max-priority queue of job ids.
+
+    Args:
+        limit: Maximum queued entries (0 or negative = unbounded).
+        retry_after: The backoff hint a :class:`QueueFullError` carries.
+    """
+
+    def __init__(self, limit: int = 256, retry_after: float = 1.0) -> None:
+        self.limit = limit
+        self.retry_after = retry_after
+        self._heap: list[tuple[int, int, str]] = []
+        self._cond = threading.Condition()
+        self._seq = itertools.count()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def push(self, job_id: str, priority: int = 0) -> None:
+        """Enqueue ``job_id``.
+
+        Raises:
+            QueueFullError: At capacity.
+            RuntimeError: After :meth:`close`.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if 0 < self.limit <= len(self._heap):
+                raise QueueFullError(self.limit, self.retry_after)
+            heapq.heappush(
+                self._heap, (-priority, next(self._seq), job_id)
+            )
+            self._cond.notify()
+
+    def pop(self, timeout: float | None = None) -> str | None:
+        """Dequeue the highest-priority job id, blocking up to
+        ``timeout`` seconds; ``None`` on timeout or close."""
+        with self._cond:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+            return heapq.heappop(self._heap)[2]
+
+    def snapshot(self) -> list[str]:
+        """Queued job ids in drain order (for ``GET /stats``)."""
+        with self._cond:
+            return [job_id for _, _, job_id in sorted(self._heap)]
+
+    def close(self) -> None:
+        """Reject further pushes and wake every parked :meth:`pop`."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,216 @@
+"""Wire protocol of the optimization service.
+
+A *submission* is one JSON object POSTed to ``/jobs``::
+
+    {
+      "plan":     <plan_to_dict(...) payload>,   # required
+      "priority": 0,        # optional int, -100..100, larger = sooner
+      "fresh":    false,    # optional: bypass dedup, force re-execution
+      "tag":      "nightly" # optional client label, <= 200 chars
+    }
+
+:func:`parse_submission` turns raw bytes into a validated
+:class:`Submission` or raises
+:class:`~repro.resilience.validation.ValidationError` whose ``path``
+attribute is the JSON pointer of the offending member (``$.plan.params``
+and friends) — the server maps *any* :class:`ValidationError` to a
+structured ``400`` body via :func:`error_body`, so malformed input can
+never take the process down.  The plan inside a submission is normalized
+through :func:`~repro.experiments.plan.plan_from_dict` /
+:func:`~repro.experiments.plan.plan_to_dict`, which verifies the content
+fingerprint — the job's dedup identity — on the way in.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.experiments.plan import (
+    ExperimentPlan,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.resilience.validation import ValidationError
+
+__all__ = [
+    "JOB_STATES",
+    "MAX_BODY_BYTES",
+    "PRIORITY_MAX",
+    "PRIORITY_MIN",
+    "TERMINAL_STATES",
+    "Submission",
+    "error_body",
+    "parse_submission",
+]
+
+#: Job lifecycle states.  The terminal three are exactly the unified run
+#: vocabulary of :mod:`repro.runtime.status`.
+JOB_STATES = ("queued", "running", "ok", "partial", "failed")
+TERMINAL_STATES = ("ok", "partial", "failed")
+
+PRIORITY_MIN = -100
+PRIORITY_MAX = 100
+
+#: Submissions larger than this are rejected up front (a plan carrying a
+#: benchmark SOC as ITC'02 text is tens of kilobytes; megabytes means a
+#: runaway or hostile client).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Submission:
+    """A validated job submission.
+
+    Attributes:
+        plan: The reconstructed experiment plan.
+        payload: The *normalized* ``plan_to_dict`` form (what the job
+            journal stores and a resumed server re-parses).
+        fingerprint: The plan's content hash — the dedup identity.
+        priority: Queue priority; larger drains sooner, ties FIFO.
+        fresh: Bypass result dedup and force a new execution.
+        tag: Optional client-supplied label echoed in job views.
+    """
+
+    plan: ExperimentPlan
+    payload: dict
+    fingerprint: str
+    priority: int = 0
+    fresh: bool = False
+    tag: str | None = None
+
+
+def _json_object(body, what: str) -> dict:
+    """Decode ``body`` (bytes/str/dict) into a JSON object or raise."""
+    if isinstance(body, dict):
+        return body
+    if isinstance(body, bytes):
+        if len(body) > MAX_BODY_BYTES:
+            raise ValidationError(
+                f"{what} exceeds {MAX_BODY_BYTES} bytes", path="$"
+            )
+        try:
+            body = body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ValidationError(
+                f"{what} is not valid UTF-8: {exc}", path="$"
+            ) from exc
+    if not isinstance(body, str):
+        raise ValidationError(
+            f"{what} must be a JSON object, got {type(body).__name__}",
+            path="$",
+        )
+    try:
+        data = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(
+            f"{what} is not valid JSON: {exc}", path="$"
+        ) from exc
+    if not isinstance(data, dict):
+        raise ValidationError(
+            f"{what} must be a JSON object, got "
+            f"{type(data).__name__}",
+            path="$",
+        )
+    return data
+
+
+def parse_submission(body) -> Submission:
+    """Validate one ``POST /jobs`` body.
+
+    Raises:
+        ValidationError: On any malformed member; ``path`` names the
+            offending JSON pointer.
+    """
+    data = _json_object(body, what="job submission")
+    allowed = {"plan", "priority", "fresh", "tag"}
+    for key in data:
+        if key not in allowed:
+            raise ValidationError(
+                f"unknown submission member {key!r}; allowed: "
+                f"{', '.join(sorted(allowed))}",
+                path=f"$.{key}",
+            )
+
+    plan_data = data.get("plan")
+    if not isinstance(plan_data, dict):
+        raise ValidationError(
+            "submission must carry a 'plan' object "
+            "(the plan_to_dict payload)",
+            path="$.plan",
+        )
+    try:
+        plan = plan_from_dict(plan_data)
+    except ValidationError as exc:
+        raise ValidationError(exc.bare_message, path="$.plan") from exc
+    except Exception as exc:
+        raise ValidationError(
+            f"invalid plan payload: {exc}", path="$.plan"
+        ) from exc
+    try:
+        # Expanding proves the parameters actually produce a valid cell
+        # graph — a submission that cannot expand would otherwise fail
+        # deep inside the executor instead of at the front door.
+        plan.expand()
+    except Exception as exc:
+        raise ValidationError(
+            f"plan does not expand: {exc}", path="$.plan.params"
+        ) from exc
+
+    priority = data.get("priority", 0)
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        raise ValidationError(
+            f"priority must be an integer, got {type(priority).__name__}",
+            path="$.priority",
+        )
+    if not PRIORITY_MIN <= priority <= PRIORITY_MAX:
+        raise ValidationError(
+            f"priority {priority} outside [{PRIORITY_MIN}, {PRIORITY_MAX}]",
+            path="$.priority",
+        )
+
+    fresh = data.get("fresh", False)
+    if not isinstance(fresh, bool):
+        raise ValidationError(
+            f"fresh must be a boolean, got {type(fresh).__name__}",
+            path="$.fresh",
+        )
+
+    tag = data.get("tag")
+    if tag is not None:
+        if not isinstance(tag, str):
+            raise ValidationError(
+                f"tag must be a string, got {type(tag).__name__}",
+                path="$.tag",
+            )
+        if len(tag) > 200:
+            raise ValidationError(
+                f"tag is {len(tag)} characters long (max 200)",
+                path="$.tag",
+            )
+
+    return Submission(
+        plan=plan,
+        payload=plan_to_dict(plan),
+        fingerprint=plan.fingerprint(),
+        priority=priority,
+        fresh=fresh,
+        tag=tag,
+    )
+
+
+def error_body(exc: BaseException) -> dict:
+    """The structured JSON error body for an exception."""
+    error: dict = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+    }
+    if isinstance(exc, ValidationError):
+        error["detail"] = exc.bare_message
+        if exc.path is not None:
+            error["path"] = exc.path
+        if exc.line is not None:
+            error["line"] = exc.line
+        if exc.field is not None:
+            error["field"] = exc.field
+    return {"error": error}

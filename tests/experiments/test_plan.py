@@ -176,8 +176,8 @@ class TestProjections:
 class TestRegistry:
     def test_all_builtin_kinds_registered(self):
         assert registered_plans() == (
-            "compare", "multisite", "pareto", "scaling", "sensitivity",
-            "stability", "table", "volume",
+            "compare", "evaluate", "multisite", "optimize", "pareto",
+            "scaling", "sensitivity", "stability", "table", "volume",
         )
 
     def test_unknown_kind_names_the_known_ones(self):

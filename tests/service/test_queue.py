@@ -1,0 +1,69 @@
+"""The bounded priority queue: ordering, backpressure, shutdown."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.queue import JobQueue, QueueFullError
+
+
+def test_fifo_within_equal_priority():
+    queue = JobQueue()
+    for job_id in ("a", "b", "c"):
+        queue.push(job_id)
+    assert [queue.pop(0) for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_higher_priority_drains_first():
+    queue = JobQueue()
+    queue.push("low", priority=-5)
+    queue.push("mid", priority=0)
+    queue.push("high", priority=10)
+    assert [queue.pop(0) for _ in range(3)] == ["high", "mid", "low"]
+
+
+def test_snapshot_reports_drain_order():
+    queue = JobQueue()
+    queue.push("b", priority=0)
+    queue.push("a", priority=3)
+    assert queue.snapshot() == ["a", "b"]
+    assert len(queue) == 2
+
+
+def test_full_queue_raises_with_retry_hint():
+    queue = JobQueue(limit=2, retry_after=2.5)
+    queue.push("a")
+    queue.push("b")
+    with pytest.raises(QueueFullError) as excinfo:
+        queue.push("c")
+    assert excinfo.value.limit == 2
+    assert excinfo.value.retry_after == 2.5
+    assert len(queue) == 2  # the rejected push left nothing behind
+
+
+def test_zero_limit_is_unbounded():
+    queue = JobQueue(limit=0)
+    for index in range(300):
+        queue.push(f"j{index}")
+    assert len(queue) == 300
+
+
+def test_pop_times_out_empty():
+    assert JobQueue().pop(timeout=0.05) is None
+
+
+def test_close_wakes_blocked_pop_and_rejects_push():
+    queue = JobQueue()
+    results = []
+    consumer = threading.Thread(
+        target=lambda: results.append(queue.pop(timeout=30))
+    )
+    consumer.start()
+    queue.close()
+    consumer.join(timeout=10)
+    assert not consumer.is_alive()
+    assert results == [None]
+    with pytest.raises(RuntimeError):
+        queue.push("late")

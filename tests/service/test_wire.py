@@ -1,0 +1,129 @@
+"""Submission parsing: every malformed input is a typed, pathed error."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.plan import plan_to_dict
+from repro.resilience.validation import ValidationError
+from repro.service.wire import (
+    MAX_BODY_BYTES,
+    Submission,
+    error_body,
+    parse_submission,
+)
+
+
+def _body(plan, **extra) -> bytes:
+    return json.dumps({"plan": plan_to_dict(plan), **extra}).encode()
+
+
+def test_minimal_submission_parses(quick_plan):
+    submission = parse_submission(_body(quick_plan))
+    assert isinstance(submission, Submission)
+    assert submission.fingerprint == quick_plan.fingerprint()
+    assert submission.priority == 0
+    assert submission.fresh is False
+    assert submission.tag is None
+    assert submission.payload == plan_to_dict(quick_plan)
+
+
+def test_accepts_str_and_dict_bodies(quick_plan):
+    raw = _body(quick_plan)
+    for body in (raw.decode(), json.loads(raw)):
+        assert (
+            parse_submission(body).fingerprint == quick_plan.fingerprint()
+        )
+
+
+def test_full_submission_round_trips(quick_plan):
+    submission = parse_submission(
+        _body(quick_plan, priority=7, fresh=True, tag="nightly")
+    )
+    assert submission.priority == 7
+    assert submission.fresh is True
+    assert submission.tag == "nightly"
+
+
+@pytest.mark.parametrize(
+    "body",
+    [b"", b"[]", b"42", b'"plan"', b"{not json", b"\xff\xfe\x00plan"],
+)
+def test_non_object_bodies_rejected_at_root(body):
+    with pytest.raises(ValidationError) as excinfo:
+        parse_submission(body)
+    assert excinfo.value.path == "$"
+
+
+def test_oversized_body_rejected():
+    padding = b" " * (MAX_BODY_BYTES + 1)
+    with pytest.raises(ValidationError, match="exceeds"):
+        parse_submission(padding)
+
+
+def test_unknown_member_rejected(quick_plan):
+    with pytest.raises(ValidationError) as excinfo:
+        parse_submission(_body(quick_plan, bogus=1))
+    assert excinfo.value.path == "$.bogus"
+
+
+@pytest.mark.parametrize("plan_value", [None, [], "plan", 7])
+def test_missing_or_non_object_plan_rejected(plan_value):
+    body = {} if plan_value is None else {"plan": plan_value}
+    with pytest.raises(ValidationError) as excinfo:
+        parse_submission(json.dumps(body).encode())
+    assert excinfo.value.path == "$.plan"
+
+
+def test_tampered_fingerprint_rejected(quick_plan):
+    payload = plan_to_dict(quick_plan)
+    payload["fingerprint"] = "plan-" + "0" * 64
+    with pytest.raises(ValidationError) as excinfo:
+        parse_submission(json.dumps({"plan": payload}).encode())
+    assert excinfo.value.path == "$.plan"
+
+
+def test_unknown_plan_kind_rejected(quick_plan):
+    payload = plan_to_dict(quick_plan)
+    payload["plan"] = "definitely-not-a-kind"
+    with pytest.raises(ValidationError) as excinfo:
+        parse_submission(json.dumps({"plan": payload}).encode())
+    assert excinfo.value.path == "$.plan"
+
+
+@pytest.mark.parametrize("priority", [True, 1.5, "high", None, 101, -101])
+def test_bad_priority_rejected(quick_plan, priority):
+    with pytest.raises(ValidationError) as excinfo:
+        parse_submission(_body(quick_plan, priority=priority))
+    assert excinfo.value.path == "$.priority"
+
+
+@pytest.mark.parametrize("fresh", [1, "yes", None])
+def test_bad_fresh_rejected(quick_plan, fresh):
+    with pytest.raises(ValidationError) as excinfo:
+        parse_submission(_body(quick_plan, fresh=fresh))
+    assert excinfo.value.path == "$.fresh"
+
+
+@pytest.mark.parametrize("tag", [7, ["a"], "x" * 201])
+def test_bad_tag_rejected(quick_plan, tag):
+    with pytest.raises(ValidationError) as excinfo:
+        parse_submission(_body(quick_plan, tag=tag))
+    assert excinfo.value.path == "$.tag"
+
+
+def test_error_body_carries_path_and_detail(quick_plan):
+    try:
+        parse_submission(_body(quick_plan, priority="high"))
+    except ValidationError as exc:
+        body = error_body(exc)
+    assert body["error"]["type"] == "ValidationError"
+    assert body["error"]["path"] == "$.priority"
+    assert "priority" in body["error"]["detail"]
+
+
+def test_error_body_for_plain_exception():
+    body = error_body(RuntimeError("boom"))
+    assert body == {"error": {"type": "RuntimeError", "message": "boom"}}

@@ -225,8 +225,10 @@ def _plans():
     from repro.experiments.pareto import pareto_plan
     from repro.experiments.scaling import scaling_plan
     from repro.experiments.sensitivity import sensitivity_plan
+    from repro.experiments.single import evaluate_plan, optimize_plan
     from repro.experiments.stability import stability_plan
     from repro.experiments.table_runner import table_plan
+    from repro.core.optimizer import optimize_tam
     from repro.soc.benchmarks import load_benchmark
 
     soc = load_benchmark("t5")
@@ -239,6 +241,11 @@ def _plans():
         "scaling": scaling_plan((4, 6), w_max=8, pattern_count=100),
         "sensitivity": sensitivity_plan(soc, 100, 8, parts=2),
         "stability": stability_plan(soc, 100, 8, seeds=(1, 2)),
+        "optimize": optimize_plan(soc, 8, pattern_count=100, parts=2),
+        "evaluate": evaluate_plan(
+            soc, optimize_tam(soc, 8).architecture,
+            pattern_count=100, parts=2,
+        ),
     }
     assert set(plans) == set(registered_plans())
     for name, plan in plans.items():
@@ -259,8 +266,10 @@ def _supervision():
     from repro.experiments.runner import PlanRunner
     from repro.experiments.scaling import scaling_plan
     from repro.experiments.sensitivity import sensitivity_plan
+    from repro.experiments.single import evaluate_plan, optimize_plan
     from repro.experiments.stability import stability_plan
     from repro.experiments.table_runner import table_plan
+    from repro.core.optimizer import optimize_tam
     from repro.resilience import inject
     from repro.runtime import RunPolicy
     from repro.soc.benchmarks import load_benchmark
@@ -275,6 +284,11 @@ def _supervision():
         "scaling": scaling_plan((4, 6), w_max=8, pattern_count=100),
         "sensitivity": sensitivity_plan(soc, 100, 8, parts=2),
         "stability": stability_plan(soc, 100, 8, seeds=(1, 2)),
+        "optimize": optimize_plan(soc, 8, pattern_count=100, parts=2),
+        "evaluate": evaluate_plan(
+            soc, optimize_tam(soc, 8).architecture,
+            pattern_count=100, parts=2,
+        ),
     }
     assert set(plans) == set(registered_plans())
     runner = PlanRunner(policy=RunPolicy(allow_partial=True))
